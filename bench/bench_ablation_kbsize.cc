@@ -1,0 +1,106 @@
+// Ablation B: accuracy vs knowledge-base size (the paper: "SmartML has the
+// advantage that its performance can be continuously improved over time by
+// running more tasks which makes SmartML smarter ... based on the growing
+// knowledge base").
+//
+// The KB is grown from 0 to 50 bootstrap datasets; at each size the same
+// evaluation datasets are processed under a small fixed budget. Expected
+// shape: accuracy climbs (or at worst saturates) as the KB grows; size 0 is
+// the cold-start roster.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/smartml.h"
+
+int main(int argc, char** argv) {
+  using namespace smartml;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  const std::vector<size_t> kb_sizes =
+      quick ? std::vector<size_t>{0, 8} : std::vector<size_t>{0, 5, 15, 30, 50};
+  const size_t num_eval = quick ? 3 : 10;
+  // Deliberately tiny budget: the KB's value is concentrated where tuning
+  // can't compensate (ablation A), so this is where growth should show.
+  const int budget = 6;
+
+  // Evaluation datasets (reseeded Table 4 recipes).
+  std::vector<Dataset> datasets;
+  for (const auto& entry : Table4Datasets()) {
+    if (datasets.size() >= num_eval) break;
+    SyntheticSpec spec = entry.spec;
+    spec.seed += 770001;
+    spec.num_instances = std::min<size_t>(spec.num_instances, 400);
+    datasets.push_back(GenerateSynthetic(spec));
+  }
+
+  // Build the largest KB once; smaller sizes are prefixes of the same
+  // bootstrap stream, exactly like a framework deployed over time.
+  SmartMlOptions bootstrap_options;
+  bootstrap_options.cv_folds = 2;
+  bootstrap_options.seed = 7;
+  SmartML bootstrapper(bootstrap_options);
+  const auto specs = BootstrapKbSpecs(kb_sizes.back(), 7);
+  std::vector<KnowledgeBase> kb_by_size;
+  size_t next_size_index = 0;
+  for (size_t i = 0; i <= specs.size(); ++i) {
+    while (next_size_index < kb_sizes.size() &&
+           kb_sizes[next_size_index] == i) {
+      kb_by_size.push_back(bootstrapper.kb());
+      ++next_size_index;
+    }
+    if (i == specs.size()) break;
+    const Status status = bootstrapper.BootstrapWithDataset(
+        GenerateSynthetic(specs[i]), bench::BootstrapRoster(), 4);
+    if (!status.ok()) {
+      std::fprintf(stderr, "[bench] bootstrap %zu failed: %s\n", i,
+                   status.ToString().c_str());
+    }
+    if ((i + 1) % 10 == 0) {
+      std::fprintf(stderr, "[bench] bootstrapped %zu/%zu\n", i + 1,
+                   specs.size());
+    }
+  }
+
+  std::printf("Ablation B: accuracy vs knowledge-base size "
+              "(budget %d fold-evals, %zu eval datasets)\n",
+              budget, datasets.size());
+  bench::PrintRule('=', 72);
+  std::printf("%-14s | %-16s | %s\n", "KB size", "mean val acc",
+              "meta-learning active");
+  bench::PrintRule('-', 72);
+
+  double first_acc = 0.0, last_acc = 0.0;
+  for (size_t s = 0; s < kb_sizes.size(); ++s) {
+    double sum = 0.0;
+    bool meta = false;
+    for (const Dataset& dataset : datasets) {
+      SmartMlOptions options;
+      options.max_evaluations = budget;
+      options.time_budget_seconds = 60;
+      options.cv_folds = 2;
+      options.update_kb = false;
+      options.enable_interpretability = false;
+      options.enable_ensembling = false;
+      options.seed = 42;
+      SmartML framework(options);
+      framework.mutable_kb() = kb_by_size[s];
+      auto run = framework.Run(dataset);
+      if (run.ok()) {
+        sum += run->best_validation_accuracy;
+        meta = meta || run->used_meta_learning;
+      }
+    }
+    const double mean = sum / static_cast<double>(datasets.size());
+    if (s == 0) first_acc = mean;
+    last_acc = mean;
+    std::printf("%-14zu | %13.2f%%  | %s\n", kb_sizes[s], mean * 100.0,
+                meta ? "yes" : "no (cold start)");
+  }
+  bench::PrintRule('=', 72);
+  std::printf("expected shape: accuracy at KB=%zu >= accuracy at KB=0 "
+              "(measured: %+.2f points)\n",
+              kb_sizes.back(), (last_acc - first_acc) * 100.0);
+  return 0;
+}

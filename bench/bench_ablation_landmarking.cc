@@ -1,0 +1,134 @@
+// Ablation D (extension): landmarking meta-features. The 25 statistical
+// meta-features are blind to class *geometry* — a spiral dataset and a
+// Gaussian-blob dataset can look identical to them, which misleads the
+// nearest-neighbour nomination (observed in the Table 4 reproduction as the
+// kin8nm failure mode). Landmark accuracies (1NN/NB/stump/LDA) encode
+// geometry directly: a big 1NN-vs-LDA gap flags local nonlinear structure.
+//
+// This bench measures oracle-best containment of the top-3 nomination with
+// and without the landmark term, on an evaluation set that deliberately
+// mixes all four generator geometries.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/core/smartml.h"
+#include "src/data/metrics.h"
+#include "src/data/split.h"
+#include "src/metafeatures/landmarking.h"
+#include "src/ml/registry.h"
+#include "src/tuning/objective.h"
+#include "src/tuning/random_search.h"
+
+namespace smartml {
+namespace {
+
+std::string OracleBest(const Dataset& dataset,
+                       const std::vector<std::string>& roster) {
+  std::string best;
+  double best_acc = -1.0;
+  for (const std::string& algo : roster) {
+    auto model = CreateClassifier(algo);
+    auto space = SpaceFor(algo);
+    if (!model.ok() || !space.ok()) continue;
+    auto split = StratifiedSplit(dataset, 0.25, 42);
+    if (!split.ok()) continue;
+    auto objective = ClassifierObjective::Create(**model, split->train, 2, 42);
+    if (!objective.ok()) continue;
+    SearchOptions search;
+    search.max_evaluations = 10;
+    search.seed = 42;
+    auto tuned = RandomSearch(*space, objective->get(), search);
+    if (!tuned.ok()) continue;
+    if (!(*model)->Fit(split->train, tuned->best_config).ok()) continue;
+    auto pred = (*model)->Predict(split->validation);
+    if (!pred.ok()) continue;
+    const double acc = Accuracy(split->validation.labels(), *pred);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best = algo;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace smartml
+
+int main(int argc, char** argv) {
+  using namespace smartml;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const size_t num_eval = quick ? 4 : 12;
+
+  KnowledgeBase kb = bench::BootstrapKb(
+      quick ? 12 : 50, quick ? "" : "smartml_kb_lm_cache.txt",
+      /*evaluations_per_algorithm=*/6, /*landmarking=*/true);
+  const auto roster = bench::BootstrapRoster();
+
+  const auto specs = BootstrapKbSpecs(num_eval, 5353);
+  int hits_plain = 0, hits_landmark = 0;
+  size_t evaluated = 0;
+
+  std::printf("Ablation D: landmarking meta-features — oracle-best "
+              "containment of the top-3 nomination (%zu datasets)\n",
+              num_eval);
+  bench::PrintRule('=', 100);
+  std::printf("%-10s | %-10s | %-14s | %-30s | %-7s | %s\n", "dataset",
+              "geometry", "oracle best", "landmark-scheme top-3", "plain",
+              "landmark");
+  bench::PrintRule('-', 100);
+
+  const char* kind_names[] = {"blobs", "hypercube", "rules", "spirals"};
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SyntheticSpec fresh = specs[i];
+    fresh.seed += 6007;
+    const Dataset dataset = GenerateSynthetic(fresh);
+    const std::string oracle = OracleBest(dataset, roster);
+    auto mf = ExtractMetaFeatures(dataset);
+    auto lm = ExtractLandmarkers(dataset);
+    if (!mf.ok() || !lm.ok() || oracle.empty()) continue;
+    ++evaluated;
+
+    auto contains = [&](const std::vector<Nomination>& ns) {
+      return std::any_of(ns.begin(), ns.end(), [&](const Nomination& n) {
+        return n.algorithm == oracle;
+      });
+    };
+
+    NominationOptions plain;
+    plain.max_algorithms = 3;
+    plain.max_neighbors = 3;
+    const bool plain_hit = contains(kb.Nominate(*mf, plain));
+
+    NominationOptions with_lm = plain;
+    with_lm.landmark_weight = 3.0;
+    const auto lm_noms = kb.Nominate(*mf, *lm, with_lm);
+    const bool lm_hit = contains(lm_noms);
+
+    hits_plain += plain_hit;
+    hits_landmark += lm_hit;
+
+    std::string top3;
+    for (const auto& n : lm_noms) top3 += n.algorithm + " ";
+    std::printf("%-10s | %-10s | %-14s | %-30s | %-7s | %s\n",
+                fresh.name.c_str(),
+                kind_names[static_cast<int>(fresh.kind)], oracle.c_str(),
+                top3.c_str(), plain_hit ? "hit" : "miss",
+                lm_hit ? "hit" : "miss");
+    std::fflush(stdout);
+  }
+  bench::PrintRule('=', 100);
+  std::printf("oracle-best contained in top-3:\n");
+  std::printf("  25 statistical meta-features only:      %d/%zu\n",
+              hits_plain, evaluated);
+  std::printf("  + landmarking (weight 3.0):             %d/%zu\n",
+              hits_landmark, evaluated);
+  std::printf("expected shape: landmark-augmented similarity matches or "
+              "beats the plain scheme, with gains concentrated on\n"
+              "nonlinear geometries (spirals/rules) that the statistical "
+              "meta-features cannot distinguish.\n");
+  return 0;
+}

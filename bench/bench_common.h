@@ -1,0 +1,82 @@
+// Shared helpers for the paper-reproduction benches: knowledge-base
+// bootstrapping (the paper seeds its KB with 50 public datasets; we use the
+// 50 synthetic recipes), table formatting, and common run settings.
+#ifndef SMARTML_BENCH_BENCH_COMMON_H_
+#define SMARTML_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/smartml.h"
+#include "src/data/synthetic.h"
+
+namespace smartml {
+namespace bench {
+
+/// Algorithms used when seeding the knowledge base. A diverse but cheap
+/// subset keeps bootstrap time reasonable while covering linear,
+/// instance-based, probabilistic, and tree-family learners.
+inline std::vector<std::string> BootstrapRoster() {
+  return {"knn", "naive_bayes", "rpart",     "j48",      "lda",
+          "svm", "random_forest", "c50",     "neuralnet"};
+}
+
+/// Builds (or loads from `cache_path`, if present) a knowledge base seeded
+/// with `num_datasets` bootstrap recipes. Saves to the cache afterwards so
+/// sibling benches reuse the work.
+inline KnowledgeBase BootstrapKb(size_t num_datasets,
+                                 const std::string& cache_path,
+                                 int evaluations_per_algorithm = 6,
+                                 bool landmarking = false) {
+  if (!cache_path.empty()) {
+    auto cached = KnowledgeBase::LoadFromFile(cache_path);
+    if (cached.ok() && cached->NumRecords() >= num_datasets &&
+        (!landmarking || (cached->NumRecords() > 0 &&
+                          cached->records()[0].has_landmarks))) {
+      std::fprintf(stderr, "[bench] reusing cached KB (%zu records): %s\n",
+                   cached->NumRecords(), cache_path.c_str());
+      return std::move(*cached);
+    }
+  }
+  std::fprintf(stderr,
+               "[bench] bootstrapping knowledge base from %zu datasets...\n",
+               num_datasets);
+  SmartMlOptions options;
+  options.cv_folds = 2;
+  options.seed = 7;
+  options.use_landmarking = landmarking;
+  SmartML framework(options);
+  const auto specs = BootstrapKbSpecs(num_datasets, 7);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const Dataset dataset = GenerateSynthetic(specs[i]);
+    const Status status = framework.BootstrapWithDataset(
+        dataset, BootstrapRoster(), evaluations_per_algorithm);
+    if (!status.ok()) {
+      std::fprintf(stderr, "[bench] bootstrap of %s failed: %s\n",
+                   specs[i].name.c_str(), status.ToString().c_str());
+    }
+    if ((i + 1) % 10 == 0) {
+      std::fprintf(stderr, "[bench]   %zu/%zu datasets done\n", i + 1,
+                   specs.size());
+    }
+  }
+  if (!cache_path.empty()) {
+    const Status status = framework.SaveKnowledgeBase(cache_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "[bench] KB cache save failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  return framework.kb();
+}
+
+inline void PrintRule(char c = '-', int width = 96) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace smartml
+
+#endif  // SMARTML_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,177 @@
+// Framework micro-benchmarks (google-benchmark): the per-component costs
+// behind SmartML's phases — meta-feature extraction, KB retrieval, surrogate
+// fitting/prediction, SMAC iterations, preprocessing, and single classifier
+// fits.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/data/synthetic.h"
+#include "src/kb/knowledge_base.h"
+#include "src/metafeatures/metafeatures.h"
+#include "src/ml/registry.h"
+#include "src/preprocess/preprocess.h"
+#include "src/tuning/objective.h"
+#include "src/tuning/smac.h"
+
+namespace smartml {
+namespace {
+
+Dataset BenchDataset(size_t rows, size_t features) {
+  SyntheticSpec spec;
+  spec.num_instances = rows;
+  spec.num_informative = features / 2;
+  spec.num_noise = features - features / 2;
+  spec.num_classes = 3;
+  spec.seed = 11;
+  return GenerateSynthetic(spec);
+}
+
+void BM_MetaFeatureExtraction(benchmark::State& state) {
+  const Dataset d = BenchDataset(static_cast<size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    auto mf = ExtractMetaFeatures(d);
+    benchmark::DoNotOptimize(mf);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(d.NumRows()));
+}
+BENCHMARK(BM_MetaFeatureExtraction)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_KbNomination(benchmark::State& state) {
+  KnowledgeBase kb;
+  Rng rng(3);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    KbRecord record;
+    record.dataset_name = "d" + std::to_string(i);
+    for (auto& v : record.meta_features) v = rng.Uniform(0, 100);
+    for (const char* algo : {"knn", "svm", "rpart"}) {
+      KbAlgorithmResult r;
+      r.algorithm = algo;
+      r.accuracy = rng.Uniform();
+      record.results.push_back(r);
+    }
+    kb.AddRecord(record);
+  }
+  MetaFeatureVector query{};
+  for (auto& v : query) v = rng.Uniform(0, 100);
+  NominationOptions options;
+  for (auto _ : state) {
+    auto nominations = kb.Nominate(query, options);
+    benchmark::DoNotOptimize(nominations);
+  }
+}
+BENCHMARK(BM_KbNomination)->Arg(50)->Arg(500)->Arg(5000);
+
+void BM_KbSerialize(benchmark::State& state) {
+  KnowledgeBase kb;
+  Rng rng(3);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    KbRecord record;
+    record.dataset_name = "d" + std::to_string(i);
+    for (auto& v : record.meta_features) v = rng.Uniform();
+    KbAlgorithmResult r;
+    r.algorithm = "svm";
+    r.accuracy = 0.9;
+    r.best_config.SetDouble("C", 1.0);
+    record.results.push_back(r);
+    kb.AddRecord(record);
+  }
+  for (auto _ : state) {
+    const std::string text = kb.Serialize();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_KbSerialize)->Arg(50)->Arg(500);
+
+void BM_SurrogateFit(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<size_t>(state.range(0));
+  Matrix x(n, 8);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 8; ++j) x(i, j) = rng.Uniform();
+    y[i] = rng.Uniform();
+  }
+  for (auto _ : state) {
+    RegressionForest forest;
+    benchmark::DoNotOptimize(forest.Fit(x, y, {}));
+  }
+}
+BENCHMARK(BM_SurrogateFit)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SurrogatePredict(benchmark::State& state) {
+  Rng rng(5);
+  Matrix x(200, 8);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < 8; ++j) x(i, j) = rng.Uniform();
+    y[i] = rng.Uniform();
+  }
+  RegressionForest forest;
+  (void)forest.Fit(x, y, {});
+  std::vector<double> query(8, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(query));
+  }
+}
+BENCHMARK(BM_SurrogatePredict);
+
+void BM_SmacIteration(benchmark::State& state) {
+  // Full SMAC runs on a trivial objective: measures optimizer overhead per
+  // evaluation (surrogate refit + EI search + bookkeeping).
+  class FreeObjective : public TuningObjective {
+   public:
+    size_t NumFolds() const override { return 1; }
+    StatusOr<double> EvaluateFold(const ParamConfig& config, size_t) override {
+      const double x = config.GetDouble("x", 0);
+      return x * x;
+    }
+  };
+  ParamSpace space;
+  space.AddDouble("x", -1, 1, 0.5);
+  space.AddDouble("y", -1, 1, 0.5);
+  space.AddCategorical("mode", {"a", "b"}, "a");
+  for (auto _ : state) {
+    FreeObjective objective;
+    SmacOptions options;
+    options.max_evaluations = static_cast<int>(state.range(0));
+    options.seed = 7;
+    auto result = Smac(space, &objective, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SmacIteration)->Arg(20)->Arg(60);
+
+void BM_PreprocessPca(benchmark::State& state) {
+  const Dataset d = BenchDataset(static_cast<size_t>(state.range(0)), 24);
+  for (auto _ : state) {
+    auto p = CreatePreprocessor(PreprocessOp::kPca);
+    (void)p->Fit(d);
+    auto out = p->Transform(d);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_PreprocessPca)->Arg(200)->Arg(1000);
+
+void BM_ClassifierFit(benchmark::State& state, const char* name) {
+  const Dataset d = BenchDataset(300, 12);
+  auto space = SpaceFor(name);
+  for (auto _ : state) {
+    auto model = CreateClassifier(name);
+    benchmark::DoNotOptimize((*model)->Fit(d, space->DefaultConfig()));
+  }
+}
+BENCHMARK_CAPTURE(BM_ClassifierFit, knn, "knn");
+BENCHMARK_CAPTURE(BM_ClassifierFit, naive_bayes, "naive_bayes");
+BENCHMARK_CAPTURE(BM_ClassifierFit, rpart, "rpart");
+BENCHMARK_CAPTURE(BM_ClassifierFit, j48, "j48");
+BENCHMARK_CAPTURE(BM_ClassifierFit, lda, "lda");
+BENCHMARK_CAPTURE(BM_ClassifierFit, random_forest, "random_forest");
+BENCHMARK_CAPTURE(BM_ClassifierFit, svm, "svm");
+BENCHMARK_CAPTURE(BM_ClassifierFit, neuralnet, "neuralnet");
+
+}  // namespace
+}  // namespace smartml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Table 1 reproduction: the feature comparison between SmartML and the other
+// AutoML frameworks. The SmartML column is not hard-coded prose — every
+// claimed capability is probed against the actual code (registry sizes, KB
+// incrementality, ensembling, preprocessing, interpretability), so this
+// bench doubles as a capability audit.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baselines/autoweka.h"
+#include "src/common/strings.h"
+#include "src/core/smartml.h"
+#include "src/interpret/interpret.h"
+#include "src/ml/registry.h"
+#include "src/preprocess/preprocess.h"
+
+namespace smartml {
+namespace {
+
+// Verifies the capabilities Table 1 claims for SmartML, returning the
+// evidence string printed in the table.
+std::string ProbeNumAlgorithms() {
+  return StrFormat("%zu classifiers", AllAlgorithms().size());
+}
+
+bool ProbeEnsembling() {
+  // An orchestrator run with ensembling on must produce an ensemble.
+  SyntheticSpec spec;
+  spec.num_instances = 80;
+  spec.class_sep = 2.0;
+  spec.seed = 5;
+  SmartMlOptions options;
+  options.max_evaluations = 9;
+  options.cv_folds = 2;
+  options.cold_start_algorithms = {"knn", "naive_bayes", "rpart"};
+  SmartML framework(options);
+  auto result = framework.Run(GenerateSynthetic(spec));
+  return result.ok() && result->ensemble != nullptr &&
+         result->ensemble->NumMembers() >= 2;
+}
+
+bool ProbeIncrementalKb() {
+  // The KB must grow run over run and upgrade records in place.
+  KnowledgeBase kb;
+  KbRecord r;
+  r.dataset_name = "d";
+  KbAlgorithmResult a;
+  a.algorithm = "knn";
+  a.accuracy = 0.5;
+  r.results = {a};
+  kb.AddRecord(r);
+  a.accuracy = 0.9;
+  r.results = {a};
+  kb.AddRecord(r);
+  return kb.NumRecords() == 1 && kb.Find("d")->results[0].accuracy == 0.9;
+}
+
+bool ProbePreprocessing() { return AllPreprocessOps().size() == 8; }
+
+bool ProbeInterpretability() {
+  SyntheticSpec spec;
+  spec.num_instances = 60;
+  spec.seed = 3;
+  const Dataset d = GenerateSynthetic(spec);
+  auto model = CreateClassifier("rpart");
+  if (!model.ok()) return false;
+  if (!(*model)->Fit(d, ParamConfig()).ok()) return false;
+  auto imp = PermutationImportance(**model, d, 1, 3);
+  return imp.ok() && !imp->empty();
+}
+
+bool ProbeCashBaseline() {
+  auto space = BuildCashSpace(AllAlgorithmNames());
+  return space.ok();
+}
+
+}  // namespace
+}  // namespace smartml
+
+int main() {
+  using namespace smartml;
+  std::printf("Table 1: Comparison between state-of-the-art AutoML "
+              "frameworks\n");
+  std::printf("(SmartML column verified live against this implementation; "
+              "other columns from the paper)\n");
+  bench::PrintRule('=');
+  std::printf("%-28s | %-22s | %-12s | %-12s | %-10s\n", "Feature",
+              "SmartML (this repo)", "Auto-Weka", "AutoSklearn", "TPOT");
+  bench::PrintRule();
+  std::printf("%-28s | %-22s | %-12s | %-12s | %-10s\n", "Language",
+              "C++20", "Java", "Python", "Python");
+  std::printf("%-28s | %-22s | %-12s | %-12s | %-10s\n", "API", "Yes (library)",
+              "No", "No", "Yes");
+  std::printf("%-28s | %-22s | %-12s | %-12s | %-10s\n",
+              "Optimization procedure", "Bayesian Opt (SMAC)",
+              "BO (SMAC/TPE)", "BO (SMAC)", "Genetic");
+  std::printf("%-28s | %-22s | %-12s | %-12s | %-10s\n", "Number of algorithms",
+              ProbeNumAlgorithms().c_str(), "27", "15", "15");
+  std::printf("%-28s | %-22s | %-12s | %-12s | %-10s\n", "Support ensembling",
+              ProbeEnsembling() ? "Yes (verified)" : "BROKEN", "Yes", "Yes",
+              "No");
+  std::printf("%-28s | %-22s | %-12s | %-12s | %-10s\n", "Use meta-learning",
+              ProbeIncrementalKb() ? "Yes (incremental KB)" : "BROKEN", "No",
+              "Yes (static)", "No");
+  std::printf("%-28s | %-22s | %-12s | %-12s | %-10s\n",
+              "Feature preprocessing",
+              ProbePreprocessing() ? "Yes (8 ops)" : "BROKEN", "Yes", "Yes",
+              "No");
+  std::printf("%-28s | %-22s | %-12s | %-12s | %-10s\n",
+              "Model interpretability",
+              ProbeInterpretability() ? "Yes (verified)" : "BROKEN", "No",
+              "No", "No");
+  bench::PrintRule('=');
+  std::printf(
+      "Auto-Weka comparison baseline (joint CASH space over all 15): %s\n",
+      ProbeCashBaseline() ? "available" : "BROKEN");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Table 4 reproduction: SmartML vs Auto-Weka accuracy on the 10 evaluation
+// datasets.
+//
+// Protocol (mirroring the paper at laptop scale):
+//   * the knowledge base is bootstrapped with 50 datasets (synthetic recipes
+//     standing in for the paper's OpenML/UCI/Kaggle sets);
+//   * each of the 10 Table 4 recipes is processed by (a) SmartML — meta
+//     learning nominates 3 algorithms, SMAC tunes them warm-started from the
+//     KB — and (b) the Auto-Weka baseline — one cold SMAC run over the joint
+//     15-algorithm CASH space;
+//   * both systems receive the same fold-evaluation and wall-clock budget
+//     and are scored on the same held-out validation partition.
+//
+// Absolute numbers differ from the paper (different data, budgets measured
+// in seconds not 10 minutes); the *shape* to reproduce is SmartML >=
+// baseline on most datasets, with the largest wins where the KB contains
+// informative neighbours.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/baselines/autoweka.h"
+#include "src/core/smartml.h"
+
+int main(int argc, char** argv) {
+  using namespace smartml;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  // Small budgets are exactly where the paper positions SmartML ("can
+  // outperform other tools especially at small running time budgets").
+  const int eval_budget = quick ? 10 : 20;
+  const double time_budget = quick ? 6.0 : 25.0;
+  const size_t kb_datasets = quick ? 12 : 50;
+
+  KnowledgeBase kb = bench::BootstrapKb(
+      kb_datasets, quick ? "" : "smartml_kb_cache.txt");
+
+  std::printf("Table 4: Performance comparison, SmartML vs Auto-Weka\n");
+  std::printf("(paper columns = EDBT'19 Table 4 [10-minute budgets, real "
+              "datasets]; measured columns = this\n reproduction [synthetic "
+              "recipes, %d fold-evaluations / %.0fs per system per dataset, "
+              "KB seeded with %zu datasets])\n",
+              eval_budget, time_budget, kb_datasets);
+  bench::PrintRule('=', 112);
+  std::printf("%-14s | %5s | %4s | %6s || %9s | %9s || %9s | %9s | %s\n",
+              "dataset", "#att", "#cls", "#inst", "AW paper", "SML paper",
+              "AW ours", "SML ours", "winner(ours)");
+  bench::PrintRule('-', 112);
+
+  // Seed-averaged protocol: single-seed margins on laptop-scale budgets are
+  // dominated by split/optimizer noise, so each system runs under several
+  // seeds and the mean accuracies are compared.
+  const std::vector<uint64_t> seeds =
+      quick ? std::vector<uint64_t>{42} : std::vector<uint64_t>{42, 137, 2025};
+
+  int smartml_wins = 0, ties = 0;
+  double sum_gap = 0.0;
+  const auto entries = Table4Datasets();
+  for (const auto& entry : entries) {
+    const Dataset dataset = GenerateSynthetic(entry.spec);
+
+    double aw_acc = 0.0, sml_acc = 0.0;
+    StatusOr<SmartMlResult> run = Status::Internal("never ran");
+    for (uint64_t seed : seeds) {
+      // --- Auto-Weka baseline: joint CASH, cold start. -----------------
+      CashOptions cash;
+      cash.max_evaluations = eval_budget;
+      cash.time_budget_seconds = time_budget;
+      cash.cv_folds = 2;
+      cash.seed = seed;
+      auto baseline = RunAutoWekaBaseline(dataset, cash);
+      aw_acc += baseline.ok() ? baseline->validation_accuracy : 0.0;
+
+      // --- SmartML: meta-learning selection + warm-started SMAC. -------
+      SmartMlOptions options;
+      options.max_evaluations = eval_budget;
+      options.time_budget_seconds = time_budget;
+      options.cv_folds = 2;
+      options.max_nominations = 3;
+      options.kb_neighbors = 5;
+      options.seed = seed;
+      options.update_kb = false;  // Identical KB for every dataset.
+      options.enable_interpretability = false;
+      SmartML framework(options);
+      framework.mutable_kb() = kb;
+      run = framework.Run(dataset);
+      sml_acc += run.ok() ? run->best_validation_accuracy : 0.0;
+    }
+    aw_acc /= static_cast<double>(seeds.size());
+    sml_acc /= static_cast<double>(seeds.size());
+
+    const double gap = (sml_acc - aw_acc) * 100.0;
+    sum_gap += gap;
+    const char* winner = gap > 0.1 ? "SmartML" : (gap < -0.1 ? "Auto-Weka" : "tie");
+    if (gap > 0.1) {
+      ++smartml_wins;
+    } else if (gap >= -0.1) {
+      ++ties;
+    }
+    std::printf(
+        "%-14s | %5zu | %4zu | %6zu || %9.2f | %9.2f || %9.2f | %9.2f | %s",
+        entry.spec.name.c_str(), entry.paper_attributes, entry.paper_classes,
+        entry.paper_instances, entry.paper_autoweka_accuracy,
+        entry.paper_smartml_accuracy, aw_acc * 100.0, sml_acc * 100.0,
+        winner);
+    if (run.ok() && run->used_meta_learning) {
+      std::printf("  [nominated:");
+      for (const auto& n : run->nominations) {
+        std::printf(" %s", n.algorithm.c_str());
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  bench::PrintRule('=', 112);
+  std::printf("paper shape: SmartML wins 10/10 datasets.\n");
+  std::printf("measured:    SmartML wins %d/10, ties %d, mean gap %+.2f "
+              "accuracy points.\n",
+              smartml_wins, ties, sum_gap / 10.0);
+  std::printf("shape reproduced (SmartML ahead on a clear majority): %s\n",
+              (smartml_wins + ties) >= 7 && smartml_wins >= 5 ? "YES"
+                                                              : "PARTIAL");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Demonstrates the paper's language-agnostic claim: drive SmartML-cpp from
+Python using nothing but its REST API and the standard library.
+
+Usage:
+    ./build/examples/rest_server --port 8080 &
+    python3 examples/rest_client.py [--port 8080] [--csv path/to/data.csv]
+"""
+import argparse
+import json
+import urllib.request
+
+
+def call(port: int, path: str, body: bytes | None = None) -> dict | list:
+    url = f"http://127.0.0.1:{port}{path}"
+    req = urllib.request.Request(url, data=body,
+                                 method="POST" if body is not None else "GET")
+    with urllib.request.urlopen(req, timeout=300) as resp:
+        return json.loads(resp.read())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--csv", default="examples/data/banknotes.csv")
+    parser.add_argument("--budget", default="5")
+    args = parser.parse_args()
+
+    health = call(args.port, "/health")
+    print(f"server ok, {health['algorithms']} algorithms, "
+          f"{health['kb_records']} KB records")
+
+    algos = call(args.port, "/algorithms")
+    print("integrated classifiers:", ", ".join(a["name"] for a in algos))
+
+    with open(args.csv, "rb") as f:
+        csv_body = f.read()
+
+    mf = call(args.port, "/metafeatures", csv_body)
+    print(f"meta-features: {mf['num_instances']:.0f} rows, "
+          f"{mf['num_features']:.0f} features, "
+          f"class entropy {mf['class_entropy']:.3f}")
+
+    result = call(args.port, f"/run?budget={args.budget}&name=py_client",
+                  csv_body)
+    print(f"best algorithm: {result['best_algorithm']} "
+          f"(validation accuracy {result['best_validation_accuracy']:.4f})")
+    print("best config:", json.dumps(result["best_config"]))
+    if result.get("importances"):
+        top = result["importances"][0]
+        print(f"most important feature: {top['feature']} "
+              f"({top['importance']:+.4f})")
+
+
+if __name__ == "__main__":
+    main()

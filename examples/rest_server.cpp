@@ -1,0 +1,86 @@
+// rest_server: the paper's REST API ("programming language agnostic ... can
+// be embedded in any programming language using its available REST APIs").
+//
+//   rest_server [--port P] [--kb FILE] [--budget SECONDS] [--evals N]
+//
+// Endpoints (see src/api/rest.h):
+//   GET  /health   GET /algorithms   GET /kb
+//   POST /metafeatures (CSV body)
+//   POST /select       (25 meta-feature values body)
+//   POST /run[?budget=..&evals=..&selection_only=1] (CSV body)
+//
+// Try it:
+//   ./rest_server --port 8080 &
+//   curl localhost:8080/health
+//   curl -X POST --data-binary @data.csv 'localhost:8080/run?budget=10'
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/api/rest.h"
+#include "src/common/logging.h"
+
+namespace {
+smartml::HttpServer* g_server = nullptr;
+void HandleSigInt(int) {
+  if (g_server != nullptr) g_server->Stop();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smartml;
+
+  int port = 8080;
+  std::string kb_path;
+  SmartMlOptions options;
+  options.time_budget_seconds = 10;
+  options.max_evaluations = 60;
+  options.cv_folds = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--port") {
+      port = std::atoi(next());
+    } else if (arg == "--kb") {
+      kb_path = next();
+    } else if (arg == "--budget") {
+      options.time_budget_seconds = std::atof(next());
+    } else if (arg == "--evals") {
+      options.max_evaluations = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  SetLogLevel(LogLevel::kInfo);
+  SmartML framework(options);
+  if (!kb_path.empty()) {
+    const Status status = framework.LoadKnowledgeBase(kb_path);
+    std::printf("knowledge base: %s (%zu records)\n",
+                status.ok() ? "loaded" : "starting empty",
+                framework.kb().NumRecords());
+  }
+
+  RestService service(&framework);
+  HttpServer server(&service);
+  auto bound = server.Bind(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "bind failed: %s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSigInt);
+  std::printf("SmartML REST API listening on http://127.0.0.1:%d\n", *bound);
+  std::printf("endpoints: GET /health /algorithms /kb; "
+              "POST /metafeatures /select /run\n");
+
+  const Status status = server.Serve();
+  if (!kb_path.empty()) {
+    (void)framework.SaveKnowledgeBase(kb_path);
+    std::printf("knowledge base saved to %s (%zu records)\n", kb_path.c_str(),
+                framework.kb().NumRecords());
+  }
+  return status.ok() ? 0 : 1;
+}

@@ -1,0 +1,314 @@
+#include "src/api/json.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace smartml {
+
+void JsonWriter::MaybeComma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ",";
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += "{";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_ += "}";
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += "[";
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_ += "]";
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& key) {
+  MaybeComma();
+  out_ += "\"";
+  out_ += Escape(key);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  MaybeComma();
+  out_ += "\"";
+  out_ += Escape(value);
+  out_ += "\"";
+}
+
+void JsonWriter::Number(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no NaN/Inf.
+  } else {
+    out_ += StrFormat("%.12g", value);
+  }
+}
+
+void JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ConfigToJson(const ParamConfig& config) {
+  JsonWriter w;
+  w.BeginObject();
+  for (const auto& [key, value] : config.values()) {
+    w.Key(key);
+    if (const double* d = std::get_if<double>(&value)) {
+      w.Number(*d);
+    } else if (const int64_t* i = std::get_if<int64_t>(&value)) {
+      w.Int(*i);
+    } else {
+      w.String(std::get<std::string>(value));
+    }
+  }
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+namespace {
+
+void WriteConfig(JsonWriter* w, const ParamConfig& config) {
+  w->BeginObject();
+  for (const auto& [key, value] : config.values()) {
+    w->Key(key);
+    if (const double* d = std::get_if<double>(&value)) {
+      w->Number(*d);
+    } else if (const int64_t* i = std::get_if<int64_t>(&value)) {
+      w->Int(*i);
+    } else {
+      w->String(std::get<std::string>(value));
+    }
+  }
+  w->EndObject();
+}
+
+void WriteNomination(JsonWriter* w, const Nomination& nomination) {
+  w->BeginObject();
+  w->Key("algorithm");
+  w->String(nomination.algorithm);
+  w->Key("score");
+  w->Number(nomination.score);
+  w->Key("warm_start_configs");
+  w->BeginArray();
+  for (const auto& config : nomination.warm_start_configs) {
+    WriteConfig(w, config);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string MetaFeaturesToJson(const MetaFeatureVector& mf) {
+  JsonWriter w;
+  w.BeginObject();
+  const auto& names = MetaFeatureNames();
+  for (size_t i = 0; i < kNumMetaFeatures; ++i) {
+    w.Key(names[i]);
+    w.Number(mf[i]);
+  }
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+std::string NominationsToJson(const std::vector<Nomination>& nominations) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const auto& nomination : nominations) {
+    WriteNomination(&w, nomination);
+  }
+  w.EndArray();
+  return std::move(w).Take();
+}
+
+std::string ResultToJson(const SmartMlResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset");
+  w.String(result.dataset_name);
+  w.Key("used_meta_learning");
+  w.Bool(result.used_meta_learning);
+  w.Key("selected_features");
+  w.BeginArray();
+  for (const auto& name : result.selected_features) w.String(name);
+  w.EndArray();
+  w.Key("meta_features");
+  w.BeginObject();
+  const auto& names = MetaFeatureNames();
+  for (size_t i = 0; i < kNumMetaFeatures; ++i) {
+    w.Key(names[i]);
+    w.Number(result.meta_features[i]);
+  }
+  w.EndObject();
+  if (result.has_landmarks) {
+    w.Key("landmarks");
+    w.BeginObject();
+    const auto& lm_names = LandmarkerNames();
+    for (size_t i = 0; i < kNumLandmarkers; ++i) {
+      w.Key(lm_names[i]);
+      w.Number(result.landmarks[i]);
+    }
+    w.EndObject();
+  }
+  w.Key("nominations");
+  w.BeginArray();
+  for (const auto& nomination : result.nominations) {
+    WriteNomination(&w, nomination);
+  }
+  w.EndArray();
+  w.Key("algorithms");
+  w.BeginArray();
+  for (const auto& run : result.per_algorithm) {
+    w.BeginObject();
+    w.Key("algorithm");
+    w.String(run.algorithm);
+    w.Key("validation_accuracy");
+    w.Number(run.validation_accuracy);
+    w.Key("cv_error");
+    w.Number(run.tuning_cost);
+    w.Key("evaluations");
+    w.Int(static_cast<int64_t>(run.evaluations));
+    w.Key("seconds");
+    w.Number(run.seconds);
+    w.Key("best_config");
+    WriteConfig(&w, run.best_config);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("best_algorithm");
+  w.String(result.best_algorithm);
+  w.Key("best_config");
+  WriteConfig(&w, result.best_config);
+  w.Key("best_validation_accuracy");
+  w.Number(result.best_validation_accuracy);
+  w.Key("ensemble");
+  if (result.ensemble != nullptr) {
+    w.BeginObject();
+    w.Key("members");
+    w.Int(static_cast<int64_t>(result.ensemble->NumMembers()));
+    w.Key("validation_accuracy");
+    w.Number(result.ensemble_validation_accuracy);
+    w.EndObject();
+  } else {
+    w.Null();
+  }
+  w.Key("importances");
+  w.BeginArray();
+  for (const auto& fi : result.importances) {
+    w.BeginObject();
+    w.Key("feature");
+    w.String(fi.feature);
+    w.Key("importance");
+    w.Number(fi.importance);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("total_seconds");
+  w.Number(result.total_seconds);
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+std::string KbToJson(const KnowledgeBase& kb) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("num_records");
+  w.Int(static_cast<int64_t>(kb.NumRecords()));
+  w.Key("records");
+  w.BeginArray();
+  for (const auto& record : kb.records()) {
+    w.BeginObject();
+    w.Key("dataset");
+    w.String(record.dataset_name);
+    w.Key("meta_features");
+    w.BeginArray();
+    for (double v : record.meta_features) w.Number(v);
+    w.EndArray();
+    w.Key("results");
+    w.BeginArray();
+    for (const auto& result : record.results) {
+      w.BeginObject();
+      w.Key("algorithm");
+      w.String(result.algorithm);
+      w.Key("accuracy");
+      w.Number(result.accuracy);
+      w.Key("config");
+      WriteConfig(&w, result.best_config);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+}  // namespace smartml

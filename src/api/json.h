@@ -1,0 +1,71 @@
+// Minimal JSON serialization for SmartML results — the machine-readable half
+// of the paper's "programming language agnostic ... REST APIs" claim.
+//
+// Writer only (the API's inputs are CSV/ARFF/meta-feature text, not JSON),
+// with correct string escaping and canonical number formatting.
+#ifndef SMARTML_API_JSON_H_
+#define SMARTML_API_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/smartml.h"
+#include "src/kb/knowledge_base.h"
+#include "src/metafeatures/metafeatures.h"
+
+namespace smartml {
+
+/// Tiny streaming JSON writer. Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name"); w.String("abalone");
+///   w.Key("values"); w.BeginArray(); w.Number(1.5); w.EndArray();
+///   w.EndObject();
+///   std::string out = std::move(w).Take();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Object key (must be followed by exactly one value).
+  void Key(const std::string& key);
+  void String(const std::string& value);
+  void Number(double value);
+  void Int(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  std::string Take() && { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string per RFC 8259 (without surrounding quotes).
+  static std::string Escape(const std::string& s);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // Per open container.
+  bool after_key_ = false;
+};
+
+/// Serializes a full experiment result (the Figure 3 output, machine
+/// readable).
+std::string ResultToJson(const SmartMlResult& result);
+
+/// Serializes algorithm nominations (selection-only responses).
+std::string NominationsToJson(const std::vector<Nomination>& nominations);
+
+/// Serializes the 25 meta-features as {"name": value, ...}.
+std::string MetaFeaturesToJson(const MetaFeatureVector& mf);
+
+/// Serializes the knowledge base (records, per-algorithm bests).
+std::string KbToJson(const KnowledgeBase& kb);
+
+/// Serializes a hyperparameter configuration as a flat object.
+std::string ConfigToJson(const ParamConfig& config);
+
+}  // namespace smartml
+
+#endif  // SMARTML_API_JSON_H_

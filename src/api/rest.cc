@@ -1,0 +1,383 @@
+#include "src/api/rest.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/api/json.h"
+#include "src/common/strings.h"
+#include "src/data/csv.h"
+#include "src/ml/registry.h"
+
+namespace smartml {
+
+namespace {
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i] == '+' ? ' ' : s[i];
+  }
+  return out;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.String(message);
+  w.EndObject();
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace
+
+StatusOr<HttpRequest> ParseHttpRequest(const std::string& text) {
+  const size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::InvalidArgument("http: incomplete header");
+  }
+  HttpRequest request;
+  request.body = text.substr(head_end + 4);
+
+  const std::string head = text.substr(0, head_end);
+  const std::vector<std::string> lines = Split(head, '\n');
+  if (lines.empty()) return Status::InvalidArgument("http: empty request");
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  std::vector<std::string> parts;
+  for (const std::string& token :
+       Split(std::string(StripAsciiWhitespace(lines[0])), ' ')) {
+    if (!token.empty()) parts.push_back(token);
+  }
+  if (parts.size() < 3) {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  request.method = parts[0];
+  std::string target = parts[1];
+  const size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    const std::string query = target.substr(qpos + 1);
+    target = target.substr(0, qpos);
+    for (const std::string& kv : Split(query, '&')) {
+      if (kv.empty()) continue;
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        request.query[UrlDecode(kv)] = "";
+      } else {
+        request.query[UrlDecode(kv.substr(0, eq))] =
+            UrlDecode(kv.substr(eq + 1));
+      }
+    }
+  }
+  request.path = UrlDecode(target);
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string line(StripAsciiWhitespace(lines[i]));
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    request.headers[AsciiToLower(line.substr(0, colon))] =
+        std::string(StripAsciiWhitespace(line.substr(colon + 1)));
+  }
+  return request;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", response.status,
+                              StatusText(response.status));
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse RestService::Handle(const HttpRequest& request) {
+  if (request.path == "/health" && request.method == "GET") {
+    return HandleHealth();
+  }
+  if (request.path == "/algorithms" && request.method == "GET") {
+    return HandleAlgorithms();
+  }
+  if (request.path == "/kb" && request.method == "GET") {
+    return HandleKb();
+  }
+  if (request.path == "/metafeatures" && request.method == "POST") {
+    return HandleMetaFeatures(request);
+  }
+  if (request.path == "/select" && request.method == "POST") {
+    return HandleSelect(request);
+  }
+  if (request.path == "/run" && request.method == "POST") {
+    return HandleRun(request);
+  }
+  for (const char* known :
+       {"/health", "/algorithms", "/kb", "/metafeatures", "/select",
+        "/run"}) {
+    if (request.path == known) {
+      return ErrorResponse(405, "method not allowed for " + request.path);
+    }
+  }
+  return ErrorResponse(404, "no route for " + request.path);
+}
+
+HttpResponse RestService::HandleHealth() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String("ok");
+  w.Key("kb_records");
+  w.Int(static_cast<int64_t>(framework_->kb().NumRecords()));
+  w.Key("algorithms");
+  w.Int(static_cast<int64_t>(AllAlgorithms().size()));
+  w.EndObject();
+  HttpResponse response;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse RestService::HandleAlgorithms() {
+  JsonWriter w;
+  w.BeginArray();
+  for (const auto& info : AllAlgorithms()) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(info.name);
+    w.Key("paper_name");
+    w.String(info.paper_name);
+    w.Key("paper_package");
+    w.String(info.paper_package);
+    w.Key("categorical_params");
+    w.Int(static_cast<int64_t>(info.categorical_params));
+    w.Key("numerical_params");
+    w.Int(static_cast<int64_t>(info.numerical_params));
+    w.EndObject();
+  }
+  w.EndArray();
+  HttpResponse response;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse RestService::HandleKb() {
+  HttpResponse response;
+  response.body = KbToJson(framework_->kb());
+  return response;
+}
+
+HttpResponse RestService::HandleMetaFeatures(const HttpRequest& request) {
+  auto dataset = ReadCsvString(request.body);
+  if (!dataset.ok()) {
+    return ErrorResponse(400, dataset.status().ToString());
+  }
+  auto mf = ExtractMetaFeatures(*dataset);
+  if (!mf.ok()) {
+    return ErrorResponse(400, mf.status().ToString());
+  }
+  HttpResponse response;
+  response.body = MetaFeaturesToJson(*mf);
+  return response;
+}
+
+HttpResponse RestService::HandleSelect(const HttpRequest& request) {
+  // Body: the 25 space-separated meta-feature values (the paper's
+  // "upload only the dataset meta-features file" mode).
+  auto mf = MetaFeaturesFromString(request.body);
+  if (!mf.ok()) {
+    return ErrorResponse(400, mf.status().ToString());
+  }
+  HttpResponse response;
+  response.body = NominationsToJson(framework_->SelectAlgorithms(*mf));
+  return response;
+}
+
+HttpResponse RestService::HandleRun(const HttpRequest& request) {
+  auto dataset = ReadCsvString(request.body);
+  if (!dataset.ok()) {
+    return ErrorResponse(400, dataset.status().ToString());
+  }
+  auto it = request.query.find("name");
+  dataset->set_name(it != request.query.end() ? it->second : "api_dataset");
+
+  // Per-request option overrides (the Figure 2 configuration screen).
+  SmartMlOptions saved = framework_->options();
+  SmartMlOptions& options = framework_->mutable_options();
+  auto get = [&](const char* key) -> const std::string* {
+    auto q = request.query.find(key);
+    return q == request.query.end() ? nullptr : &q->second;
+  };
+  if (const std::string* v = get("budget")) {
+    options.time_budget_seconds = std::atof(v->c_str());
+  }
+  if (const std::string* v = get("evals")) {
+    options.max_evaluations = std::atoi(v->c_str());
+  }
+  if (const std::string* v = get("selection_only")) {
+    options.selection_only = *v == "1" || *v == "true";
+  }
+  if (const std::string* v = get("ensemble")) {
+    options.enable_ensembling = !(*v == "0" || *v == "false");
+  }
+  if (const std::string* v = get("interpretability")) {
+    options.enable_interpretability = !(*v == "0" || *v == "false");
+  }
+  if (const std::string* v = get("nominations")) {
+    options.max_nominations = static_cast<size_t>(std::atoi(v->c_str()));
+  }
+
+  auto result = framework_->Run(*dataset);
+  framework_->mutable_options() = std::move(saved);
+  if (!result.ok()) {
+    return ErrorResponse(400, result.status().ToString());
+  }
+  HttpResponse response;
+  response.body = ResultToJson(*result);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------------
+
+HttpServer::~HttpServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+StatusOr<int> HttpServer::Bind(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal("bind() failed");
+  }
+  if (::listen(listen_fd_, 8) < 0) {
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Internal("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  return port_;
+}
+
+Status HttpServer::Serve(int max_requests) {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("HttpServer: Bind() first");
+  }
+  int served = 0;
+  while (!stopping_.load()) {
+    // Half-second accept timeout so Stop() is honoured promptly.
+    timeval tv{};
+    tv.tv_usec = 500000;
+    fd_set fds;
+    FD_ZERO(&fds);
+    FD_SET(listen_fd_, &fds);
+    const int ready = ::select(listen_fd_ + 1, &fds, nullptr, nullptr, &tv);
+    if (ready < 0) return Status::Internal("select() failed");
+    if (ready == 0) continue;
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // Read until the full header + Content-Length body has arrived.
+    std::string data;
+    char buffer[8192];
+    size_t expected_total = std::string::npos;
+    while (data.size() < (expected_total == std::string::npos
+                              ? data.size() + 1
+                              : expected_total)) {
+      const ssize_t n = ::read(client, buffer, sizeof(buffer));
+      if (n <= 0) break;
+      data.append(buffer, static_cast<size_t>(n));
+      if (expected_total == std::string::npos) {
+        const size_t head_end = data.find("\r\n\r\n");
+        if (head_end == std::string::npos) continue;
+        size_t content_length = 0;
+        auto parsed = ParseHttpRequest(data.substr(0, head_end + 4));
+        if (parsed.ok()) {
+          auto it = parsed->headers.find("content-length");
+          if (it != parsed->headers.end()) {
+            content_length = static_cast<size_t>(
+                std::strtoull(it->second.c_str(), nullptr, 10));
+          }
+        }
+        expected_total = head_end + 4 + content_length;
+      }
+    }
+
+    HttpResponse response;
+    auto request = ParseHttpRequest(data);
+    if (request.ok()) {
+      response = service_->Handle(*request);
+    } else {
+      response.status = 400;
+      response.body = "{\"error\":\"" +
+                      JsonWriter::Escape(request.status().ToString()) +
+                      "\"}";
+    }
+    const std::string wire = SerializeHttpResponse(response);
+    size_t written = 0;
+    while (written < wire.size()) {
+      const ssize_t n =
+          ::write(client, wire.data() + written, wire.size() - written);
+      if (n <= 0) break;
+      written += static_cast<size_t>(n);
+    }
+    ::close(client);
+
+    if (max_requests > 0 && ++served >= max_requests) break;
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() { stopping_.store(true); }
+
+}  // namespace smartml

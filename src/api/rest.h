@@ -1,0 +1,101 @@
+// RESTful API (the paper: SmartML "is also designed to be programming
+// language agnostic so that it can be embedded in any programming language
+// using its available REST APIs").
+//
+// Two layers:
+//   * RestService — pure request->response routing over a SmartML instance,
+//     fully testable without sockets;
+//   * HttpServer  — a small blocking HTTP/1.1 server (POSIX sockets) that
+//     feeds RestService. Single-threaded by design: a SmartML run is CPU
+//     bound and the KB is not synchronized.
+//
+// Routes:
+//   GET  /health                      -> {"status":"ok", ...}
+//   GET  /algorithms                  -> the 15 algorithms + param counts
+//   GET  /kb                          -> knowledge-base dump
+//   POST /metafeatures   (CSV body)   -> the 25 meta-features
+//   POST /select         (meta-features text body) -> nominations
+//   POST /run            (CSV body)   -> full experiment result
+//        query params: budget=SECONDS, evals=N, selection_only=1,
+//                      ensemble=0, interpretability=0, nominations=K
+#ifndef SMARTML_API_REST_H_
+#define SMARTML_API_REST_H_
+
+#include <atomic>
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/smartml.h"
+
+namespace smartml {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/run" (query string stripped).
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;  // Lower-cased keys.
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Parses the head+body of an HTTP/1.1 request. `text` must contain the
+/// complete request (the server layer handles framing via Content-Length).
+StatusOr<HttpRequest> ParseHttpRequest(const std::string& text);
+
+/// Serializes a response with Content-Length framing.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+/// The routing layer. Not thread-safe (single-threaded server by design).
+class RestService {
+ public:
+  /// `framework` must outlive the service.
+  explicit RestService(SmartML* framework) : framework_(framework) {}
+
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleHealth();
+  HttpResponse HandleAlgorithms();
+  HttpResponse HandleKb();
+  HttpResponse HandleMetaFeatures(const HttpRequest& request);
+  HttpResponse HandleSelect(const HttpRequest& request);
+  HttpResponse HandleRun(const HttpRequest& request);
+
+  SmartML* framework_;
+};
+
+/// Blocking single-threaded HTTP server on 127.0.0.1:`port` (0 = ephemeral).
+class HttpServer {
+ public:
+  HttpServer(RestService* service) : service_(service) {}
+  ~HttpServer();
+
+  /// Binds and listens; returns the bound port. Call before Serve().
+  StatusOr<int> Bind(int port);
+
+  /// Accept loop; returns when Stop() is called from another thread or on a
+  /// fatal socket error. `max_requests` > 0 limits the number of requests
+  /// served (useful for tests); 0 means unlimited.
+  Status Serve(int max_requests = 0);
+
+  /// Signals the accept loop to exit (safe from another thread).
+  void Stop();
+
+  int port() const { return port_; }
+
+ private:
+  RestService* service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace smartml
+
+#endif  // SMARTML_API_REST_H_

@@ -1,0 +1,61 @@
+// Auto-Weka-style baseline: combined algorithm selection and hyperparameter
+// optimization (CASH) as ONE SMAC run over a joint space in which the
+// algorithm id is a root categorical parameter and every algorithm's
+// hyperparameters are conditional children. No meta-learning, cold start —
+// exactly the formulation the paper contrasts SmartML against ("other tools
+// deal with algorithm selection as one of the parameters to be tuned").
+//
+// A random-search variant of the same joint space is also provided (the
+// Google Vizier-style baseline).
+#ifndef SMARTML_BASELINES_AUTOWEKA_H_
+#define SMARTML_BASELINES_AUTOWEKA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/dataset.h"
+#include "src/tuning/param_space.h"
+
+namespace smartml {
+
+struct CashOptions {
+  /// Wall-clock budget for the whole joint optimization.
+  double time_budget_seconds = 10.0;
+  /// Optional deterministic cap on fold evaluations (0 = time only).
+  int max_evaluations = 0;
+  int cv_folds = 3;
+  double validation_fraction = 0.25;
+  uint64_t seed = 42;
+  /// Algorithms in the joint space; empty = all 15.
+  std::vector<std::string> algorithms;
+  /// kSmac = Auto-Weka; kRandomSearch = Vizier-style; kGenetic = TPOT-style.
+  enum class Optimizer { kSmac, kRandomSearch, kGenetic };
+  Optimizer optimizer = Optimizer::kSmac;
+};
+
+struct CashResult {
+  std::string best_algorithm;
+  ParamConfig best_config;           ///< Algorithm-local parameter names.
+  double validation_accuracy = 0.0;  ///< On the held-out validation split.
+  double tuning_cost = 1.0;          ///< Internal mean CV error.
+  size_t evaluations = 0;
+  std::vector<double> trajectory;
+};
+
+/// Builds the joint CASH space over `algorithms` (param names prefixed with
+/// "<algo>:", conditioned on the root "algorithm" categorical). Exposed for
+/// tests.
+StatusOr<ParamSpace> BuildCashSpace(const std::vector<std::string>& algorithms);
+
+/// Splits a joint-space config into (algorithm, algorithm-local config).
+StatusOr<std::pair<std::string, ParamConfig>> DecodeCashConfig(
+    const ParamConfig& joint);
+
+/// Runs the baseline on a dataset.
+StatusOr<CashResult> RunAutoWekaBaseline(const Dataset& dataset,
+                                         const CashOptions& options);
+
+}  // namespace smartml
+
+#endif  // SMARTML_BASELINES_AUTOWEKA_H_

@@ -1,0 +1,130 @@
+#include "src/common/distributions.h"
+
+#include <cmath>
+
+namespace smartml {
+
+double NormalPdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x * 0.7071067811865476);
+}
+
+double NormalQuantile(double p) {
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  static const double kPLow = 0.02425;
+  static const double kPHigh = 1.0 - kPLow;
+
+  if (p <= 0.0) return -1e30;
+  if (p >= 1.0) return 1e30;
+
+  double q, r;
+  if (p < kPLow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= kPHigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+namespace {
+
+// Lentz continued fraction for the incomplete beta function.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIters = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIters; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double BinomialUpperConfidence(double errors, double n, double cf) {
+  if (n <= 0) return 1.0;
+  errors = std::max(0.0, std::min(errors, n));
+  cf = std::min(std::max(cf, 1e-9), 1.0 - 1e-9);
+  // P(X <= errors | rate p) = I_{1-p}(n - errors, errors + 1); find the p
+  // where this tail probability equals cf (larger p -> smaller tail).
+  const double floor_rate = errors / n;
+  double lo = floor_rate, hi = 1.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double tail =
+        RegularizedIncompleteBeta(std::max(n - errors, 1e-9), errors + 1.0,
+                                  1.0 - mid);
+    if (tail > cf) {
+      lo = mid;  // Too likely: the bound can still grow.
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace smartml

@@ -1,0 +1,31 @@
+// Gaussian distribution helpers used by C4.5 error-based pruning and SMAC's
+// expected-improvement acquisition.
+#ifndef SMARTML_COMMON_DISTRIBUTIONS_H_
+#define SMARTML_COMMON_DISTRIBUTIONS_H_
+
+namespace smartml {
+
+/// Standard normal density.
+double NormalPdf(double x);
+
+/// Standard normal CDF (via erfc).
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9). p must be in (0, 1).
+double NormalQuantile(double p);
+
+/// Regularized incomplete beta function I_x(a, b), a,b > 0, x in [0,1].
+/// Continued-fraction evaluation (Numerical Recipes style).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// C4.5's pessimistic error estimate: the upper confidence limit (at
+/// confidence factor `cf`) of the binomial error *rate* given `errors`
+/// observed errors among `n` cases. Handles fractional counts via the
+/// incomplete-beta generalization of the binomial CDF. Returns a rate in
+/// [errors/n, 1].
+double BinomialUpperConfidence(double errors, double n, double cf);
+
+}  // namespace smartml
+
+#endif  // SMARTML_COMMON_DISTRIBUTIONS_H_

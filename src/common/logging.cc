@@ -1,0 +1,11 @@
+#include "src/common/logging.h"
+
+namespace smartml {
+namespace {
+LogLevel g_level = LogLevel::kQuiet;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+}  // namespace smartml

@@ -1,0 +1,49 @@
+// Minimal leveled logging. Off by default so benches stay quiet; the
+// orchestrator raises the level when the user asks for a phase trace.
+#ifndef SMARTML_COMMON_LOGGING_H_
+#define SMARTML_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace smartml {
+
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+/// Process-wide log level. Not thread-safe by design: SmartML is
+/// single-threaded per run and benches set this once at startup.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* tag) : level_(level) {
+    stream_ << "[" << tag << "] ";
+  }
+  ~LogMessage() {
+    if (GetLogLevel() >= level_) {
+      std::cerr << stream_.str() << "\n";
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SMARTML_LOG_INFO                                              \
+  ::smartml::internal::LogMessage(::smartml::LogLevel::kInfo, "info") \
+      .stream()
+#define SMARTML_LOG_DEBUG                                               \
+  ::smartml::internal::LogMessage(::smartml::LogLevel::kDebug, "debug") \
+      .stream()
+
+}  // namespace smartml
+
+#endif  // SMARTML_COMMON_LOGGING_H_

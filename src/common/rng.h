@@ -1,0 +1,136 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in SmartML takes an explicit seed and owns its
+// own Rng so runs are reproducible regardless of evaluation order.
+#ifndef SMARTML_COMMON_RNG_H_
+#define SMARTML_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace smartml {
+
+/// xoshiro256** generator seeded through splitmix64. Fast, high quality, and
+/// fully deterministic across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (no cached second value: determinism over
+  /// micro-efficiency).
+  double Normal() {
+    double u1 = Uniform();
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = UniformInt(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Indices 0..n-1 in random order.
+  std::vector<size_t> Permutation(size_t n) {
+    std::vector<size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    Shuffle(&idx);
+    return idx;
+  }
+
+  /// Draws an index with probability proportional to weights[i]. Weights
+  /// must be non-negative; if all are zero, draws uniformly.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return UniformInt(weights.size());
+    double r = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child generator; useful for fan-out without
+  /// sharing state.
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace smartml
+
+#endif  // SMARTML_COMMON_RNG_H_

@@ -1,0 +1,134 @@
+// Error handling primitives for SmartML.
+//
+// Follows the Arrow/RocksDB idiom: library entry points return Status or
+// StatusOr<T> instead of throwing; exceptions never cross module boundaries.
+#ifndef SMARTML_COMMON_STATUS_H_
+#define SMARTML_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smartml {
+
+/// Category of a failure. Kept deliberately small: callers rarely branch on
+/// anything finer-grained than these.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+  kDeadlineExceeded,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result, cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SMARTML_RETURN_NOT_OK(expr)             \
+  do {                                          \
+    ::smartml::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Evaluates a StatusOr expression, assigning the value to `lhs` or
+/// propagating the error to the caller.
+#define SMARTML_ASSIGN_OR_RETURN(lhs, expr)                \
+  SMARTML_ASSIGN_OR_RETURN_IMPL_(                          \
+      SMARTML_CONCAT_(_status_or, __LINE__), lhs, expr)
+#define SMARTML_CONCAT_INNER_(a, b) a##b
+#define SMARTML_CONCAT_(a, b) SMARTML_CONCAT_INNER_(a, b)
+#define SMARTML_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)     \
+  auto tmp = (expr);                                       \
+  if (!tmp.ok()) return tmp.status();                      \
+  lhs = std::move(tmp).value()
+
+}  // namespace smartml
+
+#endif  // SMARTML_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string utilities shared across loaders and the knowledge base.
+#ifndef SMARTML_COMMON_STRINGS_H_
+#define SMARTML_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartml {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits a CSV record, honouring double-quoted fields with embedded commas
+/// and doubled quotes.
+std::vector<std::string> SplitCsvLine(std::string_view line, char delim = ',');
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Lower-cases ASCII letters.
+std::string AsciiToLower(std::string_view s);
+
+/// True if `s` parses fully as a finite double; stores it in *out.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Joins items with `sep`.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace smartml
+
+#endif  // SMARTML_COMMON_STRINGS_H_

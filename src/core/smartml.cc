@@ -1,0 +1,477 @@
+#include "src/core/smartml.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/common/strings.h"
+#include "src/data/metrics.h"
+#include "src/data/split.h"
+#include "src/ml/registry.h"
+#include "src/tuning/smac.h"
+
+namespace smartml {
+
+SmartML::SmartML(SmartMlOptions options) : options_(std::move(options)) {}
+
+Status SmartML::LoadKnowledgeBase(const std::string& path) {
+  SMARTML_ASSIGN_OR_RETURN(kb_, KnowledgeBase::LoadFromFile(path));
+  return Status::OK();
+}
+
+Status SmartML::SaveKnowledgeBase(const std::string& path) const {
+  return kb_.SaveToFile(path);
+}
+
+std::vector<Nomination> SmartML::SelectAlgorithms(
+    const MetaFeatureVector& mf) const {
+  NominationOptions nomination = options_.nomination;
+  nomination.max_algorithms = options_.max_nominations;
+  nomination.max_neighbors = options_.kb_neighbors;
+  return kb_.Nominate(mf, nomination);
+}
+
+StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
+    const std::string& algorithm, const Dataset& train,
+    const Dataset& validation, double budget_seconds, int max_evaluations,
+    const std::vector<ParamConfig>& warm_starts, uint64_t seed) const {
+  Stopwatch watch;
+  AlgorithmRunResult run;
+  run.algorithm = algorithm;
+
+  SMARTML_ASSIGN_OR_RETURN(std::unique_ptr<Classifier> prototype,
+                           CreateClassifier(algorithm));
+  SMARTML_ASSIGN_OR_RETURN(ParamSpace space, SpaceFor(algorithm));
+  SMARTML_ASSIGN_OR_RETURN(
+      std::unique_ptr<ClassifierObjective> objective,
+      ClassifierObjective::Create(*prototype, train, options_.cv_folds, seed,
+                                  options_.metric));
+
+  SmacOptions smac_options;
+  smac_options.deadline = Deadline::After(budget_seconds);
+  smac_options.max_evaluations =
+      max_evaluations > 0 ? max_evaluations : 1000000;
+  smac_options.seed = seed;
+  smac_options.initial_configs = warm_starts;
+  SMARTML_ASSIGN_OR_RETURN(TunedResult tuned,
+                           Smac(space, objective.get(), smac_options));
+
+  run.best_config = tuned.best_config;
+  run.tuning_cost = tuned.best_cost;
+  run.evaluations = tuned.num_evaluations;
+  run.trajectory = std::move(tuned.trajectory);
+
+  // Refit the best configuration on the full training partition and score
+  // it on the held-out validation partition.
+  std::unique_ptr<Classifier> model = prototype->Clone();
+  const Status fit_status = model->Fit(train, run.best_config);
+  if (fit_status.ok()) {
+    auto predictions = model->Predict(validation);
+    if (predictions.ok()) {
+      run.validation_accuracy = Accuracy(validation.labels(), *predictions);
+    }
+  }
+  run.seconds = watch.ElapsedSeconds();
+  return run;
+}
+
+StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
+  Stopwatch total_watch;
+  SMARTML_RETURN_NOT_OK(dataset.Validate());
+  if (dataset.NumRows() < 10) {
+    return Status::InvalidArgument("SmartML: need at least 10 rows");
+  }
+  if (dataset.NumClasses() < 2) {
+    return Status::InvalidArgument("SmartML: need at least 2 classes");
+  }
+
+  SmartMlResult result;
+  result.dataset_name = dataset.name();
+  Stopwatch phase_watch;
+
+  // -------------------------------------------------------------------
+  // Phase 2a: preprocessing pipeline (imputation + user-selected Table 2
+  // operators), fitted on the training partition only.
+  // -------------------------------------------------------------------
+  SMARTML_LOG_INFO << "phase: preprocessing (" << dataset.NumRows()
+                   << " rows, " << dataset.NumFeatures() << " features)";
+  SMARTML_ASSIGN_OR_RETURN(
+      TrainValidationSplit split,
+      StratifiedSplit(dataset, options_.validation_fraction, options_.seed));
+
+  Dataset train = std::move(split.train);
+  Dataset validation = std::move(split.validation);
+
+  // Feature selection (fitted on the training partition only).
+  if (options_.feature_selection.kind != FeatureSelectorKind::kNone ||
+      !options_.feature_selection.include_features.empty()) {
+    FeatureSelector selector(options_.feature_selection);
+    SMARTML_RETURN_NOT_OK(selector.Fit(train));
+    SMARTML_ASSIGN_OR_RETURN(train, selector.Transform(train));
+    SMARTML_ASSIGN_OR_RETURN(validation, selector.Transform(validation));
+    result.selected_features = selector.selected();
+    SMARTML_LOG_INFO << "phase: feature selection kept "
+                     << result.selected_features.size() << " of "
+                     << dataset.NumFeatures() << " features";
+  } else {
+    for (const auto& f : dataset.features()) {
+      result.selected_features.push_back(f.name);
+    }
+  }
+
+  std::vector<PreprocessOp> ops;
+  if (options_.auto_impute && dataset.HasMissing()) {
+    ops.push_back(PreprocessOp::kImpute);
+  }
+  for (PreprocessOp op : options_.preprocessing) ops.push_back(op);
+  if (!ops.empty()) {
+    PreprocessPipeline pipeline(ops, options_.seed);
+    SMARTML_RETURN_NOT_OK(pipeline.Fit(train));
+    SMARTML_ASSIGN_OR_RETURN(train, pipeline.Transform(train));
+    SMARTML_ASSIGN_OR_RETURN(validation, pipeline.Transform(validation));
+  }
+
+  // -------------------------------------------------------------------
+  // Phase 2b: meta-features from the training split.
+  // -------------------------------------------------------------------
+  SMARTML_ASSIGN_OR_RETURN(result.meta_features, ExtractMetaFeatures(train));
+  if (options_.use_landmarking) {
+    auto landmarks = ExtractLandmarkers(train, options_.seed);
+    if (landmarks.ok()) {
+      result.has_landmarks = true;
+      result.landmarks = *landmarks;
+    }
+  }
+
+  result.preprocessing_seconds = phase_watch.ElapsedSeconds();
+  phase_watch.Restart();
+
+  // -------------------------------------------------------------------
+  // Phase 3: algorithm selection via the knowledge base.
+  // -------------------------------------------------------------------
+  if (result.has_landmarks) {
+    NominationOptions nomination = options_.nomination;
+    nomination.max_algorithms = options_.max_nominations;
+    nomination.max_neighbors = options_.kb_neighbors;
+    if (nomination.landmark_weight <= 0.0) nomination.landmark_weight = 2.0;
+    result.nominations =
+        kb_.Nominate(result.meta_features, result.landmarks, nomination);
+  } else {
+    result.nominations = SelectAlgorithms(result.meta_features);
+  }
+  result.used_meta_learning = !result.nominations.empty();
+  std::vector<std::string> algorithms;
+  std::vector<std::vector<ParamConfig>> warm_starts;
+  if (result.used_meta_learning) {
+    for (const Nomination& nomination : result.nominations) {
+      if (!IsKnownAlgorithm(nomination.algorithm)) continue;
+      algorithms.push_back(nomination.algorithm);
+      warm_starts.push_back(nomination.warm_start_configs);
+    }
+  }
+  if (algorithms.empty()) {
+    // Cold start: fixed diverse roster, no warm starts.
+    for (const std::string& name : options_.cold_start_algorithms) {
+      if (IsKnownAlgorithm(name)) {
+        algorithms.push_back(name);
+        warm_starts.emplace_back();
+      }
+    }
+    result.used_meta_learning = false;
+  }
+  if (algorithms.empty()) {
+    return Status::FailedPrecondition("SmartML: no candidate algorithms");
+  }
+  SMARTML_LOG_INFO << "phase: algorithm selection nominated "
+                   << algorithms.size() << " candidates ("
+                   << (result.used_meta_learning ? "meta-learning"
+                                                 : "cold start")
+                   << ")";
+
+  result.selection_seconds = phase_watch.ElapsedSeconds();
+  phase_watch.Restart();
+
+  if (options_.selection_only) {
+    result.total_seconds = total_watch.ElapsedSeconds();
+    return result;
+  }
+
+  // -------------------------------------------------------------------
+  // Phase 4: hyper-parameter tuning. The budget is divided among the
+  // nominated algorithms proportionally to their hyperparameter counts
+  // (Table 3), exactly as described in the paper.
+  // -------------------------------------------------------------------
+  std::vector<size_t> param_counts;
+  size_t param_total = 0;
+  for (const std::string& name : algorithms) {
+    SMARTML_ASSIGN_OR_RETURN(ParamSpace space, SpaceFor(name));
+    param_counts.push_back(std::max<size_t>(space.NumParams(), 1));
+    param_total += param_counts.back();
+  }
+
+  uint64_t seed = options_.seed * 2654435761ULL + 17;
+  for (size_t i = 0; i < algorithms.size(); ++i) {
+    const double share =
+        static_cast<double>(param_counts[i]) /
+        static_cast<double>(std::max<size_t>(param_total, 1));
+    const double budget = options_.time_budget_seconds * share;
+    const int eval_budget =
+        options_.max_evaluations > 0
+            ? std::max(1, static_cast<int>(std::lround(
+                              options_.max_evaluations * share)))
+            : 0;
+    SMARTML_LOG_INFO << "phase: tuning " << algorithms[i] << " (budget "
+                     << budget << "s, " << warm_starts[i].size()
+                     << " warm starts)";
+    SMARTML_ASSIGN_OR_RETURN(
+        AlgorithmRunResult run,
+        TuneAlgorithm(algorithms[i], train, validation, budget, eval_budget,
+                      warm_starts[i], seed + i * 7919));
+    result.per_algorithm.push_back(std::move(run));
+  }
+
+  result.tuning_seconds = phase_watch.ElapsedSeconds();
+  phase_watch.Restart();
+
+  // -------------------------------------------------------------------
+  // Phase 5: computing output + updating the knowledge base.
+  // -------------------------------------------------------------------
+  std::vector<size_t> order(result.per_algorithm.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result.per_algorithm[a].validation_accuracy >
+           result.per_algorithm[b].validation_accuracy;
+  });
+  const AlgorithmRunResult& winner = result.per_algorithm[order[0]];
+  result.best_algorithm = winner.algorithm;
+  result.best_config = winner.best_config;
+  result.best_validation_accuracy = winner.validation_accuracy;
+
+  // Train the winner for the caller.
+  {
+    SMARTML_ASSIGN_OR_RETURN(std::unique_ptr<Classifier> model,
+                             CreateClassifier(winner.algorithm));
+    SMARTML_RETURN_NOT_OK(model->Fit(train, winner.best_config));
+    result.best_model = std::move(model);
+  }
+
+  // Optional weighted ensemble of the top performers.
+  if (options_.enable_ensembling && result.per_algorithm.size() >= 2) {
+    // Candidate pool: the top `ensemble_size` tuned models, refitted.
+    std::vector<std::unique_ptr<Classifier>> pool;
+    std::vector<double> pool_accuracy;
+    for (size_t i = 0; i < order.size() && i < options_.ensemble_size; ++i) {
+      const AlgorithmRunResult& run = result.per_algorithm[order[i]];
+      SMARTML_ASSIGN_OR_RETURN(std::unique_ptr<Classifier> member,
+                               CreateClassifier(run.algorithm));
+      if (member->Fit(train, run.best_config).ok()) {
+        pool.push_back(std::move(member));
+        pool_accuracy.push_back(run.validation_accuracy);
+      }
+    }
+
+    std::vector<double> weights(pool.size(), 0.0);
+    switch (options_.ensemble_strategy) {
+      case SmartMlOptions::EnsembleStrategy::kAccuracyWeighted:
+        weights = pool_accuracy;
+        break;
+      case SmartMlOptions::EnsembleStrategy::kSoftmax: {
+        // Sharpen toward the best member (temperature 0.05).
+        const double best = pool_accuracy.empty()
+                                ? 0.0
+                                : *std::max_element(pool_accuracy.begin(),
+                                                    pool_accuracy.end());
+        for (size_t i = 0; i < pool.size(); ++i) {
+          weights[i] = std::exp((pool_accuracy[i] - best) / 0.05);
+        }
+        break;
+      }
+      case SmartMlOptions::EnsembleStrategy::kGreedy: {
+        // Caruana forward selection with replacement on the validation
+        // partition: repeatedly add the member that most improves the
+        // running probability average. Weights = selection counts.
+        std::vector<std::vector<std::vector<double>>> member_proba;
+        for (const auto& member : pool) {
+          auto proba = member->PredictProba(validation);
+          if (!proba.ok()) {
+            member_proba.emplace_back();  // Never selected.
+            continue;
+          }
+          member_proba.push_back(std::move(*proba));
+        }
+        const size_t rows = validation.NumRows();
+        const size_t classes = validation.NumClasses();
+        std::vector<std::vector<double>> running(
+            rows, std::vector<double>(classes, 0.0));
+        double picked_total = 0.0;
+        const int rounds = 2 * static_cast<int>(pool.size()) + 1;
+        for (int round = 0; round < rounds; ++round) {
+          int best_member = -1;
+          double best_accuracy = -1.0;
+          for (size_t m = 0; m < pool.size(); ++m) {
+            if (member_proba[m].empty()) continue;
+            size_t hits = 0;
+            for (size_t r = 0; r < rows; ++r) {
+              int arg = 0;
+              double top = -1.0;
+              for (size_t k = 0; k < classes; ++k) {
+                const double v = running[r][k] + member_proba[m][r][k];
+                if (v > top) {
+                  top = v;
+                  arg = static_cast<int>(k);
+                }
+              }
+              if (arg == validation.label(r)) ++hits;
+            }
+            const double accuracy =
+                static_cast<double>(hits) / static_cast<double>(rows);
+            if (accuracy > best_accuracy) {
+              best_accuracy = accuracy;
+              best_member = static_cast<int>(m);
+            }
+          }
+          if (best_member < 0) break;
+          for (size_t r = 0; r < rows; ++r) {
+            for (size_t k = 0; k < classes; ++k) {
+              running[r][k] +=
+                  member_proba[static_cast<size_t>(best_member)][r][k];
+            }
+          }
+          weights[static_cast<size_t>(best_member)] += 1.0;
+          picked_total += 1.0;
+        }
+        // Greedy can legitimately concentrate on one dominant member; an
+        // "ensemble" needs >= 2, so fall back to accuracy weights then.
+        size_t selected = 0;
+        for (double w : weights) {
+          if (w > 0.0) ++selected;
+        }
+        if (picked_total == 0.0 || selected < 2) weights = pool_accuracy;
+        break;
+      }
+    }
+
+    auto ensemble = std::make_unique<WeightedEnsemble>();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (weights[i] > 0.0) {
+        ensemble->AddMember(std::move(pool[i]), weights[i]);
+      }
+    }
+    if (ensemble->NumMembers() >= 2) {
+      auto predictions = ensemble->Predict(validation);
+      if (predictions.ok()) {
+        result.ensemble_validation_accuracy =
+            Accuracy(validation.labels(), *predictions);
+      }
+      result.ensemble = std::move(ensemble);
+    }
+  }
+
+  // Optional interpretability (permutation importance on validation data).
+  if (options_.enable_interpretability && result.best_model != nullptr) {
+    auto importances = PermutationImportance(*result.best_model, validation,
+                                             /*repeats=*/2, options_.seed);
+    if (importances.ok()) result.importances = std::move(*importances);
+  }
+
+  // KB update: store this dataset's meta-features and every algorithm's
+  // best outcome so future runs benefit.
+  if (options_.update_kb) {
+    KbRecord record;
+    record.dataset_name =
+        dataset.name().empty() ? "unnamed" : dataset.name();
+    record.meta_features = result.meta_features;
+    record.has_landmarks = result.has_landmarks;
+    record.landmarks = result.landmarks;
+    for (const AlgorithmRunResult& run : result.per_algorithm) {
+      KbAlgorithmResult kb_result;
+      kb_result.algorithm = run.algorithm;
+      kb_result.accuracy = run.validation_accuracy;
+      kb_result.best_config = run.best_config;
+      record.results.push_back(std::move(kb_result));
+    }
+    kb_.AddRecord(record);
+  }
+
+  result.output_seconds = phase_watch.ElapsedSeconds();
+  result.total_seconds = total_watch.ElapsedSeconds();
+  SMARTML_LOG_INFO << "phase: output — best " << result.best_algorithm
+                   << " acc " << result.best_validation_accuracy;
+  return result;
+}
+
+Status SmartML::BootstrapWithDataset(
+    const Dataset& dataset, const std::vector<std::string>& algorithms,
+    int evaluations_per_algorithm) {
+  SmartMlOptions saved = options_;
+  options_.max_evaluations =
+      evaluations_per_algorithm * static_cast<int>(algorithms.size());
+  options_.time_budget_seconds = 1e9;  // Evaluation-capped, not time-capped.
+  options_.enable_ensembling = false;
+  options_.enable_interpretability = false;
+  options_.update_kb = true;
+  options_.cold_start_algorithms = algorithms;
+  // Force a cold-start style run over exactly `algorithms`: temporarily
+  // disable nominations so every listed algorithm is evaluated.
+  options_.max_nominations = 0;
+
+  auto result = Run(dataset);
+  options_ = std::move(saved);
+  if (!result.ok()) return result.status();
+  return Status::OK();
+}
+
+std::string SmartMlResult::Report() const {
+  std::ostringstream out;
+  out << "==== SmartML experiment output ====\n";
+  out << "dataset: " << dataset_name << "\n";
+  out << "algorithm selection: "
+      << (used_meta_learning ? "meta-learning (knowledge base)"
+                             : "cold start (default roster)")
+      << "\n";
+  if (!nominations.empty()) {
+    out << "nominated algorithms:\n";
+    for (const auto& n : nominations) {
+      out << StrFormat("  - %-14s score %.4f (%zu warm starts)\n",
+                       n.algorithm.c_str(), n.score,
+                       n.warm_start_configs.size());
+    }
+  }
+  if (!per_algorithm.empty()) {
+    out << "tuned algorithms:\n";
+    for (const auto& run : per_algorithm) {
+      out << StrFormat(
+          "  - %-14s val-acc %.4f  cv-err %.4f  evals %4zu  %.2fs\n",
+          run.algorithm.c_str(), run.validation_accuracy, run.tuning_cost,
+          run.evaluations, run.seconds);
+    }
+    out << "best algorithm: " << best_algorithm << "\n";
+    out << "best configuration: " << best_config.ToString() << "\n";
+    out << StrFormat("best validation accuracy: %.4f\n",
+                     best_validation_accuracy);
+  }
+  if (ensemble != nullptr) {
+    out << StrFormat(
+        "weighted ensemble (%zu members) validation accuracy: %.4f\n",
+        ensemble->NumMembers(), ensemble_validation_accuracy);
+  }
+  if (!importances.empty()) {
+    out << "top feature importances (permutation):\n";
+    const size_t show = std::min<size_t>(importances.size(), 5);
+    for (size_t i = 0; i < show; ++i) {
+      out << StrFormat("  %-20s %+0.4f\n", importances[i].feature.c_str(),
+                       importances[i].importance);
+    }
+  }
+  out << StrFormat(
+      "phase times: preprocess %.3fs, selection %.3fs, tuning %.3fs, "
+      "output %.3fs\n",
+      preprocessing_seconds, selection_seconds, tuning_seconds,
+      output_seconds);
+  out << StrFormat("total time: %.2fs\n", total_seconds);
+  return out.str();
+}
+
+}  // namespace smartml

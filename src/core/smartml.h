@@ -1,0 +1,180 @@
+// The SmartML orchestrator: the five-phase pipeline of Figure 1.
+//
+//   1. Input definition   — dataset + options (budget, preprocessing,
+//                           ensembling, interpretability toggles).
+//   2. Preprocessing      — feature preprocessing, training/validation
+//                           split, 25 meta-features from the training split.
+//   3. Algorithm selection— weighted nearest-neighbour lookup in the
+//                           knowledge base nominates candidate classifiers.
+//   4. Hyper-parameter    — the time budget is divided among the nominated
+//      tuning               algorithms proportionally to their number of
+//                           hyperparameters; each is tuned with SMAC, warm
+//                           started from the KB's stored configurations.
+//   5. Output & KB update — best model (and optional weighted ensemble +
+//                           interpretability report); the run is folded back
+//                           into the knowledge base.
+#ifndef SMARTML_CORE_SMARTML_H_
+#define SMARTML_CORE_SMARTML_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/ensemble.h"
+#include "src/data/dataset.h"
+#include "src/interpret/interpret.h"
+#include "src/kb/knowledge_base.h"
+#include "src/metafeatures/metafeatures.h"
+#include "src/preprocess/feature_selection.h"
+#include "src/preprocess/preprocess.h"
+#include "src/tuning/objective.h"
+
+namespace smartml {
+
+/// User-facing configuration (the paper's input-definition screen).
+struct SmartMlOptions {
+  /// Feature selection (applied before preprocessing, fitted on the
+  /// training partition). The include list mirrors the paper's "specify
+  /// which features of the dataset should be included".
+  FeatureSelectionOptions feature_selection;
+  /// Feature preprocessing operators to apply (Table 2 names), in order.
+  std::vector<PreprocessOp> preprocessing;
+  /// Insert median/mode imputation automatically when data has missing
+  /// cells (classifier implementations expect complete data).
+  bool auto_impute = true;
+  /// Fraction of rows held out as the validation partition.
+  double validation_fraction = 0.25;
+  /// CV folds used inside tuning (SMAC races across these).
+  int cv_folds = 3;
+  /// Metric minimized during tuning (validation reporting stays accuracy,
+  /// matching the paper's tables).
+  TuneMetric metric = TuneMetric::kAccuracy;
+  /// Wall-clock budget for the hyper-parameter tuning phase, divided among
+  /// the nominated algorithms by their hyperparameter counts.
+  double time_budget_seconds = 10.0;
+  /// Optional deterministic cap on fold-evaluations (0 = derive from time
+  /// budget only). Also divided among algorithms.
+  int max_evaluations = 0;
+  /// How many algorithms the selection phase nominates.
+  size_t max_nominations = 3;
+  /// Nearest neighbours consulted in the KB.
+  size_t kb_neighbors = 3;
+  /// Landmarking extension: additionally describe datasets by the quick
+  /// accuracies of four cheap landmark learners and fold that into the KB
+  /// similarity (weight = nomination.landmark_weight, defaulted to 2 when
+  /// this flag is set and the weight is 0).
+  bool use_landmarking = false;
+  /// Algorithms tried when the KB is empty (cold start).
+  std::vector<std::string> cold_start_algorithms = {"random_forest", "svm",
+                                                    "naive_bayes"};
+  /// Recommend a weighted ensemble of the top performers.
+  bool enable_ensembling = true;
+  size_t ensemble_size = 3;
+  /// How member weights are chosen (Dietterich 2000 leaves this open):
+  /// accuracy-proportional, softmax-sharpened, or Caruana-style greedy
+  /// forward selection on the validation partition.
+  enum class EnsembleStrategy { kAccuracyWeighted, kSoftmax, kGreedy };
+  EnsembleStrategy ensemble_strategy = EnsembleStrategy::kAccuracyWeighted;
+  /// Produce permutation feature importances for the winning model.
+  bool enable_interpretability = true;
+  /// Stop after algorithm selection (paper: the user may upload only
+  /// meta-features and request selection only).
+  bool selection_only = false;
+  /// Fold this run's results back into the knowledge base.
+  bool update_kb = true;
+  /// Advanced similarity knobs (ablations).
+  NominationOptions nomination;
+  uint64_t seed = 42;
+};
+
+/// Result of tuning one nominated algorithm.
+struct AlgorithmRunResult {
+  std::string algorithm;
+  ParamConfig best_config;
+  double validation_accuracy = 0.0;  ///< On the held-out validation split.
+  double tuning_cost = 1.0;          ///< SMAC's incumbent mean fold error.
+  size_t evaluations = 0;
+  double seconds = 0.0;
+  std::vector<double> trajectory;    ///< Incumbent error per evaluation.
+};
+
+/// Full outcome of a SmartML run (the Figure 3 output screen).
+struct SmartMlResult {
+  std::string dataset_name;
+  /// Features surviving the selection phase (all features when selection is
+  /// disabled).
+  std::vector<std::string> selected_features;
+  MetaFeatureVector meta_features{};
+  bool has_landmarks = false;
+  LandmarkVector landmarks{};
+  std::vector<Nomination> nominations;
+  bool used_meta_learning = false;
+
+  std::string best_algorithm;
+  ParamConfig best_config;
+  double best_validation_accuracy = 0.0;
+  std::vector<AlgorithmRunResult> per_algorithm;
+
+  /// Trained winner (on the training partition). Null in selection-only
+  /// mode.
+  std::unique_ptr<Classifier> best_model;
+  /// Weighted ensemble of the top performers (if enabled and >= 2 members).
+  std::unique_ptr<WeightedEnsemble> ensemble;
+  double ensemble_validation_accuracy = 0.0;
+
+  std::vector<FeatureImportance> importances;
+
+  /// Wall-clock seconds per pipeline phase (Figure 1).
+  double preprocessing_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double tuning_seconds = 0.0;
+  double output_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Renders the Figure 3-style experiment output.
+  std::string Report() const;
+};
+
+/// The framework. One instance owns a knowledge base and can process any
+/// number of datasets, growing the KB run over run.
+class SmartML {
+ public:
+  explicit SmartML(SmartMlOptions options = {});
+
+  const SmartMlOptions& options() const { return options_; }
+  SmartMlOptions& mutable_options() { return options_; }
+
+  const KnowledgeBase& kb() const { return kb_; }
+  KnowledgeBase& mutable_kb() { return kb_; }
+
+  Status LoadKnowledgeBase(const std::string& path);
+  Status SaveKnowledgeBase(const std::string& path) const;
+
+  /// Runs the full pipeline on a dataset.
+  StatusOr<SmartMlResult> Run(const Dataset& dataset);
+
+  /// Algorithm selection only, from a meta-feature vector (paper: "it is
+  /// possible to upload only the dataset meta-features file").
+  std::vector<Nomination> SelectAlgorithms(const MetaFeatureVector& mf) const;
+
+  /// Bootstraps the KB with one dataset: evaluates the given algorithms
+  /// briefly and stores the outcomes. Used to seed the KB the way the paper
+  /// seeds it with 50 public datasets.
+  Status BootstrapWithDataset(const Dataset& dataset,
+                              const std::vector<std::string>& algorithms,
+                              int evaluations_per_algorithm = 8);
+
+ private:
+  StatusOr<AlgorithmRunResult> TuneAlgorithm(
+      const std::string& algorithm, const Dataset& train,
+      const Dataset& validation, double budget_seconds, int max_evaluations,
+      const std::vector<ParamConfig>& warm_starts, uint64_t seed) const;
+
+  SmartMlOptions options_;
+  KnowledgeBase kb_;
+};
+
+}  // namespace smartml
+
+#endif  // SMARTML_CORE_SMARTML_H_

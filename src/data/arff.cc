@@ -1,0 +1,278 @@
+#include "src/data/arff.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/common/strings.h"
+
+namespace smartml {
+
+namespace {
+
+struct ArffAttribute {
+  std::string name;
+  bool nominal = false;
+  std::vector<std::string> values;  // Nominal domain.
+};
+
+// Strips optional single or double quotes around an ARFF token.
+std::string Unquote(std::string_view s) {
+  s = StripAsciiWhitespace(s);
+  if (s.size() >= 2 && ((s.front() == '\'' && s.back() == '\'') ||
+                        (s.front() == '"' && s.back() == '"'))) {
+    s = s.substr(1, s.size() - 2);
+  }
+  return std::string(s);
+}
+
+// Parses "@attribute name type" after the keyword.
+StatusOr<ArffAttribute> ParseAttribute(std::string_view rest) {
+  rest = StripAsciiWhitespace(rest);
+  if (rest.empty()) {
+    return Status::InvalidArgument("ARFF: empty @attribute declaration");
+  }
+  // Attribute name: quoted or up to first whitespace.
+  std::string name;
+  size_t pos = 0;
+  if (rest[0] == '\'' || rest[0] == '"') {
+    const char quote = rest[0];
+    const size_t end = rest.find(quote, 1);
+    if (end == std::string_view::npos) {
+      return Status::InvalidArgument("ARFF: unterminated quoted name");
+    }
+    name = std::string(rest.substr(1, end - 1));
+    pos = end + 1;
+  } else {
+    while (pos < rest.size() &&
+           !std::isspace(static_cast<unsigned char>(rest[pos]))) {
+      ++pos;
+    }
+    name = std::string(rest.substr(0, pos));
+  }
+  std::string_view type = StripAsciiWhitespace(rest.substr(pos));
+  if (type.empty()) {
+    return Status::InvalidArgument("ARFF: attribute '" + name + "' has no type");
+  }
+
+  ArffAttribute attr;
+  attr.name = name;
+  if (type.front() == '{') {
+    if (type.back() != '}') {
+      return Status::InvalidArgument("ARFF: unterminated nominal domain for '" +
+                                     name + "'");
+    }
+    attr.nominal = true;
+    for (const std::string& tok :
+         Split(type.substr(1, type.size() - 2), ',')) {
+      attr.values.push_back(Unquote(tok));
+    }
+    if (attr.values.empty()) {
+      return Status::InvalidArgument("ARFF: empty nominal domain for '" + name +
+                                     "'");
+    }
+    return attr;
+  }
+  const std::string lower = AsciiToLower(type);
+  if (lower == "numeric" || lower == "real" || lower == "integer") {
+    attr.nominal = false;
+    return attr;
+  }
+  if (lower == "string" || lower.rfind("date", 0) == 0) {
+    return Status::Unimplemented("ARFF: attribute type '" + lower +
+                                 "' not supported");
+  }
+  return Status::InvalidArgument("ARFF: unknown attribute type '" +
+                                 std::string(type) + "'");
+}
+
+}  // namespace
+
+StatusOr<Dataset> ReadArffString(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<ArffAttribute> attrs;
+  std::string relation = "arff";
+  bool in_data = false;
+  std::vector<std::vector<std::string>> rows;
+
+  while (std::getline(in, line)) {
+    std::string_view sv = StripAsciiWhitespace(line);
+    if (sv.empty() || sv[0] == '%') continue;
+    if (!in_data && sv[0] == '@') {
+      const size_t space = sv.find_first_of(" \t");
+      const std::string keyword =
+          AsciiToLower(sv.substr(0, space == std::string_view::npos
+                                        ? sv.size()
+                                        : space));
+      std::string_view rest =
+          space == std::string_view::npos ? std::string_view() : sv.substr(space);
+      if (keyword == "@relation") {
+        relation = Unquote(rest);
+      } else if (keyword == "@attribute") {
+        SMARTML_ASSIGN_OR_RETURN(ArffAttribute attr, ParseAttribute(rest));
+        attrs.push_back(std::move(attr));
+      } else if (keyword == "@data") {
+        in_data = true;
+      } else {
+        return Status::InvalidArgument("ARFF: unknown declaration '" + keyword +
+                                       "'");
+      }
+      continue;
+    }
+    if (!in_data) {
+      return Status::InvalidArgument("ARFF: data before @data section");
+    }
+    if (sv[0] == '{') {
+      return Status::Unimplemented("ARFF: sparse instances not supported");
+    }
+    std::vector<std::string> fields = SplitCsvLine(sv, ',');
+    if (fields.size() != attrs.size()) {
+      return Status::InvalidArgument(
+          StrFormat("ARFF: instance has %zu values, expected %zu",
+                    fields.size(), attrs.size()));
+    }
+    for (std::string& f : fields) f = Unquote(f);
+    rows.push_back(std::move(fields));
+  }
+
+  if (attrs.empty()) return Status::InvalidArgument("ARFF: no attributes");
+  if (rows.empty()) return Status::InvalidArgument("ARFF: no instances");
+
+  // Class attribute: the one named "class" (any case), else last nominal one.
+  size_t target = attrs.size();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (AsciiToLower(attrs[i].name) == "class") target = i;
+  }
+  if (target == attrs.size()) {
+    for (size_t i = attrs.size(); i-- > 0;) {
+      if (attrs[i].nominal) {
+        target = i;
+        break;
+      }
+    }
+  }
+  if (target == attrs.size()) {
+    return Status::InvalidArgument(
+        "ARFF: no nominal attribute usable as the class");
+  }
+  if (!attrs[target].nominal) {
+    return Status::InvalidArgument("ARFF: class attribute must be nominal");
+  }
+
+  Dataset dataset(relation);
+  const size_t n = rows.size();
+  for (size_t c = 0; c < attrs.size(); ++c) {
+    if (c == target) continue;
+    std::vector<double> values(n);
+    if (attrs[c].nominal) {
+      std::unordered_map<std::string, double> code;
+      for (size_t i = 0; i < attrs[c].values.size(); ++i) {
+        code[attrs[c].values[i]] = static_cast<double>(i);
+      }
+      for (size_t r = 0; r < n; ++r) {
+        const std::string& cell = rows[r][c];
+        if (cell == "?") {
+          values[r] = std::numeric_limits<double>::quiet_NaN();
+          continue;
+        }
+        auto it = code.find(cell);
+        if (it == code.end()) {
+          return Status::InvalidArgument("ARFF: value '" + cell +
+                                         "' not in domain of '" +
+                                         attrs[c].name + "'");
+        }
+        values[r] = it->second;
+      }
+      dataset.AddCategoricalFeature(attrs[c].name, std::move(values),
+                                    attrs[c].values);
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        const std::string& cell = rows[r][c];
+        if (cell == "?") {
+          values[r] = std::numeric_limits<double>::quiet_NaN();
+          continue;
+        }
+        if (!ParseDouble(cell, &values[r])) {
+          return Status::InvalidArgument("ARFF: non-numeric value '" + cell +
+                                         "' in numeric attribute '" +
+                                         attrs[c].name + "'");
+        }
+      }
+      dataset.AddNumericFeature(attrs[c].name, std::move(values));
+    }
+  }
+
+  std::vector<int> labels(n);
+  std::unordered_map<std::string, int> code;
+  for (size_t i = 0; i < attrs[target].values.size(); ++i) {
+    code[attrs[target].values[i]] = static_cast<int>(i);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const std::string& cell = rows[r][target];
+    auto it = code.find(cell);
+    if (it == code.end()) {
+      return Status::InvalidArgument("ARFF: class value '" + cell +
+                                     "' not in declared domain");
+    }
+    labels[r] = it->second;
+  }
+  dataset.SetLabels(std::move(labels), attrs[target].values);
+  SMARTML_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+StatusOr<Dataset> ReadArffFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadArffString(buf.str());
+}
+
+std::string WriteArffString(const Dataset& dataset) {
+  std::ostringstream out;
+  out << "@relation "
+      << (dataset.name().empty() ? std::string("smartml") : dataset.name())
+      << "\n\n";
+  for (const auto& f : dataset.features()) {
+    out << "@attribute '" << f.name << "' ";
+    if (f.is_categorical()) {
+      out << "{";
+      for (size_t i = 0; i < f.categories.size(); ++i) {
+        if (i > 0) out << ",";
+        out << f.categories[i];
+      }
+      out << "}";
+    } else {
+      out << "numeric";
+    }
+    out << "\n";
+  }
+  out << "@attribute 'class' {";
+  for (size_t i = 0; i < dataset.class_names().size(); ++i) {
+    if (i > 0) out << ",";
+    out << dataset.class_names()[i];
+  }
+  out << "}\n\n@data\n";
+  for (size_t r = 0; r < dataset.NumRows(); ++r) {
+    for (const auto& f : dataset.features()) {
+      const double v = f.values[r];
+      if (IsMissing(v)) {
+        out << "?";
+      } else if (f.is_categorical()) {
+        out << f.categories[static_cast<size_t>(v)];
+      } else {
+        out << StrFormat("%.17g", v);
+      }
+      out << ",";
+    }
+    out << dataset.class_names()[static_cast<size_t>(dataset.label(r))] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace smartml

@@ -1,0 +1,27 @@
+// ARFF (Weka attribute-relation file format) reader — the second input format
+// SmartML's input-definition phase accepts.
+#ifndef SMARTML_DATA_ARFF_H_
+#define SMARTML_DATA_ARFF_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/data/dataset.h"
+
+namespace smartml {
+
+/// Parses ARFF text. Supports @relation, @attribute (numeric/real/integer and
+/// nominal {a,b,c} declarations, case-insensitive keywords), % comments, and
+/// '?' missing values. The last nominal attribute is the class unless an
+/// attribute is literally named "class". Sparse instances are not supported.
+StatusOr<Dataset> ReadArffString(const std::string& text);
+
+/// Reads an ARFF file from disk.
+StatusOr<Dataset> ReadArffFile(const std::string& path);
+
+/// Serializes a Dataset to ARFF.
+std::string WriteArffString(const Dataset& dataset);
+
+}  // namespace smartml
+
+#endif  // SMARTML_DATA_ARFF_H_

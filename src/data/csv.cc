@@ -1,0 +1,205 @@
+#include "src/data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/common/strings.h"
+
+namespace smartml {
+
+namespace {
+
+bool IsMissingToken(const std::string& cell, const CsvOptions& options) {
+  const std::string trimmed(StripAsciiWhitespace(cell));
+  return std::find(options.missing_tokens.begin(), options.missing_tokens.end(),
+                   trimmed) != options.missing_tokens.end();
+}
+
+}  // namespace
+
+StatusOr<Dataset> ReadCsvString(const std::string& text,
+                                const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (StripAsciiWhitespace(line).empty()) continue;
+    records.push_back(SplitCsvLine(line, options.delimiter));
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV: no data rows");
+  }
+
+  std::vector<std::string> header;
+  size_t first_data = 0;
+  if (options.has_header) {
+    header = records[0];
+    first_data = 1;
+  } else {
+    header.resize(records[0].size());
+    for (size_t i = 0; i < header.size(); ++i) {
+      header[i] = StrFormat("f%zu", i);
+    }
+  }
+  const size_t num_cols = header.size();
+  if (first_data >= records.size()) {
+    return Status::InvalidArgument("CSV: header but no data rows");
+  }
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != num_cols) {
+      return Status::InvalidArgument(
+          StrFormat("CSV: row %zu has %zu fields, expected %zu", r,
+                    records[r].size(), num_cols));
+    }
+  }
+
+  // Resolve the target column.
+  size_t target = num_cols - 1;
+  if (!options.target_column.empty()) {
+    auto it = std::find(header.begin(), header.end(), options.target_column);
+    if (it == header.end()) {
+      return Status::NotFound("CSV: target column '" + options.target_column +
+                              "' not in header");
+    }
+    target = static_cast<size_t>(it - header.begin());
+  } else if (options.target_index >= 0) {
+    if (static_cast<size_t>(options.target_index) >= num_cols) {
+      return Status::InvalidArgument("CSV: target_index out of range");
+    }
+    target = static_cast<size_t>(options.target_index);
+  }
+
+  const size_t num_rows = records.size() - first_data;
+  Dataset dataset;
+
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (c == target) continue;
+    // Type inference pass.
+    bool numeric = true;
+    for (size_t r = 0; r < num_rows; ++r) {
+      const std::string& cell = records[first_data + r][c];
+      if (IsMissingToken(cell, options)) continue;
+      double v;
+      if (!ParseDouble(cell, &v)) {
+        numeric = false;
+        break;
+      }
+    }
+    std::vector<double> values(num_rows);
+    if (numeric) {
+      for (size_t r = 0; r < num_rows; ++r) {
+        const std::string& cell = records[first_data + r][c];
+        if (IsMissingToken(cell, options)) {
+          values[r] = std::numeric_limits<double>::quiet_NaN();
+        } else {
+          ParseDouble(cell, &values[r]);
+        }
+      }
+      dataset.AddNumericFeature(header[c], std::move(values));
+    } else {
+      std::vector<std::string> categories;
+      std::unordered_map<std::string, double> codes;
+      for (size_t r = 0; r < num_rows; ++r) {
+        const std::string& cell = records[first_data + r][c];
+        if (IsMissingToken(cell, options)) {
+          values[r] = std::numeric_limits<double>::quiet_NaN();
+          continue;
+        }
+        const std::string key(StripAsciiWhitespace(cell));
+        auto it = codes.find(key);
+        if (it == codes.end()) {
+          it = codes.emplace(key, static_cast<double>(categories.size())).first;
+          categories.push_back(key);
+        }
+        values[r] = it->second;
+      }
+      dataset.AddCategoricalFeature(header[c], std::move(values),
+                                    std::move(categories));
+    }
+  }
+
+  std::vector<std::string> raw_labels(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const std::string& cell = records[first_data + r][target];
+    if (IsMissingToken(cell, options)) {
+      return Status::InvalidArgument(
+          StrFormat("CSV: missing target value at data row %zu", r));
+    }
+    raw_labels[r] = std::string(StripAsciiWhitespace(cell));
+  }
+  dataset.SetLabelsFromStrings(raw_labels);
+  SMARTML_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+StatusOr<Dataset> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  SMARTML_ASSIGN_OR_RETURN(Dataset d, ReadCsvString(buf.str(), options));
+  d.set_name(path);
+  return d;
+}
+
+namespace {
+
+std::string EscapeCsv(const std::string& s, char delimiter) {
+  if (s.find(delimiter) == std::string::npos &&
+      s.find('"') == std::string::npos && s.find('\n') == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Dataset& dataset, char delimiter) {
+  std::ostringstream out;
+  for (const auto& f : dataset.features()) {
+    out << EscapeCsv(f.name, delimiter) << delimiter;
+  }
+  out << "class\n";
+  for (size_t r = 0; r < dataset.NumRows(); ++r) {
+    for (const auto& f : dataset.features()) {
+      const double v = f.values[r];
+      if (IsMissing(v)) {
+        out << "?";
+      } else if (f.is_categorical()) {
+        out << EscapeCsv(f.categories[static_cast<size_t>(v)], delimiter);
+      } else {
+        out << StrFormat("%.17g", v);
+      }
+      out << delimiter;
+    }
+    out << EscapeCsv(dataset.class_names()[static_cast<size_t>(
+                         dataset.label(r))],
+                     delimiter)
+        << "\n";
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << WriteCsvString(dataset, delimiter);
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace smartml

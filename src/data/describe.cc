@@ -1,0 +1,106 @@
+#include "src/data/describe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace smartml {
+
+std::vector<ColumnProfile> ProfileColumns(const Dataset& dataset) {
+  std::vector<ColumnProfile> out;
+  out.reserve(dataset.NumFeatures());
+  for (const auto& col : dataset.features()) {
+    ColumnProfile profile;
+    profile.name = col.name;
+    profile.categorical = col.is_categorical();
+    if (profile.categorical) {
+      profile.num_categories = col.num_categories();
+      std::vector<size_t> counts(std::max<size_t>(col.num_categories(), 1),
+                                 0);
+      size_t present = 0;
+      for (double v : col.values) {
+        if (IsMissing(v)) {
+          ++profile.missing;
+        } else if (static_cast<size_t>(v) < counts.size()) {
+          ++counts[static_cast<size_t>(v)];
+          ++present;
+        }
+      }
+      size_t best = 0;
+      for (size_t c = 1; c < counts.size(); ++c) {
+        if (counts[c] > counts[best]) best = c;
+      }
+      if (best < col.categories.size()) profile.mode = col.categories[best];
+      profile.mode_fraction =
+          present > 0 ? static_cast<double>(counts[best]) /
+                            static_cast<double>(present)
+                      : 0.0;
+    } else {
+      double sum = 0, sum_sq = 0;
+      size_t n = 0;
+      profile.min = std::numeric_limits<double>::infinity();
+      profile.max = -std::numeric_limits<double>::infinity();
+      for (double v : col.values) {
+        if (IsMissing(v)) {
+          ++profile.missing;
+          continue;
+        }
+        sum += v;
+        sum_sq += v * v;
+        profile.min = std::min(profile.min, v);
+        profile.max = std::max(profile.max, v);
+        ++n;
+      }
+      if (n > 0) {
+        profile.mean = sum / static_cast<double>(n);
+        profile.stddev = n > 1 ? std::sqrt(std::max(
+                                     0.0, sum_sq / static_cast<double>(n) -
+                                              profile.mean * profile.mean))
+                               : 0.0;
+      } else {
+        profile.min = profile.max = 0.0;
+      }
+    }
+    out.push_back(std::move(profile));
+  }
+  return out;
+}
+
+std::string DescribeDataset(const Dataset& dataset) {
+  std::ostringstream out;
+  out << "dataset: "
+      << (dataset.name().empty() ? std::string("<unnamed>") : dataset.name())
+      << "\n";
+  out << StrFormat("shape: %zu rows x %zu features (%zu numeric, %zu "
+                   "categorical), %zu classes, %zu missing cells\n",
+                   dataset.NumRows(), dataset.NumFeatures(),
+                   dataset.NumNumericFeatures(),
+                   dataset.NumCategoricalFeatures(), dataset.NumClasses(),
+                   dataset.CountMissing());
+  out << "classes:";
+  const auto counts = dataset.ClassCounts();
+  for (size_t k = 0; k < dataset.NumClasses(); ++k) {
+    out << StrFormat(" %s=%zu", dataset.class_names()[k].c_str(), counts[k]);
+  }
+  out << "\n";
+  out << StrFormat("%-20s %-12s %10s %10s %10s %10s %8s\n", "column", "type",
+                   "min/cats", "max/mode", "mean/share", "stddev", "missing");
+  for (const ColumnProfile& p : ProfileColumns(dataset)) {
+    if (p.categorical) {
+      out << StrFormat("%-20s %-12s %10zu %10s %9.1f%% %10s %8zu\n",
+                       p.name.c_str(), "categorical", p.num_categories,
+                       p.mode.c_str(), 100.0 * p.mode_fraction, "-",
+                       p.missing);
+    } else {
+      out << StrFormat("%-20s %-12s %10.4g %10.4g %10.4g %10.4g %8zu\n",
+                       p.name.c_str(), "numeric", p.min, p.max, p.mean,
+                       p.stddev, p.missing);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace smartml

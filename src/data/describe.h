@@ -1,0 +1,36 @@
+// Dataset profiling: the textual summary shown when a dataset is uploaded
+// (the paper's input-definition screen previews the parsed dataset before
+// the user configures the experiment).
+#ifndef SMARTML_DATA_DESCRIBE_H_
+#define SMARTML_DATA_DESCRIBE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace smartml {
+
+/// Per-column profile.
+struct ColumnProfile {
+  std::string name;
+  bool categorical = false;
+  size_t missing = 0;
+  // Numeric columns.
+  double min = 0, max = 0, mean = 0, stddev = 0;
+  // Categorical columns.
+  size_t num_categories = 0;
+  std::string mode;           ///< Most frequent category.
+  double mode_fraction = 0;   ///< Its share of non-missing cells.
+};
+
+/// Profiles every feature column.
+std::vector<ColumnProfile> ProfileColumns(const Dataset& dataset);
+
+/// Renders a human-readable profile table: shape, class histogram, and one
+/// line per column.
+std::string DescribeDataset(const Dataset& dataset);
+
+}  // namespace smartml
+
+#endif  // SMARTML_DATA_DESCRIBE_H_

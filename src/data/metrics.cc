@@ -1,0 +1,94 @@
+#include "src/data/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace smartml {
+
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(actual.size());
+}
+
+double ErrorRate(const std::vector<int>& actual,
+                 const std::vector<int>& predicted) {
+  return 1.0 - Accuracy(actual, predicted);
+}
+
+Matrix ConfusionMatrix(const std::vector<int>& actual,
+                       const std::vector<int>& predicted, int num_classes) {
+  assert(actual.size() == predicted.size());
+  Matrix c(static_cast<size_t>(num_classes), static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < actual.size(); ++i) {
+    c(static_cast<size_t>(actual[i]), static_cast<size_t>(predicted[i])) += 1.0;
+  }
+  return c;
+}
+
+double MacroF1(const std::vector<int>& actual,
+               const std::vector<int>& predicted, int num_classes) {
+  const Matrix c = ConfusionMatrix(actual, predicted, num_classes);
+  double f1_sum = 0.0;
+  int present = 0;
+  for (int k = 0; k < num_classes; ++k) {
+    const size_t uk = static_cast<size_t>(k);
+    double tp = c(uk, uk);
+    double actual_k = 0.0, predicted_k = 0.0;
+    for (int j = 0; j < num_classes; ++j) {
+      actual_k += c(uk, static_cast<size_t>(j));
+      predicted_k += c(static_cast<size_t>(j), uk);
+    }
+    if (actual_k == 0.0) continue;  // Class absent from ground truth.
+    ++present;
+    const double precision = predicted_k > 0 ? tp / predicted_k : 0.0;
+    const double recall = tp / actual_k;
+    if (precision + recall > 0) {
+      f1_sum += 2.0 * precision * recall / (precision + recall);
+    }
+  }
+  return present > 0 ? f1_sum / present : 0.0;
+}
+
+double CohensKappa(const std::vector<int>& actual,
+                   const std::vector<int>& predicted, int num_classes) {
+  const Matrix c = ConfusionMatrix(actual, predicted, num_classes);
+  const double n = static_cast<double>(actual.size());
+  if (n == 0) return 0.0;
+  double po = 0.0, pe = 0.0;
+  for (int k = 0; k < num_classes; ++k) {
+    const size_t uk = static_cast<size_t>(k);
+    po += c(uk, uk);
+    double row = 0.0, col = 0.0;
+    for (int j = 0; j < num_classes; ++j) {
+      row += c(uk, static_cast<size_t>(j));
+      col += c(static_cast<size_t>(j), uk);
+    }
+    pe += (row / n) * (col / n);
+  }
+  po /= n;
+  if (pe >= 1.0) return 0.0;
+  return (po - pe) / (1.0 - pe);
+}
+
+double LogLoss(const std::vector<int>& actual,
+               const std::vector<std::vector<double>>& probabilities) {
+  assert(actual.size() == probabilities.size());
+  if (actual.empty()) return 0.0;
+  double loss = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const auto y = static_cast<size_t>(actual[i]);
+    double p = y < probabilities[i].size() ? probabilities[i][y] : 0.0;
+    p = std::clamp(p, 1e-15, 1.0 - 1e-15);
+    loss -= std::log(p);
+  }
+  return loss / static_cast<double>(actual.size());
+}
+
+}  // namespace smartml

@@ -1,0 +1,39 @@
+// Classification quality metrics used for tuning and reporting.
+#ifndef SMARTML_DATA_METRICS_H_
+#define SMARTML_DATA_METRICS_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace smartml {
+
+/// Fraction of positions where predicted == actual. Empty inputs give 0.
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted);
+
+/// 1 - Accuracy.
+double ErrorRate(const std::vector<int>& actual,
+                 const std::vector<int>& predicted);
+
+/// Confusion matrix C where C(i, j) counts actual class i predicted as j.
+Matrix ConfusionMatrix(const std::vector<int>& actual,
+                       const std::vector<int>& predicted, int num_classes);
+
+/// Macro-averaged F1 across classes (classes absent from `actual` are
+/// skipped).
+double MacroF1(const std::vector<int>& actual,
+               const std::vector<int>& predicted, int num_classes);
+
+/// Cohen's kappa agreement statistic.
+double CohensKappa(const std::vector<int>& actual,
+                   const std::vector<int>& predicted, int num_classes);
+
+/// Multi-class log loss given per-row class probability vectors.
+/// Probabilities are clipped to [1e-15, 1-1e-15].
+double LogLoss(const std::vector<int>& actual,
+               const std::vector<std::vector<double>>& probabilities);
+
+}  // namespace smartml
+
+#endif  // SMARTML_DATA_METRICS_H_

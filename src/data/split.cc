@@ -1,0 +1,96 @@
+#include "src/data/split.h"
+
+#include <algorithm>
+
+namespace smartml {
+
+StatusOr<TrainValidationSplit> StratifiedSplit(const Dataset& dataset,
+                                               double validation_fraction,
+                                               uint64_t seed) {
+  if (validation_fraction <= 0.0 || validation_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "validation_fraction must be in (0, 1)");
+  }
+  if (dataset.NumRows() < 2) {
+    return Status::InvalidArgument("need at least 2 rows to split");
+  }
+  Rng rng(seed);
+
+  // Group row indices by class, shuffle within each class, then peel off the
+  // validation share per class.
+  std::vector<std::vector<size_t>> by_class(dataset.NumClasses());
+  for (size_t r = 0; r < dataset.NumRows(); ++r) {
+    by_class[static_cast<size_t>(dataset.label(r))].push_back(r);
+  }
+
+  TrainValidationSplit out;
+  for (auto& rows : by_class) {
+    rng.Shuffle(&rows);
+    size_t n_val =
+        static_cast<size_t>(validation_fraction * static_cast<double>(rows.size()) + 0.5);
+    // Keep at least one row per side when the class has >= 2 rows.
+    if (rows.size() >= 2) {
+      n_val = std::min(std::max<size_t>(n_val, 1), rows.size() - 1);
+    } else {
+      n_val = 0;  // Singleton classes stay in training.
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i < n_val) {
+        out.validation_rows.push_back(rows[i]);
+      } else {
+        out.train_rows.push_back(rows[i]);
+      }
+    }
+  }
+  if (out.validation_rows.empty() || out.train_rows.empty()) {
+    return Status::InvalidArgument("split produced an empty partition");
+  }
+  std::sort(out.train_rows.begin(), out.train_rows.end());
+  std::sort(out.validation_rows.begin(), out.validation_rows.end());
+  out.train = dataset.Subset(out.train_rows);
+  out.validation = dataset.Subset(out.validation_rows);
+  return out;
+}
+
+StatusOr<std::vector<int>> StratifiedFolds(const Dataset& dataset, int k,
+                                           uint64_t seed) {
+  if (k < 2) return Status::InvalidArgument("k must be >= 2");
+  if (static_cast<size_t>(k) > dataset.NumRows()) {
+    return Status::InvalidArgument("k exceeds the number of rows");
+  }
+  Rng rng(seed);
+  std::vector<int> folds(dataset.NumRows(), 0);
+  std::vector<std::vector<size_t>> by_class(dataset.NumClasses());
+  for (size_t r = 0; r < dataset.NumRows(); ++r) {
+    by_class[static_cast<size_t>(dataset.label(r))].push_back(r);
+  }
+  // Round-robin within each shuffled class, with a rotating starting fold so
+  // small classes don't all land in fold 0.
+  int next_start = 0;
+  for (auto& rows : by_class) {
+    rng.Shuffle(&rows);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      folds[rows[i]] = static_cast<int>((next_start + i) % static_cast<size_t>(k));
+    }
+    next_start = (next_start + static_cast<int>(rows.size())) % k;
+  }
+  return folds;
+}
+
+TrainValidationSplit MaterializeFold(const Dataset& dataset,
+                                     const std::vector<int>& folds,
+                                     int test_fold) {
+  TrainValidationSplit out;
+  for (size_t r = 0; r < dataset.NumRows(); ++r) {
+    if (folds[r] == test_fold) {
+      out.validation_rows.push_back(r);
+    } else {
+      out.train_rows.push_back(r);
+    }
+  }
+  out.train = dataset.Subset(out.train_rows);
+  out.validation = dataset.Subset(out.validation_rows);
+  return out;
+}
+
+}  // namespace smartml

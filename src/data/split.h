@@ -1,0 +1,40 @@
+// Train/validation splitting and cross-validation folds (the paper's
+// preprocessing phase splits data into training and validation partitions).
+#ifndef SMARTML_DATA_SPLIT_H_
+#define SMARTML_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/data/dataset.h"
+
+namespace smartml {
+
+struct TrainValidationSplit {
+  Dataset train;
+  Dataset validation;
+  std::vector<size_t> train_rows;       // Row indices into the source dataset.
+  std::vector<size_t> validation_rows;
+};
+
+/// Randomly splits `dataset`, stratified by class so every class with >= 2
+/// rows appears in both partitions where possible. `validation_fraction`
+/// must be in (0, 1).
+StatusOr<TrainValidationSplit> StratifiedSplit(const Dataset& dataset,
+                                               double validation_fraction,
+                                               uint64_t seed);
+
+/// Stratified k-fold assignment: returns fold index (0..k-1) per row. Folds
+/// are class-balanced. k must be >= 2 and <= NumRows().
+StatusOr<std::vector<int>> StratifiedFolds(const Dataset& dataset, int k,
+                                           uint64_t seed);
+
+/// Materializes the train/test datasets of one fold from a fold assignment.
+TrainValidationSplit MaterializeFold(const Dataset& dataset,
+                                     const std::vector<int>& folds,
+                                     int test_fold);
+
+}  // namespace smartml
+
+#endif  // SMARTML_DATA_SPLIT_H_

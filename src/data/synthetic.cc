@@ -1,0 +1,465 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace smartml {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Draws class sizes from the imbalance parameter: prior_k ∝ imbalance^k.
+std::vector<size_t> ClassSizes(const SyntheticSpec& spec) {
+  std::vector<double> weights(spec.num_classes);
+  double w = 1.0;
+  for (size_t k = 0; k < spec.num_classes; ++k) {
+    weights[k] = w;
+    w *= spec.imbalance;
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<size_t> sizes(spec.num_classes);
+  size_t assigned = 0;
+  for (size_t k = 0; k < spec.num_classes; ++k) {
+    sizes[k] = std::max<size_t>(
+        2, static_cast<size_t>(weights[k] / total *
+                               static_cast<double>(spec.num_instances)));
+    assigned += sizes[k];
+  }
+  // Adjust the largest class so totals match exactly.
+  size_t largest = 0;
+  for (size_t k = 1; k < spec.num_classes; ++k) {
+    if (sizes[k] > sizes[largest]) largest = k;
+  }
+  if (assigned > spec.num_instances) {
+    const size_t excess = assigned - spec.num_instances;
+    sizes[largest] -= std::min(sizes[largest] - 2, excess);
+  } else {
+    sizes[largest] += spec.num_instances - assigned;
+  }
+  return sizes;
+}
+
+// Fills the informative block of X for Gaussian-cluster geometry.
+void FillGaussianClusters(const SyntheticSpec& spec,
+                          const std::vector<int>& labels,
+                          std::vector<std::vector<double>>* x, Rng* rng) {
+  const size_t d = spec.num_informative;
+  const int cpc = std::max(1, spec.clusters_per_class);
+  // Random centers per (class, cluster).
+  std::vector<std::vector<std::vector<double>>> centers(spec.num_classes);
+  for (size_t k = 0; k < spec.num_classes; ++k) {
+    centers[k].resize(static_cast<size_t>(cpc));
+    for (auto& c : centers[k]) {
+      c.resize(d);
+      for (double& v : c) v = rng->Normal() * spec.class_sep;
+    }
+  }
+  for (size_t r = 0; r < labels.size(); ++r) {
+    const auto k = static_cast<size_t>(labels[r]);
+    const auto& c = centers[k][rng->UniformInt(static_cast<uint64_t>(cpc))];
+    for (size_t j = 0; j < d; ++j) {
+      (*x)[r][j] = c[j] + rng->Normal();
+    }
+  }
+}
+
+// Hypercube geometry: class centers at random vertices of a scaled
+// hypercube; madelon-like when most features are noise.
+void FillHypercube(const SyntheticSpec& spec, const std::vector<int>& labels,
+                   std::vector<std::vector<double>>* x, Rng* rng) {
+  const size_t d = spec.num_informative;
+  std::vector<std::vector<double>> vertices(spec.num_classes,
+                                            std::vector<double>(d));
+  for (auto& v : vertices) {
+    for (double& c : v) {
+      c = (rng->Bernoulli(0.5) ? 1.0 : -1.0) * spec.class_sep;
+    }
+  }
+  for (size_t r = 0; r < labels.size(); ++r) {
+    const auto& v = vertices[static_cast<size_t>(labels[r])];
+    for (size_t j = 0; j < d; ++j) {
+      (*x)[r][j] = v[j] + rng->Normal();
+    }
+  }
+}
+
+// Rule geometry: features are uniform in [-1,1]^d and the label is computed
+// by a random chain of threshold rules, yielding axis-aligned structure that
+// favours tree learners. Returns labels (overwrites the stratified ones).
+void FillRules(const SyntheticSpec& spec, std::vector<int>* labels,
+               std::vector<std::vector<double>>* x, Rng* rng) {
+  const size_t d = spec.num_informative;
+  const size_t depth = std::min<size_t>(6, 2 + spec.num_classes);
+  // Random rule program: a list of (feature, threshold) tests whose binary
+  // outcomes hash to a class.
+  std::vector<size_t> feat(depth);
+  std::vector<double> thresh(depth);
+  for (size_t i = 0; i < depth; ++i) {
+    feat[i] = rng->UniformInt(d);
+    thresh[i] = rng->Uniform(-0.5, 0.5);
+  }
+  // Map each of the 2^depth outcome patterns to a class, covering all
+  // classes before repeating so every class is reachable.
+  const size_t patterns = size_t{1} << depth;
+  std::vector<int> pattern_class(patterns);
+  for (size_t p = 0; p < patterns; ++p) {
+    pattern_class[p] = static_cast<int>(
+        p < spec.num_classes ? p : rng->UniformInt(spec.num_classes));
+  }
+  Rng shuffle_rng = rng->Fork();
+  shuffle_rng.Shuffle(&pattern_class);
+  for (size_t r = 0; r < labels->size(); ++r) {
+    size_t pattern = 0;
+    for (size_t j = 0; j < d; ++j) {
+      (*x)[r][j] = rng->Uniform(-1.0, 1.0);
+    }
+    for (size_t i = 0; i < depth; ++i) {
+      pattern = (pattern << 1) | ((*x)[r][feat[i]] > thresh[i] ? 1u : 0u);
+    }
+    (*labels)[r] = pattern_class[pattern];
+  }
+}
+
+// Interleaved spirals in the first two informative dimensions, extra
+// informative dims get class-conditioned noise.
+void FillSpirals(const SyntheticSpec& spec, const std::vector<int>& labels,
+                 std::vector<std::vector<double>>* x, Rng* rng) {
+  const size_t d = spec.num_informative;
+  for (size_t r = 0; r < labels.size(); ++r) {
+    const auto k = static_cast<size_t>(labels[r]);
+    const double t = rng->Uniform(0.25, 3.0);
+    const double angle =
+        t * 2.0 * kPi + 2.0 * kPi * static_cast<double>(k) /
+                            static_cast<double>(spec.num_classes);
+    const double noise = 0.35 / std::max(0.5, spec.class_sep);
+    (*x)[r][0] = t * std::cos(angle) + rng->Normal() * noise;
+    if (d > 1) (*x)[r][1] = t * std::sin(angle) + rng->Normal() * noise;
+    for (size_t j = 2; j < d; ++j) {
+      (*x)[r][j] = rng->Normal() + 0.3 * static_cast<double>(k);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec) {
+  Rng rng(spec.seed);
+  const size_t n = spec.num_instances;
+  const size_t d_inf = std::max<size_t>(1, spec.num_informative);
+
+  // Stratified labels first (shuffled), possibly overwritten by kRules.
+  const std::vector<size_t> sizes = ClassSizes(spec);
+  std::vector<int> labels;
+  labels.reserve(n);
+  for (size_t k = 0; k < spec.num_classes; ++k) {
+    labels.insert(labels.end(), sizes[k], static_cast<int>(k));
+  }
+  labels.resize(n, 0);
+  rng.Shuffle(&labels);
+
+  std::vector<std::vector<double>> x(n, std::vector<double>(d_inf, 0.0));
+  SyntheticSpec fixed = spec;
+  fixed.num_informative = d_inf;
+  switch (spec.kind) {
+    case SyntheticKind::kGaussianClusters:
+      FillGaussianClusters(fixed, labels, &x, &rng);
+      break;
+    case SyntheticKind::kHypercube:
+      FillHypercube(fixed, labels, &x, &rng);
+      break;
+    case SyntheticKind::kRules:
+      FillRules(fixed, &labels, &x, &rng);
+      break;
+    case SyntheticKind::kSpirals:
+      FillSpirals(fixed, labels, &x, &rng);
+      break;
+  }
+
+  Dataset out(spec.name);
+
+  // Informative numeric features.
+  for (size_t j = 0; j < d_inf; ++j) {
+    std::vector<double> col(n);
+    for (size_t r = 0; r < n; ++r) col[r] = x[r][j];
+    out.AddNumericFeature(StrFormat("inf%zu", j), std::move(col));
+  }
+  // Redundant features: random linear combinations of informative ones.
+  for (size_t j = 0; j < spec.num_redundant; ++j) {
+    std::vector<double> w(d_inf);
+    for (double& v : w) v = rng.Uniform(-1.0, 1.0);
+    std::vector<double> col(n);
+    for (size_t r = 0; r < n; ++r) {
+      double acc = 0.0;
+      for (size_t i = 0; i < d_inf; ++i) acc += w[i] * x[r][i];
+      col[r] = acc + rng.Normal() * 0.05;
+    }
+    out.AddNumericFeature(StrFormat("red%zu", j), std::move(col));
+  }
+  // Pure-noise features.
+  for (size_t j = 0; j < spec.num_noise; ++j) {
+    std::vector<double> col(n);
+    for (double& v : col) v = rng.Normal();
+    out.AddNumericFeature(StrFormat("noise%zu", j), std::move(col));
+  }
+  // Class-correlated categorical features.
+  for (size_t j = 0; j < spec.num_categorical; ++j) {
+    const size_t cardinality = std::max<size_t>(2, spec.categorical_cardinality);
+    std::vector<std::string> cats(cardinality);
+    for (size_t c = 0; c < cardinality; ++c) cats[c] = StrFormat("v%zu", c);
+    std::vector<double> col(n);
+    // Each class prefers one category with probability 0.5 + signal.
+    for (size_t r = 0; r < n; ++r) {
+      const size_t preferred =
+          static_cast<size_t>(labels[r]) % cardinality;
+      if (rng.Bernoulli(0.55)) {
+        col[r] = static_cast<double>(preferred);
+      } else {
+        col[r] = static_cast<double>(rng.UniformInt(cardinality));
+      }
+    }
+    out.AddCategoricalFeature(StrFormat("cat%zu", j), std::move(col),
+                              std::move(cats));
+  }
+
+  // Label noise.
+  if (spec.label_noise > 0.0 && spec.num_classes > 1) {
+    for (int& y : labels) {
+      if (rng.Bernoulli(spec.label_noise)) {
+        y = static_cast<int>(rng.UniformInt(spec.num_classes));
+      }
+    }
+  }
+
+  std::vector<std::string> class_names(spec.num_classes);
+  for (size_t k = 0; k < spec.num_classes; ++k) {
+    class_names[k] = StrFormat("c%zu", k);
+  }
+  out.SetLabels(std::move(labels), std::move(class_names));
+
+  // Missing values, inserted feature-wise.
+  if (spec.missing_fraction > 0.0) {
+    for (size_t f = 0; f < out.NumFeatures(); ++f) {
+      auto& col = out.mutable_feature(f);
+      for (double& v : col.values) {
+        if (rng.Bernoulli(spec.missing_fraction)) {
+          v = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Table4Entry> Table4Datasets() {
+  std::vector<Table4Entry> out;
+  auto add = [&out](SyntheticSpec spec, size_t att, size_t cls, size_t inst,
+                    double aw, double sml) {
+    Table4Entry e;
+    e.spec = std::move(spec);
+    e.paper_attributes = att;
+    e.paper_classes = cls;
+    e.paper_instances = inst;
+    e.paper_autoweka_accuracy = aw;
+    e.paper_smartml_accuracy = sml;
+    out.push_back(std::move(e));
+  };
+
+  // Each recipe mirrors the paper dataset's character at laptop scale:
+  // relative dimensionality, class count, and hardness are preserved.
+  {
+    // abalone: few attributes, binarized, notoriously noisy (paper acc ~25-27
+    // on the 29-class variant; shape: both systems weak, SmartML slightly up).
+    SyntheticSpec s;
+    s.name = "abalone";
+    s.kind = SyntheticKind::kGaussianClusters;
+    s.num_instances = 800;
+    s.num_informative = 4;
+    s.num_redundant = 3;
+    s.num_noise = 2;
+    s.num_classes = 12;
+    s.class_sep = 0.55;
+    s.clusters_per_class = 1;
+    s.label_noise = 0.22;
+    s.imbalance = 0.82;
+    s.seed = 1001;
+    add(std::move(s), 9, 2, 8192, 25.14, 27.13);
+  }
+  {
+    // amazon: very high-dimensional text features, many classes.
+    SyntheticSpec s;
+    s.name = "amazon";
+    s.kind = SyntheticKind::kGaussianClusters;
+    s.num_instances = 600;
+    s.num_informative = 24;
+    s.num_redundant = 16;
+    s.num_noise = 24;
+    s.num_classes = 12;
+    s.class_sep = 0.95;
+    s.label_noise = 0.08;
+    s.seed = 1002;
+    add(std::move(s), 10000, 49, 1500, 57.56, 58.89);
+  }
+  {
+    // cifar10small: high-dimensional images, 10 classes, hard.
+    SyntheticSpec s;
+    s.name = "cifar10small";
+    s.kind = SyntheticKind::kGaussianClusters;
+    s.num_instances = 900;
+    s.num_informative = 18;
+    s.num_redundant = 22;
+    s.num_noise = 20;
+    s.num_classes = 10;
+    s.clusters_per_class = 3;
+    s.class_sep = 0.75;
+    s.label_noise = 0.10;
+    s.seed = 1003;
+    add(std::move(s), 3072, 10, 20000, 30.25, 37.02);
+  }
+  {
+    // gisette: high-dimensional binary digits 4 vs 9, mostly separable.
+    SyntheticSpec s;
+    s.name = "gisette";
+    s.kind = SyntheticKind::kGaussianClusters;
+    s.num_instances = 700;
+    s.num_informative = 10;
+    s.num_redundant = 14;
+    s.num_noise = 36;
+    s.num_classes = 2;
+    s.clusters_per_class = 2;
+    s.class_sep = 1.25;
+    s.label_noise = 0.06;
+    s.seed = 1004;
+    add(std::move(s), 5000, 2, 2800, 93.71, 96.48);
+  }
+  {
+    // madelon: XOR hypercube with 5 informative among ~500 noisy features.
+    SyntheticSpec s;
+    s.name = "madelon";
+    s.kind = SyntheticKind::kHypercube;
+    s.num_instances = 600;
+    s.num_informative = 5;
+    s.num_redundant = 5;
+    s.num_noise = 45;
+    s.num_classes = 2;
+    s.clusters_per_class = 2;
+    s.class_sep = 0.95;
+    s.label_noise = 0.1;
+    s.seed = 1005;
+    add(std::move(s), 500, 2, 2600, 55.64, 73.84);
+  }
+  {
+    // mnistBasic: 10 digit classes, moderately separable pixel space.
+    SyntheticSpec s;
+    s.name = "mnistBasic";
+    s.kind = SyntheticKind::kGaussianClusters;
+    s.num_instances = 1000;
+    s.num_informative = 20;
+    s.num_redundant = 12;
+    s.num_noise = 8;
+    s.num_classes = 10;
+    s.clusters_per_class = 2;
+    s.class_sep = 1.25;
+    s.label_noise = 0.04;
+    s.seed = 1006;
+    add(std::move(s), 784, 10, 62000, 89.72, 94.91);
+  }
+  {
+    // semeion: handwritten digits, 256 binary attributes, small sample.
+    SyntheticSpec s;
+    s.name = "semeion";
+    s.kind = SyntheticKind::kGaussianClusters;
+    s.num_instances = 650;
+    s.num_informative = 16;
+    s.num_redundant = 10;
+    s.num_noise = 6;
+    s.num_classes = 10;
+    s.class_sep = 1.15;
+    s.label_noise = 0.05;
+    s.seed = 1007;
+    add(std::move(s), 256, 10, 1593, 89.32, 94.13);
+  }
+  {
+    // yeast: 8 attributes, 10 imbalanced protein-localization classes.
+    SyntheticSpec s;
+    s.name = "yeast";
+    s.kind = SyntheticKind::kGaussianClusters;
+    s.num_instances = 750;
+    s.num_informative = 6;
+    s.num_redundant = 2;
+    s.num_classes = 10;
+    s.class_sep = 0.95;
+    s.label_noise = 0.12;
+    s.imbalance = 0.70;
+    s.seed = 1008;
+    add(std::move(s), 8, 10, 1484, 51.80, 66.23);
+  }
+  {
+    // occupancy: 5 sensor attributes, near-separable binary problem.
+    SyntheticSpec s;
+    s.name = "occupancy";
+    s.kind = SyntheticKind::kRules;
+    s.num_instances = 900;
+    s.num_informative = 5;
+    s.num_classes = 2;
+    s.class_sep = 2.5;
+    s.label_noise = 0.02;
+    s.seed = 1009;
+    add(std::move(s), 5, 2, 20560, 93.99, 95.55);
+  }
+  {
+    // kin8nm: smooth nonlinear kinematics surface, binarized target.
+    SyntheticSpec s;
+    s.name = "kin8nm";
+    s.kind = SyntheticKind::kSpirals;
+    s.num_instances = 900;
+    s.num_informative = 8;
+    s.num_classes = 2;
+    s.class_sep = 1.6;
+    s.label_noise = 0.05;
+    s.seed = 1010;
+    add(std::move(s), 8, 2, 8192, 93.99, 96.42);
+  }
+  return out;
+}
+
+std::vector<SyntheticSpec> BootstrapKbSpecs(size_t count, uint64_t seed) {
+  std::vector<SyntheticSpec> out;
+  out.reserve(count);
+  Rng rng(seed);
+  const SyntheticKind kinds[] = {
+      SyntheticKind::kGaussianClusters, SyntheticKind::kHypercube,
+      SyntheticKind::kRules, SyntheticKind::kSpirals};
+  for (size_t i = 0; i < count; ++i) {
+    SyntheticSpec s;
+    s.name = StrFormat("kb%02zu", i);
+    // Cycle kinds deterministically, then jitter everything else. The sweep
+    // is designed to cover the meta-feature space around the Table 4
+    // recipes: varied dimensionality, class counts, hardness, categorical
+    // mix, imbalance, and missingness.
+    s.kind = kinds[i % 4];
+    s.num_instances = 250 + rng.UniformInt(static_cast<uint64_t>(650));
+    s.num_informative = 3 + rng.UniformInt(static_cast<uint64_t>(22));
+    s.num_redundant = rng.UniformInt(static_cast<uint64_t>(12));
+    s.num_noise = rng.UniformInt(static_cast<uint64_t>(20));
+    s.num_categorical = (i % 3 == 0) ? rng.UniformInt(static_cast<uint64_t>(4))
+                                     : 0;
+    s.categorical_cardinality = 2 + rng.UniformInt(static_cast<uint64_t>(5));
+    s.num_classes = 2 + rng.UniformInt(static_cast<uint64_t>(11));
+    s.clusters_per_class = 1 + static_cast<int>(rng.UniformInt(3));
+    s.class_sep = rng.Uniform(0.5, 2.6);
+    s.label_noise = rng.Uniform(0.0, 0.15);
+    s.imbalance = rng.Uniform(0.65, 1.0);
+    s.missing_fraction = (i % 5 == 0) ? rng.Uniform(0.0, 0.05) : 0.0;
+    s.seed = 50000 + i * 131;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace smartml

@@ -1,0 +1,78 @@
+// Synthetic classification dataset generators.
+//
+// The paper evaluates on OpenML/UCI/Kaggle datasets and bootstraps its
+// knowledge base with 50 public datasets. Those artifacts are not available
+// offline, so this module provides a parameterized generator family whose
+// recipes are tuned to match each paper dataset's shape (#attributes,
+// #classes, #instances, hardness) at laptop scale. Meta-learning only ever
+// observes datasets through their meta-features, so spanning a wide
+// meta-feature range is the property that matters for reproducing the
+// knowledge-base transfer behaviour.
+#ifndef SMARTML_DATA_SYNTHETIC_H_
+#define SMARTML_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace smartml {
+
+/// Geometry of the generated class structure.
+enum class SyntheticKind {
+  kGaussianClusters,  ///< Gaussian blobs per class (clusters_per_class each).
+  kHypercube,         ///< Classes at hypercube vertices (madelon-like).
+  kRules,             ///< Labels from a random decision-rule program.
+  kSpirals,           ///< Interleaved 2-D spirals lifted into d dims.
+};
+
+/// Full recipe for one synthetic dataset.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  SyntheticKind kind = SyntheticKind::kGaussianClusters;
+  size_t num_instances = 500;
+  size_t num_informative = 5;   ///< Features carrying class signal.
+  size_t num_redundant = 0;     ///< Linear combinations of informative ones.
+  size_t num_noise = 0;         ///< Pure noise numeric features.
+  size_t num_categorical = 0;   ///< Class-correlated categorical features.
+  size_t categorical_cardinality = 4;
+  size_t num_classes = 2;
+  int clusters_per_class = 1;
+  double class_sep = 2.0;       ///< Separation scale; lower = harder.
+  double label_noise = 0.0;     ///< Fraction of labels flipped at random.
+  double missing_fraction = 0.0;
+  double imbalance = 1.0;       ///< Geometric decay of class priors (1 = balanced).
+  uint64_t seed = 42;
+
+  size_t TotalNumeric() const {
+    return num_informative + num_redundant + num_noise;
+  }
+};
+
+/// Generates a dataset from a recipe. Deterministic in spec.seed.
+Dataset GenerateSynthetic(const SyntheticSpec& spec);
+
+/// A paper evaluation dataset: the Table 4 row plus our scaled recipe.
+struct Table4Entry {
+  SyntheticSpec spec;
+  /// Shape reported in the paper (before our down-scaling).
+  size_t paper_attributes;
+  size_t paper_classes;
+  size_t paper_instances;
+  double paper_autoweka_accuracy;  ///< Table 4 Auto-Weka column (%).
+  double paper_smartml_accuracy;   ///< Table 4 SmartML column (%).
+};
+
+/// The 10 evaluation datasets of Table 4, as scaled synthetic recipes.
+std::vector<Table4Entry> Table4Datasets();
+
+/// `count` varied recipes for bootstrapping the knowledge base (the paper
+/// uses 50 datasets from OpenML/UCI/Kaggle). Recipes sweep kind, size,
+/// dimensionality, class count, hardness, and categorical mix.
+std::vector<SyntheticSpec> BootstrapKbSpecs(size_t count = 50,
+                                            uint64_t seed = 7);
+
+}  // namespace smartml
+
+#endif  // SMARTML_DATA_SYNTHETIC_H_

@@ -1,0 +1,94 @@
+#include "src/interpret/interpret.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/data/metrics.h"
+
+namespace smartml {
+
+StatusOr<std::vector<FeatureImportance>> PermutationImportance(
+    const Classifier& model, const Dataset& data, int repeats,
+    uint64_t seed) {
+  if (data.NumRows() < 2) {
+    return Status::InvalidArgument("importance: need at least 2 rows");
+  }
+  SMARTML_ASSIGN_OR_RETURN(std::vector<int> base_pred, model.Predict(data));
+  const double base_accuracy = Accuracy(data.labels(), base_pred);
+
+  Rng rng(seed);
+  std::vector<FeatureImportance> out;
+  out.reserve(data.NumFeatures());
+  for (size_t f = 0; f < data.NumFeatures(); ++f) {
+    double drop_sum = 0.0;
+    for (int rep = 0; rep < std::max(1, repeats); ++rep) {
+      Dataset shuffled = data;
+      auto& col = shuffled.mutable_feature(f).values;
+      rng.Shuffle(&col);
+      SMARTML_ASSIGN_OR_RETURN(std::vector<int> pred,
+                               model.Predict(shuffled));
+      drop_sum += base_accuracy - Accuracy(data.labels(), pred);
+    }
+    FeatureImportance fi;
+    fi.feature = data.feature(f).name;
+    fi.importance = drop_sum / std::max(1, repeats);
+    out.push_back(std::move(fi));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FeatureImportance& a, const FeatureImportance& b) {
+              return a.importance > b.importance;
+            });
+  return out;
+}
+
+StatusOr<PartialDependence> ComputePartialDependence(
+    const Classifier& model, const Dataset& data, size_t feature_index,
+    int target_class, int grid_points) {
+  if (feature_index >= data.NumFeatures()) {
+    return Status::InvalidArgument("pdp: feature index out of range");
+  }
+  const auto& col = data.feature(feature_index);
+  if (col.is_categorical()) {
+    return Status::InvalidArgument("pdp: feature must be numeric");
+  }
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (double v : col.values) {
+    if (IsMissing(v)) continue;
+    if (first) {
+      lo = hi = v;
+      first = false;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (first) return Status::InvalidArgument("pdp: feature entirely missing");
+
+  PartialDependence pd;
+  pd.feature = col.name;
+  const int points = std::max(2, grid_points);
+  for (int g = 0; g < points; ++g) {
+    const double value =
+        lo + (hi - lo) * static_cast<double>(g) / (points - 1);
+    Dataset modified = data;
+    for (double& v : modified.mutable_feature(feature_index).values) {
+      v = value;
+    }
+    SMARTML_ASSIGN_OR_RETURN(std::vector<std::vector<double>> proba,
+                             model.PredictProba(modified));
+    double mean = 0.0;
+    for (const auto& p : proba) {
+      if (static_cast<size_t>(target_class) < p.size()) {
+        mean += p[static_cast<size_t>(target_class)];
+      }
+    }
+    mean /= static_cast<double>(proba.size());
+    pd.grid.push_back(value);
+    pd.mean_probability.push_back(mean);
+  }
+  return pd;
+}
+
+}  // namespace smartml

@@ -1,0 +1,43 @@
+// Model interpretability (the paper integrates the R `iml` package "to
+// explain for the user the most important features"): permutation feature
+// importance and partial-dependence-style feature effects.
+#ifndef SMARTML_INTERPRET_INTERPRET_H_
+#define SMARTML_INTERPRET_INTERPRET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/dataset.h"
+#include "src/ml/classifier.h"
+
+namespace smartml {
+
+/// One feature's permutation importance.
+struct FeatureImportance {
+  std::string feature;
+  /// Accuracy drop when the feature is permuted (>= 0 means informative).
+  double importance = 0.0;
+};
+
+/// Permutation importance of every feature of `data` for trained `model`,
+/// sorted descending. `repeats` permutations are averaged per feature.
+StatusOr<std::vector<FeatureImportance>> PermutationImportance(
+    const Classifier& model, const Dataset& data, int repeats = 3,
+    uint64_t seed = 97);
+
+/// Partial-dependence curve of one numeric feature: the mean predicted
+/// probability of `target_class` while the feature is swept over a grid.
+struct PartialDependence {
+  std::string feature;
+  std::vector<double> grid;
+  std::vector<double> mean_probability;
+};
+
+StatusOr<PartialDependence> ComputePartialDependence(
+    const Classifier& model, const Dataset& data, size_t feature_index,
+    int target_class, int grid_points = 12);
+
+}  // namespace smartml
+
+#endif  // SMARTML_INTERPRET_INTERPRET_H_

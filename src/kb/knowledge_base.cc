@@ -1,0 +1,247 @@
+#include "src/kb/knowledge_base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace smartml {
+
+namespace {
+constexpr char kHeader[] = "smartml-kb v1";
+}
+
+void KnowledgeBase::AddRecord(const KbRecord& record) {
+  for (auto& existing : records_) {
+    if (existing.dataset_name != record.dataset_name) continue;
+    // Merge: refresh meta-features, keep the better result per algorithm.
+    existing.meta_features = record.meta_features;
+    if (record.has_landmarks) {
+      existing.has_landmarks = true;
+      existing.landmarks = record.landmarks;
+    }
+    for (const auto& incoming : record.results) {
+      bool merged = false;
+      for (auto& r : existing.results) {
+        if (r.algorithm == incoming.algorithm) {
+          if (incoming.accuracy > r.accuracy) r = incoming;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) existing.results.push_back(incoming);
+    }
+    RefreshNormalizer();
+    return;
+  }
+  records_.push_back(record);
+  RefreshNormalizer();
+}
+
+const KbRecord* KnowledgeBase::Find(const std::string& dataset_name) const {
+  for (const auto& r : records_) {
+    if (r.dataset_name == dataset_name) return &r;
+  }
+  return nullptr;
+}
+
+void KnowledgeBase::RefreshNormalizer() {
+  std::vector<MetaFeatureVector> vectors;
+  vectors.reserve(records_.size());
+  for (const auto& r : records_) vectors.push_back(r.meta_features);
+  normalizer_.Fit(vectors);
+}
+
+std::vector<std::pair<const KbRecord*, double>> KnowledgeBase::NearestRecords(
+    const MetaFeatureVector& mf, size_t k) const {
+  return NearestRecords(mf, nullptr, 0.0, k);
+}
+
+std::vector<std::pair<const KbRecord*, double>> KnowledgeBase::NearestRecords(
+    const MetaFeatureVector& mf, const LandmarkVector* landmarks,
+    double landmark_weight, size_t k) const {
+  std::vector<std::pair<const KbRecord*, double>> out;
+  if (records_.empty()) return out;
+  const MetaFeatureVector query = normalizer_.Apply(mf);
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    double distance =
+        MetaFeatureDistance(query, normalizer_.Apply(r.meta_features));
+    if (landmarks != nullptr && landmark_weight > 0.0 && r.has_landmarks) {
+      distance += landmark_weight * LandmarkDistance(*landmarks, r.landmarks);
+    }
+    out.emplace_back(&r, distance);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<Nomination> KnowledgeBase::Nominate(
+    const MetaFeatureVector& mf, const NominationOptions& options) const {
+  return NominateImpl(
+      NearestRecords(mf, nullptr, 0.0, options.max_neighbors), options);
+}
+
+std::vector<Nomination> KnowledgeBase::Nominate(
+    const MetaFeatureVector& mf, const LandmarkVector& landmarks,
+    const NominationOptions& options) const {
+  return NominateImpl(NearestRecords(mf, &landmarks, options.landmark_weight,
+                                     options.max_neighbors),
+                      options);
+}
+
+std::vector<Nomination> KnowledgeBase::NominateImpl(
+    const std::vector<std::pair<const KbRecord*, double>>& neighbors,
+    const NominationOptions& options) const {
+  std::vector<Nomination> out;
+  if (records_.empty() || options.max_algorithms == 0) return out;
+
+  // Score every (algorithm, neighbour) pair: the distance kernel rewards
+  // close datasets, the performance term rewards algorithms that did well
+  // there. Evidence is summed so an algorithm confirmed by several similar
+  // datasets — or dominant on one very similar dataset — rises to the top
+  // (the paper's two weighted factors).
+  struct Accumulator {
+    double score = 0.0;
+    // (accuracy-weighted) configs from contributing neighbours.
+    std::vector<std::pair<double, ParamConfig>> configs;
+  };
+  std::map<std::string, Accumulator> by_algorithm;
+  for (const auto& [record, distance] : neighbors) {
+    const double sim =
+        1.0 / std::pow(1.0 + distance, options.distance_sharpness);
+    for (const auto& result : record->results) {
+      const double perf =
+          options.performance_weight > 0
+              ? std::pow(std::max(result.accuracy, 0.0),
+                         options.performance_weight)
+              : 1.0;
+      Accumulator& acc = by_algorithm[result.algorithm];
+      acc.score += sim * perf;
+      acc.configs.emplace_back(sim * perf, result.best_config);
+    }
+  }
+
+  for (auto& [algorithm, acc] : by_algorithm) {
+    Nomination nomination;
+    nomination.algorithm = algorithm;
+    nomination.score = acc.score;
+    std::sort(acc.configs.begin(), acc.configs.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (auto& [w, config] : acc.configs) {
+      nomination.warm_start_configs.push_back(std::move(config));
+      if (nomination.warm_start_configs.size() >= 3) break;
+    }
+    out.push_back(std::move(nomination));
+  }
+  std::sort(out.begin(), out.end(), [](const Nomination& a, const Nomination& b) {
+    return a.score > b.score;
+  });
+  if (out.size() > options.max_algorithms) out.resize(options.max_algorithms);
+  return out;
+}
+
+std::string KnowledgeBase::Serialize() const {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  for (const auto& record : records_) {
+    out << "record " << record.dataset_name << "\n";
+    out << "meta " << MetaFeaturesToString(record.meta_features) << "\n";
+    if (record.has_landmarks) {
+      out << "landmarks " << LandmarksToString(record.landmarks) << "\n";
+    }
+    for (const auto& result : record.results) {
+      out << "algo " << result.algorithm << " "
+          << StrFormat("%.10g", result.accuracy) << " "
+          << result.best_config.ToString() << "\n";
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+StatusOr<KnowledgeBase> KnowledgeBase::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) ||
+      std::string(StripAsciiWhitespace(line)) != kHeader) {
+    return Status::InvalidArgument("KB: bad or missing header");
+  }
+  KnowledgeBase kb;
+  KbRecord current;
+  bool in_record = false;
+  while (std::getline(in, line)) {
+    const std::string_view sv = StripAsciiWhitespace(line);
+    if (sv.empty()) continue;
+    if (sv.rfind("record ", 0) == 0) {
+      if (in_record) return Status::InvalidArgument("KB: nested record");
+      current = KbRecord();
+      current.dataset_name = std::string(sv.substr(7));
+      in_record = true;
+    } else if (sv.rfind("meta ", 0) == 0) {
+      if (!in_record) return Status::InvalidArgument("KB: meta outside record");
+      SMARTML_ASSIGN_OR_RETURN(
+          current.meta_features,
+          MetaFeaturesFromString(std::string(sv.substr(5))));
+    } else if (sv.rfind("landmarks ", 0) == 0) {
+      if (!in_record) {
+        return Status::InvalidArgument("KB: landmarks outside record");
+      }
+      SMARTML_ASSIGN_OR_RETURN(current.landmarks,
+                               LandmarksFromString(std::string(sv.substr(10))));
+      current.has_landmarks = true;
+    } else if (sv.rfind("algo ", 0) == 0) {
+      if (!in_record) return Status::InvalidArgument("KB: algo outside record");
+      // "algo <name> <accuracy> <config...>"; config may be empty.
+      const std::string rest(sv.substr(5));
+      const size_t sp1 = rest.find(' ');
+      if (sp1 == std::string::npos) {
+        return Status::InvalidArgument("KB: malformed algo line");
+      }
+      size_t sp2 = rest.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos) sp2 = rest.size();
+      KbAlgorithmResult result;
+      result.algorithm = rest.substr(0, sp1);
+      if (!ParseDouble(rest.substr(sp1 + 1, sp2 - sp1 - 1),
+                       &result.accuracy)) {
+        return Status::InvalidArgument("KB: bad accuracy in algo line");
+      }
+      if (sp2 < rest.size()) {
+        SMARTML_ASSIGN_OR_RETURN(result.best_config,
+                                 ParamConfig::FromString(rest.substr(sp2 + 1)));
+      }
+      current.results.push_back(std::move(result));
+    } else if (sv == "end") {
+      if (!in_record) return Status::InvalidArgument("KB: stray end");
+      kb.AddRecord(current);
+      in_record = false;
+    } else {
+      return Status::InvalidArgument("KB: unrecognized line '" +
+                                     std::string(sv) + "'");
+    }
+  }
+  if (in_record) return Status::InvalidArgument("KB: truncated record");
+  return kb;
+}
+
+Status KnowledgeBase::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << Serialize();
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+StatusOr<KnowledgeBase> KnowledgeBase::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Deserialize(buf.str());
+}
+
+}  // namespace smartml

@@ -1,0 +1,118 @@
+// The continuously-updated knowledge base.
+//
+// Stores, per processed dataset, its 25 meta-features and the best observed
+// (accuracy, hyperparameter configuration) per algorithm. For a new dataset
+// it nominates candidate algorithms by a weighted nearest-neighbour scheme:
+// Euclidean distance over z-normalized meta-features combined with the
+// magnitude of the best performances on the similar datasets (paper §2), and
+// returns the stored configurations as SMAC warm starts. Every completed
+// SmartML run is folded back in, which is what makes the framework "smarter
+// over time".
+#ifndef SMARTML_KB_KNOWLEDGE_BASE_H_
+#define SMARTML_KB_KNOWLEDGE_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/metafeatures/landmarking.h"
+#include "src/metafeatures/metafeatures.h"
+#include "src/tuning/param_space.h"
+
+namespace smartml {
+
+/// Best observed outcome of one algorithm on one dataset.
+struct KbAlgorithmResult {
+  std::string algorithm;
+  double accuracy = 0.0;  ///< Validation accuracy in [0, 1].
+  ParamConfig best_config;
+};
+
+/// One dataset's entry.
+struct KbRecord {
+  std::string dataset_name;
+  MetaFeatureVector meta_features{};
+  /// Optional landmarking extension (empty when not computed).
+  bool has_landmarks = false;
+  LandmarkVector landmarks{};
+  std::vector<KbAlgorithmResult> results;
+};
+
+/// One nominated algorithm for a new dataset.
+struct Nomination {
+  std::string algorithm;
+  double score = 0.0;  ///< Similarity x performance evidence (higher=better).
+  /// Best stored configs from the contributing neighbours, best first —
+  /// used to initialize SMAC.
+  std::vector<ParamConfig> warm_start_configs;
+};
+
+/// Tuning knobs for the similarity scheme (exposed for the ablation bench).
+struct NominationOptions {
+  size_t max_algorithms = 3;   ///< How many algorithms to nominate.
+  size_t max_neighbors = 3;    ///< k in the nearest-neighbour lookup.
+  /// Exponent on the performance magnitude; 0 disables performance
+  /// weighting (distance-only ablation).
+  double performance_weight = 1.0;
+  /// Sharpness of the distance kernel weight = 1/(1+dist)^sharpness.
+  double distance_sharpness = 2.0;
+  /// Contribution of landmark distance to the combined distance (0 = off;
+  /// used only for query/record pairs that both carry landmarks). Landmark
+  /// distances live in [0, 2], so weights of 1-5 are reasonable.
+  double landmark_weight = 0.0;
+};
+
+class KnowledgeBase {
+ public:
+  /// Inserts or merges a record. Merging keeps, per algorithm, the result
+  /// with the higher accuracy (this is the paper's incremental update).
+  void AddRecord(const KbRecord& record);
+
+  size_t NumRecords() const { return records_.size(); }
+  const std::vector<KbRecord>& records() const { return records_; }
+
+  /// Finds the record for `dataset_name`, or nullptr.
+  const KbRecord* Find(const std::string& dataset_name) const;
+
+  /// Nominates algorithms for a dataset with meta-features `mf`.
+  /// Empty-KB behaviour: returns an empty list (the caller falls back to a
+  /// default roster).
+  std::vector<Nomination> Nominate(const MetaFeatureVector& mf,
+                                   const NominationOptions& options) const;
+
+  /// Nomination with the landmarking extension: the query's landmark vector
+  /// contributes `options.landmark_weight` x landmark-distance to the
+  /// combined distance for records that also carry landmarks.
+  std::vector<Nomination> Nominate(const MetaFeatureVector& mf,
+                                   const LandmarkVector& landmarks,
+                                   const NominationOptions& options) const;
+
+  /// The k nearest records and their distances (normalized space).
+  std::vector<std::pair<const KbRecord*, double>> NearestRecords(
+      const MetaFeatureVector& mf, size_t k) const;
+
+  /// Nearest records under the combined (meta-feature + landmark) distance.
+  std::vector<std::pair<const KbRecord*, double>> NearestRecords(
+      const MetaFeatureVector& mf, const LandmarkVector* landmarks,
+      double landmark_weight, size_t k) const;
+
+  /// Text serialization (versioned, line oriented).
+  std::string Serialize() const;
+  static StatusOr<KnowledgeBase> Deserialize(const std::string& text);
+
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<KnowledgeBase> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<Nomination> NominateImpl(
+      const std::vector<std::pair<const KbRecord*, double>>& neighbors,
+      const NominationOptions& options) const;
+  void RefreshNormalizer();
+
+  std::vector<KbRecord> records_;
+  MetaFeatureNormalizer normalizer_;
+};
+
+}  // namespace smartml
+
+#endif  // SMARTML_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,359 @@
+#include "src/linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/strings.h"
+
+namespace smartml {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    std::copy(rows[r].begin(), rows[r].end(), m.RowPtr(r));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Multiply(const std::vector<double>& v) const {
+  assert(cols_ == v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+StatusOr<SymmetricEigen> EigenSymmetric(const Matrix& a, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("EigenSymmetric: matrix must be square");
+  }
+  const size_t n = a.rows();
+  Matrix d = a;              // Working copy; converges to diagonal.
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+    }
+    if (off < 1e-22) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  for (size_t i = 0; i < n; ++i) out.values[i] = d(i, i);
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return out.values[x] > out.values[y];
+  });
+  SymmetricEigen sorted;
+  sorted.values.resize(n);
+  sorted.vectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    sorted.values[j] = out.values[order[j]];
+    for (size_t i = 0; i < n; ++i) {
+      sorted.vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return sorted;
+}
+
+StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
+                                            const std::vector<double>& b,
+                                            double ridge) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("CholeskySolve: dimension mismatch");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j) + (i == j ? ridge : 0.0);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition(
+              "CholeskySolve: matrix not positive definite");
+        }
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+namespace {
+
+// LU decomposition with partial pivoting in place; returns permutation or
+// error if singular.
+Status LuDecompose(Matrix* a, std::vector<size_t>* perm) {
+  const size_t n = a->rows();
+  perm->resize(n);
+  std::iota(perm->begin(), perm->end(), size_t{0});
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs((*a)(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs((*a)(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      return Status::FailedPrecondition("LU: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap((*a)(pivot, c), (*a)(col, c));
+      }
+      std::swap((*perm)[pivot], (*perm)[col]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = (*a)(r, col) / (*a)(col, col);
+      (*a)(r, col) = f;
+      for (size_t c = col + 1; c < n; ++c) {
+        (*a)(r, c) -= f * (*a)(col, c);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> LuBackSolve(const Matrix& lu,
+                                const std::vector<size_t>& perm,
+                                const std::vector<double>& b) {
+  const size_t n = lu.rows();
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm[i]];
+    for (size_t k = 0; k < i; ++k) sum -= lu(i, k) * y[k];
+    y[i] = sum;
+  }
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= lu(ii, k) * x[k];
+    x[ii] = sum / lu(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> LuSolve(const Matrix& a,
+                                      const std::vector<double>& b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("LuSolve: dimension mismatch");
+  }
+  Matrix lu = a;
+  std::vector<size_t> perm;
+  SMARTML_RETURN_NOT_OK(LuDecompose(&lu, &perm));
+  return LuBackSolve(lu, perm, b);
+}
+
+StatusOr<Matrix> Inverse(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Inverse: matrix must be square");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm;
+  SMARTML_RETURN_NOT_OK(LuDecompose(&lu, &perm));
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (size_t col = 0; col < n; ++col) {
+    e.assign(n, 0.0);
+    e[col] = 1.0;
+    const std::vector<double> x = LuBackSolve(lu, perm, e);
+    for (size_t r = 0; r < n; ++r) inv(r, col) = x[r];
+  }
+  return inv;
+}
+
+StatusOr<double> LogDetSpd(const Matrix& a, double ridge) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LogDetSpd: matrix must be square");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  double logdet = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j) + (i == j ? ridge : 0.0);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition("LogDetSpd: not SPD");
+        }
+        l(i, i) = std::sqrt(sum);
+        logdet += 2.0 * std::log(l(i, i));
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return logdet;
+}
+
+std::vector<double> ColumnMeans(const Matrix& x) {
+  std::vector<double> mean(x.cols(), 0.0);
+  if (x.rows() == 0) return mean;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < x.cols(); ++c) mean[c] += row[c];
+  }
+  for (double& m : mean) m /= static_cast<double>(x.rows());
+  return mean;
+}
+
+Matrix Covariance(const Matrix& x) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const std::vector<double> mean = ColumnMeans(x);
+  Matrix cov(d, d);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t i = 0; i < d; ++i) {
+      const double di = row[i] - mean[i];
+      for (size_t j = i; j < d; ++j) {
+        cov(i, j) += di * (row[j] - mean[j]);
+      }
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1)
+                             : std::max<double>(1.0, static_cast<double>(n));
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace smartml

@@ -1,0 +1,114 @@
+// Dense double-precision matrix and the factorizations SmartML's numeric
+// classifiers need (LDA/RDA/PCA/PLS/ICA/neural nets).
+//
+// Deliberately small: row-major storage, no expression templates. Everything
+// here is O(n^3)-class dense math on matrices of at most a few thousand rows,
+// which is the regime the framework operates in.
+#ifndef SMARTML_LINALG_MATRIX_H_
+#define SMARTML_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace smartml {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data (row-major); all rows must have the
+  /// same length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const double* RowPtr(size_t r) const { return &data_[r * cols_]; }
+  double* RowPtr(size_t r) { return &data_[r * cols_]; }
+
+  std::vector<double> Row(size_t r) const;
+  std::vector<double> Col(size_t c) const;
+
+  Matrix Transpose() const;
+
+  /// Matrix product this * other. Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product.
+  std::vector<double> Multiply(const std::vector<double>& v) const;
+
+  /// Element-wise addition / scaling.
+  Matrix Add(const Matrix& other) const;
+  Matrix Scale(double s) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Result of a symmetric eigendecomposition: A = V diag(values) V^T with
+/// eigenvalues sorted descending and eigenvectors in the *columns* of V.
+struct SymmetricEigen {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns an error
+/// if `a` is not square.
+StatusOr<SymmetricEigen> EigenSymmetric(const Matrix& a,
+                                        int max_sweeps = 64);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky. Adds
+/// `ridge` to the diagonal first (0 keeps A unchanged). Errors if A is not
+/// SPD even after the ridge.
+StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
+                                            const std::vector<double>& b,
+                                            double ridge = 0.0);
+
+/// Solves A x = b by LU with partial pivoting. Errors on singular A.
+StatusOr<std::vector<double>> LuSolve(const Matrix& a,
+                                      const std::vector<double>& b);
+
+/// Inverse via LU; errors on singular input.
+StatusOr<Matrix> Inverse(const Matrix& a);
+
+/// log(det(A)) for SPD A via Cholesky; errors if not SPD.
+StatusOr<double> LogDetSpd(const Matrix& a, double ridge = 0.0);
+
+/// Column means of a data matrix (rows = samples).
+std::vector<double> ColumnMeans(const Matrix& x);
+
+/// Sample covariance (divides by n-1; by n if only one row).
+Matrix Covariance(const Matrix& x);
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& a);
+
+}  // namespace smartml
+
+#endif  // SMARTML_LINALG_MATRIX_H_

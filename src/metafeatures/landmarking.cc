@@ -1,0 +1,144 @@
+#include "src/metafeatures/landmarking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/data/metrics.h"
+#include "src/data/split.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/discriminant.h"
+#include "src/ml/knn.h"
+#include "src/ml/naive_bayes.h"
+
+namespace smartml {
+
+const std::array<std::string, kNumLandmarkers>& LandmarkerNames() {
+  static const std::array<std::string, kNumLandmarkers> kNames = {
+      "lm_1nn", "lm_naive_bayes", "lm_stump", "lm_lda"};
+  return kNames;
+}
+
+namespace {
+
+double HoldoutAccuracy(Classifier* model, const ParamConfig& config,
+                       const TrainValidationSplit& split) {
+  if (!model->Fit(split.train, config).ok()) return 0.0;
+  auto pred = model->Predict(split.validation);
+  if (!pred.ok()) return 0.0;
+  return Accuracy(split.validation.labels(), *pred);
+}
+
+}  // namespace
+
+StatusOr<LandmarkVector> ExtractLandmarkers(const Dataset& dataset,
+                                            uint64_t seed, size_t max_rows) {
+  if (dataset.NumRows() < 8 || dataset.NumClasses() < 2) {
+    return Status::InvalidArgument(
+        "landmarking: need >= 8 rows and >= 2 classes");
+  }
+  // Stratified subsample for speed.
+  Dataset sample = dataset;
+  if (dataset.NumRows() > max_rows) {
+    Rng rng(seed);
+    std::vector<std::vector<size_t>> by_class(dataset.NumClasses());
+    for (size_t r = 0; r < dataset.NumRows(); ++r) {
+      by_class[static_cast<size_t>(dataset.label(r))].push_back(r);
+    }
+    std::vector<size_t> rows;
+    const double fraction = static_cast<double>(max_rows) /
+                            static_cast<double>(dataset.NumRows());
+    for (auto& group : by_class) {
+      rng.Shuffle(&group);
+      const size_t take = std::max<size_t>(
+          1, static_cast<size_t>(fraction * static_cast<double>(group.size()) +
+                                 0.5));
+      for (size_t i = 0; i < take && i < group.size(); ++i) {
+        rows.push_back(group[i]);
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    sample = dataset.Subset(rows);
+  }
+
+  SMARTML_ASSIGN_OR_RETURN(TrainValidationSplit split,
+                           StratifiedSplit(sample, 0.3, seed));
+
+  LandmarkVector lm{};
+  {
+    KnnClassifier knn;
+    ParamConfig config;
+    config.SetInt("k", 1);
+    lm[0] = HoldoutAccuracy(&knn, config, split);
+  }
+  {
+    NaiveBayesClassifier nb;
+    lm[1] = HoldoutAccuracy(&nb, NaiveBayesClassifier::Space().DefaultConfig(),
+                            split);
+  }
+  {
+    // Decision stump: depth-1 tree built directly on the raw matrix.
+    DecisionTree stump;
+    TreeOptions options;
+    options.max_depth = 1;
+    const Status status = stump.Fit(
+        split.train.ToRawMatrix(), TreeSchema::FromDataset(split.train),
+        split.train.labels(), static_cast<int>(split.train.NumClasses()), {},
+        options);
+    if (status.ok()) {
+      const Matrix x = split.validation.ToRawMatrix();
+      std::vector<int> pred(x.rows());
+      for (size_t r = 0; r < x.rows(); ++r) {
+        pred[r] = stump.PredictRow(x.RowPtr(r));
+      }
+      lm[2] = Accuracy(split.validation.labels(), pred);
+    }
+  }
+  {
+    LdaClassifier lda;
+    lm[3] = HoldoutAccuracy(&lda, LdaClassifier::Space().DefaultConfig(),
+                            split);
+  }
+  return lm;
+}
+
+std::string LandmarksToString(const LandmarkVector& lm) {
+  std::string out;
+  for (size_t i = 0; i < kNumLandmarkers; ++i) {
+    if (i > 0) out += " ";
+    out += StrFormat("%.10g", lm[i]);
+  }
+  return out;
+}
+
+StatusOr<LandmarkVector> LandmarksFromString(const std::string& text) {
+  std::vector<std::string> parts;
+  for (const std::string& tok : Split(text, ' ')) {
+    if (!StripAsciiWhitespace(tok).empty()) parts.push_back(tok);
+  }
+  if (parts.size() != kNumLandmarkers) {
+    return Status::InvalidArgument(
+        StrFormat("landmarks: expected %zu values, got %zu", kNumLandmarkers,
+                  parts.size()));
+  }
+  LandmarkVector lm{};
+  for (size_t i = 0; i < kNumLandmarkers; ++i) {
+    if (!ParseDouble(parts[i], &lm[i])) {
+      return Status::InvalidArgument("landmarks: bad value '" + parts[i] +
+                                     "'");
+    }
+  }
+  return lm;
+}
+
+double LandmarkDistance(const LandmarkVector& a, const LandmarkVector& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < kNumLandmarkers; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace smartml

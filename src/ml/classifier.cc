@@ -1,0 +1,32 @@
+#include "src/ml/classifier.h"
+
+namespace smartml {
+
+StatusOr<std::vector<int>> Classifier::Predict(const Dataset& data) const {
+  SMARTML_ASSIGN_OR_RETURN(std::vector<std::vector<double>> proba,
+                           PredictProba(data));
+  std::vector<int> out(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) out[i] = ArgMax(proba[i]);
+  return out;
+}
+
+int ArgMax(const std::vector<double>& v) {
+  int best = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[static_cast<size_t>(best)]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+void NormalizeProba(std::vector<double>* v) {
+  double total = 0.0;
+  for (double x : *v) total += x;
+  if (total <= 0.0) {
+    const double u = v->empty() ? 0.0 : 1.0 / static_cast<double>(v->size());
+    for (double& x : *v) x = u;
+    return;
+  }
+  for (double& x : *v) x /= total;
+}
+
+}  // namespace smartml

@@ -1,0 +1,681 @@
+#include "src/ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/distributions.h"
+#include "src/common/strings.h"
+
+namespace smartml {
+
+namespace {
+
+double GiniImpurity(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) {
+    const double p = c / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+double EntropyImpurity(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0) continue;
+    const double p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double Impurity(TreeCriterion criterion, const std::vector<double>& counts,
+                double total) {
+  return criterion == TreeCriterion::kGini ? GiniImpurity(counts, total)
+                                           : EntropyImpurity(counts, total);
+}
+
+struct SplitCandidate {
+  bool valid = false;
+  int feature = -1;
+  bool categorical = false;
+  bool multiway = false;
+  double threshold = 0.0;
+  int category = -1;
+  double score = -std::numeric_limits<double>::infinity();
+  double gain = 0.0;  // Weighted impurity decrease (always entropy/gini gain).
+};
+
+}  // namespace
+
+TreeSchema TreeSchema::FromDataset(const Dataset& dataset) {
+  TreeSchema schema;
+  schema.categorical.reserve(dataset.NumFeatures());
+  schema.cardinalities.reserve(dataset.NumFeatures());
+  for (const auto& f : dataset.features()) {
+    schema.categorical.push_back(f.is_categorical());
+    schema.cardinalities.push_back(f.is_categorical() ? f.num_categories() : 0);
+  }
+  return schema;
+}
+
+std::string TreeCondition::ToString(const Dataset& schema_source) const {
+  const auto& feat = schema_source.feature(static_cast<size_t>(feature));
+  std::string name = feat.name;
+  switch (op) {
+    case Op::kLessEq:
+      return StrFormat("%s <= %.4g", name.c_str(), value);
+    case Op::kGreater:
+      return StrFormat("%s > %.4g", name.c_str(), value);
+    case Op::kEquals:
+      return name + " = " +
+             (feat.is_categorical() &&
+                      static_cast<size_t>(value) < feat.categories.size()
+                  ? feat.categories[static_cast<size_t>(value)]
+                  : StrFormat("%.4g", value));
+    case Op::kNotEquals:
+      return name + " != " +
+             (feat.is_categorical() &&
+                      static_cast<size_t>(value) < feat.categories.size()
+                  ? feat.categories[static_cast<size_t>(value)]
+                  : StrFormat("%.4g", value));
+  }
+  return "?";
+}
+
+Status DecisionTree::Fit(const Matrix& x, const TreeSchema& schema,
+                         const std::vector<int>& y, int num_classes,
+                         const std::vector<double>& weights,
+                         const TreeOptions& options) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("DecisionTree: bad training shape");
+  }
+  if (schema.categorical.size() != x.cols()) {
+    return Status::InvalidArgument("DecisionTree: schema/feature mismatch");
+  }
+  if (num_classes < 1) {
+    return Status::InvalidArgument("DecisionTree: need >= 1 class");
+  }
+  nodes_.clear();
+  schema_ = schema;
+  options_ = options;
+  num_classes_ = num_classes;
+
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(x.rows(), 1.0);
+  if (w.size() != x.rows()) {
+    return Status::InvalidArgument("DecisionTree: weight/row mismatch");
+  }
+
+  // Rows with zero weight (e.g. out-of-bootstrap samples) are excluded
+  // entirely so they influence neither counts nor split thresholds.
+  std::vector<size_t> rows;
+  rows.reserve(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    if (w[r] > 0.0) rows.push_back(r);
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("DecisionTree: all weights are zero");
+  }
+  Rng rng(options.seed);
+  BuildNode(x, y, w, rows, 0, &rng);
+  if (options_.confidence_factor > 0) Prune(0);
+  return Status::OK();
+}
+
+int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
+                            const std::vector<double>& w,
+                            const std::vector<size_t>& rows, int depth,
+                            Rng* rng) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.depth = depth;
+    node.class_counts.assign(static_cast<size_t>(num_classes_), 0.0);
+    for (size_t r : rows) {
+      node.class_counts[static_cast<size_t>(y[r])] += w[r];
+      node.weight += w[r];
+    }
+    node.majority = ArgMaxCount(node.class_counts);
+  }
+
+  auto is_pure = [&]() {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    return node.class_counts[static_cast<size_t>(node.majority)] >=
+           node.weight - 1e-12;
+  };
+
+  if (depth >= options_.max_depth || rows.size() < options_.min_split ||
+      is_pure()) {
+    return index;
+  }
+
+  const double parent_weight = nodes_[static_cast<size_t>(index)].weight;
+  const double parent_impurity =
+      Impurity(options_.criterion == TreeCriterion::kGainRatio
+                   ? TreeCriterion::kEntropy
+                   : options_.criterion,
+               nodes_[static_cast<size_t>(index)].class_counts, parent_weight);
+  if (parent_impurity <= 1e-12) return index;
+
+  // Feature subset (mtry).
+  const size_t d = x.cols();
+  std::vector<size_t> features(d);
+  std::iota(features.begin(), features.end(), size_t{0});
+  if (options_.mtry > 0 && static_cast<size_t>(options_.mtry) < d) {
+    rng->Shuffle(&features);
+    features.resize(static_cast<size_t>(options_.mtry));
+  }
+
+  SplitCandidate best;
+  std::vector<double> left_counts(static_cast<size_t>(num_classes_));
+  std::vector<double> right_counts(static_cast<size_t>(num_classes_));
+
+  const TreeCriterion impurity_criterion =
+      options_.criterion == TreeCriterion::kGainRatio ? TreeCriterion::kEntropy
+                                                      : options_.criterion;
+
+  for (size_t f : features) {
+    // Collect non-missing (value, row) pairs for this feature.
+    std::vector<std::pair<double, size_t>> present;
+    present.reserve(rows.size());
+    double missing_weight = 0.0;
+    for (size_t r : rows) {
+      const double v = x(r, f);
+      if (IsMissing(v)) {
+        missing_weight += w[r];
+      } else {
+        present.emplace_back(v, r);
+      }
+    }
+    if (present.size() < 2 * options_.min_leaf) continue;
+    double present_weight = 0.0;
+    for (const auto& [v, r] : present) present_weight += w[r];
+    if (present_weight <= 0) continue;
+    // C4.5-style penalty: scale gain by the fraction of known values.
+    const double known_fraction =
+        present_weight / (present_weight + missing_weight);
+
+    if (!schema_.categorical[f]) {
+      std::sort(present.begin(), present.end());
+      std::fill(left_counts.begin(), left_counts.end(), 0.0);
+      std::vector<double> total_counts(static_cast<size_t>(num_classes_), 0.0);
+      for (const auto& [v, r] : present) {
+        total_counts[static_cast<size_t>(y[r])] += w[r];
+      }
+      double left_weight = 0.0;
+      const double total_impurity =
+          Impurity(impurity_criterion, total_counts, present_weight);
+      for (size_t i = 0; i + 1 < present.size(); ++i) {
+        const size_t r = present[i].second;
+        left_counts[static_cast<size_t>(y[r])] += w[r];
+        left_weight += w[r];
+        if (present[i].first >= present[i + 1].first - 1e-300) continue;
+        const size_t left_n = i + 1;
+        const size_t right_n = present.size() - left_n;
+        if (left_n < options_.min_leaf || right_n < options_.min_leaf) {
+          continue;
+        }
+        const double right_weight = present_weight - left_weight;
+        for (int k = 0; k < num_classes_; ++k) {
+          right_counts[static_cast<size_t>(k)] =
+              total_counts[static_cast<size_t>(k)] -
+              left_counts[static_cast<size_t>(k)];
+        }
+        const double child_impurity =
+            (left_weight * Impurity(impurity_criterion, left_counts,
+                                    left_weight) +
+             right_weight * Impurity(impurity_criterion, right_counts,
+                                     right_weight)) /
+            present_weight;
+        double gain = (total_impurity - child_impurity) * known_fraction;
+        if (gain <= 0) continue;
+        double score = gain;
+        if (options_.criterion == TreeCriterion::kGainRatio) {
+          const double pl = left_weight / present_weight;
+          const double pr = right_weight / present_weight;
+          const double split_info =
+              -(pl * std::log2(pl) + pr * std::log2(pr));
+          if (split_info < 1e-9) continue;
+          score = gain / split_info;
+        }
+        if (score > best.score) {
+          best.valid = true;
+          best.feature = static_cast<int>(f);
+          best.categorical = false;
+          best.multiway = false;
+          best.threshold = 0.5 * (present[i].first + present[i + 1].first);
+          best.score = score;
+          best.gain = gain * parent_weight;
+        }
+      }
+    } else {
+      const size_t k_cats = std::max<size_t>(schema_.cardinalities[f], 1);
+      // Per-category class counts.
+      std::vector<std::vector<double>> cat_counts(
+          k_cats, std::vector<double>(static_cast<size_t>(num_classes_), 0.0));
+      std::vector<double> cat_weight(k_cats, 0.0);
+      std::vector<size_t> cat_n(k_cats, 0);
+      std::vector<double> total_counts(static_cast<size_t>(num_classes_), 0.0);
+      for (const auto& [v, r] : present) {
+        const auto code = static_cast<size_t>(v);
+        if (code >= k_cats) continue;
+        cat_counts[code][static_cast<size_t>(y[r])] += w[r];
+        cat_weight[code] += w[r];
+        cat_n[code] += 1;
+        total_counts[static_cast<size_t>(y[r])] += w[r];
+      }
+      const double total_impurity =
+          Impurity(impurity_criterion, total_counts, present_weight);
+
+      if (options_.multiway_categorical && k_cats >= 2) {
+        // One child per category.
+        size_t populated = 0;
+        double child_impurity = 0.0;
+        double split_info = 0.0;
+        bool leaf_ok = true;
+        for (size_t c = 0; c < k_cats; ++c) {
+          if (cat_n[c] == 0) continue;
+          ++populated;
+          if (cat_n[c] < options_.min_leaf) leaf_ok = false;
+          child_impurity += cat_weight[c] * Impurity(impurity_criterion,
+                                                     cat_counts[c],
+                                                     cat_weight[c]);
+          const double p = cat_weight[c] / present_weight;
+          if (p > 0) split_info -= p * std::log2(p);
+        }
+        child_impurity /= present_weight;
+        if (populated >= 2 && leaf_ok) {
+          double gain = (total_impurity - child_impurity) * known_fraction;
+          if (gain > 0) {
+            double score = gain;
+            if (options_.criterion == TreeCriterion::kGainRatio) {
+              if (split_info >= 1e-9) {
+                score = gain / split_info;
+              } else {
+                score = -std::numeric_limits<double>::infinity();
+              }
+            }
+            if (score > best.score) {
+              best.valid = true;
+              best.feature = static_cast<int>(f);
+              best.categorical = true;
+              best.multiway = true;
+              best.score = score;
+              best.gain = gain * parent_weight;
+            }
+          }
+        }
+      } else {
+        // Binary one-vs-rest splits.
+        for (size_t c = 0; c < k_cats; ++c) {
+          const size_t left_n = cat_n[c];
+          const size_t right_n = present.size() - left_n;
+          if (left_n < options_.min_leaf || right_n < options_.min_leaf) {
+            continue;
+          }
+          const double left_weight = cat_weight[c];
+          const double right_weight = present_weight - left_weight;
+          for (int k = 0; k < num_classes_; ++k) {
+            left_counts[static_cast<size_t>(k)] =
+                cat_counts[c][static_cast<size_t>(k)];
+            right_counts[static_cast<size_t>(k)] =
+                total_counts[static_cast<size_t>(k)] -
+                left_counts[static_cast<size_t>(k)];
+          }
+          const double child_impurity =
+              (left_weight * Impurity(impurity_criterion, left_counts,
+                                      left_weight) +
+               right_weight * Impurity(impurity_criterion, right_counts,
+                                       right_weight)) /
+              present_weight;
+          double gain = (total_impurity - child_impurity) * known_fraction;
+          if (gain <= 0) continue;
+          double score = gain;
+          if (options_.criterion == TreeCriterion::kGainRatio) {
+            const double pl = left_weight / present_weight;
+            const double pr = right_weight / present_weight;
+            const double split_info =
+                -(pl * std::log2(pl) + pr * std::log2(pr));
+            if (split_info < 1e-9) continue;
+            score = gain / split_info;
+          }
+          if (score > best.score) {
+            best.valid = true;
+            best.feature = static_cast<int>(f);
+            best.categorical = true;
+            best.multiway = false;
+            best.category = static_cast<int>(c);
+            best.score = score;
+            best.gain = gain * parent_weight;
+          }
+        }
+      }
+    }
+  }
+
+  if (!best.valid) return index;
+  // rpart-style complexity gate: the split must remove at least
+  // min_impurity_decrease of the node's own weighted impurity.
+  if (best.gain <
+      options_.min_impurity_decrease * parent_weight * parent_impurity +
+          1e-15) {
+    return index;
+  }
+
+  // Partition rows.
+  const auto f = static_cast<size_t>(best.feature);
+  std::vector<std::vector<size_t>> parts;
+  if (best.multiway) {
+    const size_t k_cats = std::max<size_t>(schema_.cardinalities[f], 1);
+    parts.assign(k_cats, {});
+    std::vector<size_t> missing;
+    for (size_t r : rows) {
+      const double v = x(r, f);
+      if (IsMissing(v) || static_cast<size_t>(v) >= k_cats) {
+        missing.push_back(r);
+      } else {
+        parts[static_cast<size_t>(v)].push_back(r);
+      }
+    }
+    // Missing rows join the most populated branch.
+    size_t heaviest = 0;
+    for (size_t c = 1; c < parts.size(); ++c) {
+      if (parts[c].size() > parts[heaviest].size()) heaviest = c;
+    }
+    for (size_t r : missing) parts[heaviest].push_back(r);
+  } else {
+    parts.assign(2, {});
+    std::vector<size_t> missing;
+    for (size_t r : rows) {
+      const double v = x(r, f);
+      if (IsMissing(v)) {
+        missing.push_back(r);
+        continue;
+      }
+      const bool left = best.categorical
+                            ? static_cast<int>(v) == best.category
+                            : v <= best.threshold;
+      parts[left ? 0 : 1].push_back(r);
+    }
+    const size_t heavier = parts[0].size() >= parts[1].size() ? 0 : 1;
+    for (size_t r : missing) parts[heavier].push_back(r);
+  }
+
+  // Degenerate partitions can occur after missing-value routing.
+  size_t populated = 0;
+  for (const auto& p : parts) {
+    if (!p.empty()) ++populated;
+  }
+  if (populated < 2) return index;
+
+  // Fill in the split; children are built recursively afterwards so the
+  // nodes_ vector may reallocate (take care not to hold references).
+  {
+    Node& node = nodes_[static_cast<size_t>(index)];
+    node.leaf = false;
+    node.feature = best.feature;
+    node.categorical_split = best.categorical;
+    node.threshold = best.threshold;
+    node.category = best.category;
+    node.split_gain = best.gain;
+  }
+  std::vector<int> children;
+  children.reserve(parts.size());
+  int majority_child = 0;
+  double heaviest_weight = -1.0;
+  for (size_t c = 0; c < parts.size(); ++c) {
+    int child;
+    if (parts[c].empty()) {
+      // Empty multiway branch: a leaf that inherits the parent distribution.
+      child = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+      Node& leaf_node = nodes_.back();
+      leaf_node.depth = depth + 1;
+      leaf_node.class_counts = nodes_[static_cast<size_t>(index)].class_counts;
+      leaf_node.weight = 0.0;
+      leaf_node.majority = nodes_[static_cast<size_t>(index)].majority;
+    } else {
+      child = BuildNode(x, y, w, parts[c], depth + 1, rng);
+    }
+    children.push_back(child);
+    const double cw = nodes_[static_cast<size_t>(child)].weight;
+    if (cw > heaviest_weight) {
+      heaviest_weight = cw;
+      majority_child = static_cast<int>(c);
+    }
+  }
+  Node& node = nodes_[static_cast<size_t>(index)];
+  node.children = std::move(children);
+  node.majority_child = majority_child;
+  return index;
+}
+
+int DecisionTree::ArgMaxCount(const std::vector<double>& counts) {
+  int best = 0;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[static_cast<size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+double DecisionTree::LeafErrorUpperBound(const Node& node) const {
+  const double n = std::max(node.weight, 1e-9);
+  const double errors =
+      node.weight - node.class_counts[static_cast<size_t>(node.majority)];
+  if (options_.confidence_factor <= 0) return errors;
+  // C4.5's pessimistic estimate: binomial upper confidence limit at CF.
+  return n * BinomialUpperConfidence(errors, n, options_.confidence_factor);
+}
+
+double DecisionTree::SubtreeError(int node_index) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  if (node.leaf) return LeafErrorUpperBound(node);
+  double total = 0.0;
+  for (int child : node.children) total += SubtreeError(child);
+  return total;
+}
+
+void DecisionTree::Prune(int node_index) {
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  if (node.leaf) return;
+  for (int child : node.children) Prune(child);
+  const double as_leaf = LeafErrorUpperBound(node);
+  const double as_subtree = SubtreeError(node_index);
+  if (as_leaf <= as_subtree + 0.1) {
+    node.leaf = true;
+    node.children.clear();
+  }
+}
+
+std::vector<double> DecisionTree::PredictProbaRow(const double* row) const {
+  std::vector<double> proba(static_cast<size_t>(num_classes_),
+                            1.0 / std::max(1, num_classes_));
+  if (nodes_.empty()) return proba;
+  size_t index = 0;
+  while (!nodes_[index].leaf) {
+    const Node& node = nodes_[index];
+    const double v = row[node.feature];
+    int branch;
+    if (IsMissing(v)) {
+      branch = node.majority_child;
+    } else if (node.categorical_split) {
+      if (node.children.size() > 2 || node.category < 0) {
+        // Multiway.
+        const auto code = static_cast<size_t>(v);
+        branch = code < node.children.size() ? static_cast<int>(code)
+                                             : node.majority_child;
+      } else {
+        branch = static_cast<int>(v) == node.category ? 0 : 1;
+      }
+    } else {
+      branch = v <= node.threshold ? 0 : 1;
+    }
+    index = static_cast<size_t>(node.children[static_cast<size_t>(branch)]);
+  }
+  // Laplace-smoothed leaf frequencies.
+  const Node& leaf = nodes_[index];
+  double total = leaf.weight + num_classes_;
+  for (int k = 0; k < num_classes_; ++k) {
+    proba[static_cast<size_t>(k)] =
+        (leaf.class_counts[static_cast<size_t>(k)] + 1.0) / total;
+  }
+  return proba;
+}
+
+int DecisionTree::PredictRow(const double* row) const {
+  if (nodes_.empty()) return 0;
+  size_t index = 0;
+  while (!nodes_[index].leaf) {
+    const Node& node = nodes_[index];
+    const double v = row[node.feature];
+    int branch;
+    if (IsMissing(v)) {
+      branch = node.majority_child;
+    } else if (node.categorical_split) {
+      if (node.children.size() > 2 || node.category < 0) {
+        const auto code = static_cast<size_t>(v);
+        branch = code < node.children.size() ? static_cast<int>(code)
+                                             : node.majority_child;
+      } else {
+        branch = static_cast<int>(v) == node.category ? 0 : 1;
+      }
+    } else {
+      branch = v <= node.threshold ? 0 : 1;
+    }
+    index = static_cast<size_t>(node.children[static_cast<size_t>(branch)]);
+  }
+  return nodes_[index].majority;
+}
+
+int DecisionTree::LeafIndexForRow(const double* row) const {
+  if (nodes_.empty()) return -1;
+  size_t index = 0;
+  while (!nodes_[index].leaf) {
+    const Node& node = nodes_[index];
+    const double v = row[node.feature];
+    int branch;
+    if (IsMissing(v)) {
+      branch = node.majority_child;
+    } else if (node.categorical_split) {
+      if (node.children.size() > 2 || node.category < 0) {
+        const auto code = static_cast<size_t>(v);
+        branch = code < node.children.size() ? static_cast<int>(code)
+                                             : node.majority_child;
+      } else {
+        branch = static_cast<int>(v) == node.category ? 0 : 1;
+      }
+    } else {
+      branch = v <= node.threshold ? 0 : 1;
+    }
+    index = static_cast<size_t>(node.children[static_cast<size_t>(branch)]);
+  }
+  return static_cast<int>(index);
+}
+
+size_t DecisionTree::NumLeaves() const {
+  // Traverse from the root: pruning detaches subtrees whose nodes remain in
+  // the flat vector, so a plain scan would overcount.
+  if (nodes_.empty()) return 0;
+  size_t n = 0;
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (node.leaf) {
+      ++n;
+    } else {
+      stack.insert(stack.end(), node.children.begin(), node.children.end());
+    }
+  }
+  return n;
+}
+
+int DecisionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  int depth = 0;
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    depth = std::max(depth, node.depth);
+    if (!node.leaf) {
+      stack.insert(stack.end(), node.children.begin(), node.children.end());
+    }
+  }
+  return depth;
+}
+
+void DecisionTree::CollectLeafRules(int node_index,
+                                    std::vector<TreeCondition>* path,
+                                    std::vector<LeafRule>* out) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  if (node.leaf) {
+    LeafRule rule;
+    rule.conditions = *path;
+    rule.weight = node.weight;
+    rule.class_counts = node.class_counts;
+    rule.majority = node.majority;
+    out->push_back(std::move(rule));
+    return;
+  }
+  for (size_t c = 0; c < node.children.size(); ++c) {
+    TreeCondition cond;
+    cond.feature = node.feature;
+    if (node.categorical_split) {
+      if (node.children.size() > 2 || node.category < 0) {
+        cond.op = TreeCondition::Op::kEquals;
+        cond.value = static_cast<double>(c);
+      } else {
+        cond.op = c == 0 ? TreeCondition::Op::kEquals
+                         : TreeCondition::Op::kNotEquals;
+        cond.value = static_cast<double>(node.category);
+      }
+    } else {
+      cond.op =
+          c == 0 ? TreeCondition::Op::kLessEq : TreeCondition::Op::kGreater;
+      cond.value = node.threshold;
+    }
+    path->push_back(cond);
+    CollectLeafRules(node.children[c], path, out);
+    path->pop_back();
+  }
+}
+
+std::vector<DecisionTree::LeafRule> DecisionTree::ExtractLeafRules() const {
+  std::vector<LeafRule> out;
+  if (nodes_.empty()) return out;
+  std::vector<TreeCondition> path;
+  CollectLeafRules(0, &path, &out);
+  std::sort(out.begin(), out.end(), [](const LeafRule& a, const LeafRule& b) {
+    return a.weight > b.weight;
+  });
+  return out;
+}
+
+std::vector<double> DecisionTree::FeatureImportances(
+    size_t num_features) const {
+  std::vector<double> imp(num_features, 0.0);
+  if (nodes_.empty()) return imp;
+  // Root traversal so pruned-away subtrees contribute nothing.
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (node.leaf) continue;
+    if (node.feature >= 0 && static_cast<size_t>(node.feature) < num_features) {
+      imp[static_cast<size_t>(node.feature)] += node.split_gain;
+    }
+    stack.insert(stack.end(), node.children.begin(), node.children.end());
+  }
+  return imp;
+}
+
+}  // namespace smartml

@@ -1,0 +1,133 @@
+// Shared decision-tree engine.
+//
+// One configurable tree builder backs eight of the fifteen classifiers:
+// J48/C5.0/PART use the gain-ratio criterion with C4.5 error-based pruning
+// and multiway categorical splits; rpart/Bagging/RandomForest use Gini with
+// binary splits; LMT grows small trees with logistic leaves; DeepBoost
+// reweights samples between depth-limited trees.
+#ifndef SMARTML_ML_DECISION_TREE_H_
+#define SMARTML_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/data/dataset.h"
+#include "src/linalg/matrix.h"
+
+namespace smartml {
+
+/// Split-quality criterion.
+enum class TreeCriterion { kGini, kEntropy, kGainRatio };
+
+struct TreeOptions {
+  TreeCriterion criterion = TreeCriterion::kGini;
+  int max_depth = 30;
+  size_t min_split = 2;   ///< Minimum samples at a node to try splitting.
+  size_t min_leaf = 1;    ///< Minimum samples in each child.
+  /// Minimum fraction of the root impurity a split must remove (rpart's cp).
+  double min_impurity_decrease = 0.0;
+  /// C4.5 confidence factor for error-based pruning; <= 0 disables pruning.
+  double confidence_factor = 0.0;
+  /// Number of features examined per split; <= 0 means all (random forests
+  /// set this to mtry).
+  int mtry = 0;
+  /// Multiway splits on categorical features (C4.5 style); false gives
+  /// binary one-category-vs-rest splits (CART style).
+  bool multiway_categorical = false;
+  uint64_t seed = 1;
+};
+
+/// Feature typing the tree needs from the Dataset schema.
+struct TreeSchema {
+  std::vector<bool> categorical;      ///< Per feature.
+  std::vector<size_t> cardinalities;  ///< Per feature (0 for numeric).
+
+  static TreeSchema FromDataset(const Dataset& dataset);
+};
+
+/// One condition on a root-to-leaf path, for rule extraction (PART).
+struct TreeCondition {
+  int feature = 0;
+  enum class Op { kLessEq, kGreater, kEquals, kNotEquals } op = Op::kLessEq;
+  double value = 0.0;
+  std::string ToString(const Dataset& schema_source) const;
+};
+
+/// A weighted decision tree over the raw feature matrix (one column per
+/// feature; categorical cells hold category codes; NaN = missing, routed to
+/// the heavier child at predict time).
+class DecisionTree {
+ public:
+  /// Trains the tree. `weights` may be empty (all ones). `x` is the
+  /// ToRawMatrix() encoding of the training data.
+  Status Fit(const Matrix& x, const TreeSchema& schema,
+             const std::vector<int>& y, int num_classes,
+             const std::vector<double>& weights, const TreeOptions& options);
+
+  /// Class-probability estimate for one raw-encoded row (Laplace-smoothed
+  /// leaf frequencies).
+  std::vector<double> PredictProbaRow(const double* row) const;
+
+  int PredictRow(const double* row) const;
+
+  /// Index of the leaf a row lands in (for LMT leaf models).
+  int LeafIndexForRow(const double* row) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  int num_classes() const { return num_classes_; }
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumLeaves() const;
+  int Depth() const;
+
+  /// Leaves as (path conditions, weight, class counts), heaviest first —
+  /// PART picks the best-covering leaf as its next rule.
+  struct LeafRule {
+    std::vector<TreeCondition> conditions;
+    double weight = 0.0;
+    std::vector<double> class_counts;
+    int majority = 0;
+  };
+  std::vector<LeafRule> ExtractLeafRules() const;
+
+  /// Total (weighted) impurity decrease contributed by each feature —
+  /// the tree-internal importance used by RandomForest reporting.
+  std::vector<double> FeatureImportances(size_t num_features) const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    bool categorical_split = false;
+    double threshold = 0.0;      // Numeric: left iff value <= threshold.
+    int category = -1;           // Binary categorical: left iff code == category.
+    std::vector<int> children;   // 2 for binary, k for multiway.
+    int majority_child = 0;      // Missing values follow this child.
+    std::vector<double> class_counts;
+    double weight = 0.0;
+    int majority = 0;
+    int depth = 0;
+    double split_gain = 0.0;     // Weighted impurity decrease of the split.
+  };
+
+  static int ArgMaxCount(const std::vector<double>& counts);
+  int BuildNode(const Matrix& x, const std::vector<int>& y,
+                const std::vector<double>& w,
+                const std::vector<size_t>& rows, int depth, Rng* rng);
+  void Prune(int node_index);
+  double SubtreeError(int node_index) const;
+  double LeafErrorUpperBound(const Node& node) const;
+  void CollectLeafRules(int node_index, std::vector<TreeCondition>* path,
+                        std::vector<LeafRule>* out) const;
+
+  std::vector<Node> nodes_;
+  TreeSchema schema_;
+  TreeOptions options_;
+  int num_classes_ = 0;
+};
+
+}  // namespace smartml
+
+#endif  // SMARTML_ML_DECISION_TREE_H_

@@ -1,0 +1,116 @@
+#include "src/ml/encoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartml {
+
+Status NumericEncoder::Fit(const Dataset& train, bool standardize) {
+  if (train.NumRows() == 0 || train.NumFeatures() == 0) {
+    return Status::InvalidArgument("NumericEncoder: empty training data");
+  }
+  standardize_ = standardize;
+  num_features_ = train.NumFeatures();
+  plans_.clear();
+  plans_.reserve(num_features_);
+  size_t offset = 0;
+  for (const auto& f : train.features()) {
+    ColumnPlan plan;
+    plan.categorical = f.is_categorical();
+    plan.offset = offset;
+    if (plan.categorical) {
+      plan.width = std::max<size_t>(f.num_categories(), 1);
+    } else {
+      plan.width = 1;
+      double sum = 0.0;
+      size_t cnt = 0;
+      for (double v : f.values) {
+        if (!IsMissing(v)) {
+          sum += v;
+          ++cnt;
+        }
+      }
+      plan.impute_mean = cnt > 0 ? sum / static_cast<double>(cnt) : 0.0;
+    }
+    offset += plan.width;
+    plans_.push_back(plan);
+  }
+  output_width_ = offset;
+  fitted_ = true;
+
+  out_means_.assign(output_width_, 0.0);
+  out_stddevs_.assign(output_width_, 1.0);
+  if (standardize_) {
+    // Compute the raw (un-standardized) encoding to learn column stats.
+    standardize_ = false;
+    auto raw = Transform(train);
+    standardize_ = true;
+    if (!raw.ok()) return raw.status();
+    const Matrix& x = *raw;
+    const size_t n = x.rows();
+    for (size_t c = 0; c < output_width_; ++c) {
+      double mean = 0.0;
+      for (size_t r = 0; r < n; ++r) mean += x(r, c);
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (size_t r = 0; r < n; ++r) {
+        const double d = x(r, c) - mean;
+        var += d * d;
+      }
+      var /= std::max<double>(1.0, static_cast<double>(n - 1));
+      out_means_[c] = mean;
+      out_stddevs_[c] = var > 1e-12 ? std::sqrt(var) : 1.0;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Matrix> NumericEncoder::Transform(const Dataset& data) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("NumericEncoder: not fitted");
+  }
+  if (data.NumFeatures() != num_features_) {
+    return Status::InvalidArgument(
+        "NumericEncoder: schema mismatch (feature count)");
+  }
+  const size_t n = data.NumRows();
+  Matrix x(n, output_width_);
+  for (size_t f = 0; f < num_features_; ++f) {
+    const ColumnPlan& plan = plans_[f];
+    const auto& col = data.feature(f);
+    if (plan.categorical != col.is_categorical()) {
+      return Status::InvalidArgument(
+          "NumericEncoder: schema mismatch (column type)");
+    }
+    if (plan.categorical) {
+      for (size_t r = 0; r < n; ++r) {
+        const double v = col.values[r];
+        if (IsMissing(v)) continue;
+        const auto code = static_cast<size_t>(v);
+        if (code < plan.width) x(r, plan.offset + code) = 1.0;
+      }
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        const double v = col.values[r];
+        x(r, plan.offset) = IsMissing(v) ? plan.impute_mean : v;
+      }
+    }
+  }
+  if (standardize_) {
+    for (size_t r = 0; r < n; ++r) {
+      double* row = x.RowPtr(r);
+      for (size_t c = 0; c < output_width_; ++c) {
+        row[c] = (row[c] - out_means_[c]) / out_stddevs_[c];
+      }
+    }
+  }
+  return x;
+}
+
+StatusOr<Matrix> NumericEncoder::FitTransform(const Dataset& train,
+                                              bool standardize) {
+  SMARTML_RETURN_NOT_OK(Fit(train, standardize));
+  return Transform(train);
+}
+
+}  // namespace smartml

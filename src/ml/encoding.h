@@ -1,0 +1,54 @@
+// Train-time-fitted numeric encoding for margin/distance-based learners.
+//
+// Fits on the training dataset (column layout, one-hot dictionaries,
+// imputation means, optional standardization) and applies the *same*
+// transform to validation/test data, so encoded widths and scales always
+// match between Fit and Predict.
+#ifndef SMARTML_ML_ENCODING_H_
+#define SMARTML_ML_ENCODING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/dataset.h"
+#include "src/linalg/matrix.h"
+
+namespace smartml {
+
+class NumericEncoder {
+ public:
+  /// Learns the encoding from `train`. `standardize` additionally z-scores
+  /// each output column using training statistics.
+  Status Fit(const Dataset& train, bool standardize);
+
+  /// Encodes any dataset with the same feature schema. Missing numerics get
+  /// the training mean; unseen/missing categoricals get all-zero indicators.
+  StatusOr<Matrix> Transform(const Dataset& data) const;
+
+  /// Convenience: Fit then Transform the same data.
+  StatusOr<Matrix> FitTransform(const Dataset& train, bool standardize);
+
+  size_t output_width() const { return output_width_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  struct ColumnPlan {
+    bool categorical = false;
+    size_t offset = 0;       // First output column.
+    size_t width = 1;        // 1 for numeric, #categories for categorical.
+    double impute_mean = 0;  // Numeric imputation value.
+  };
+
+  bool fitted_ = false;
+  bool standardize_ = false;
+  size_t output_width_ = 0;
+  std::vector<ColumnPlan> plans_;
+  std::vector<double> out_means_;
+  std::vector<double> out_stddevs_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace smartml
+
+#endif  // SMARTML_ML_ENCODING_H_

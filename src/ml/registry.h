@@ -1,0 +1,43 @@
+// Registry of the 15 integrated classifiers (Table 3 of the paper): factory,
+// hyperparameter space, and the paper metadata each row of the table lists.
+#ifndef SMARTML_ML_REGISTRY_H_
+#define SMARTML_ML_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ml/classifier.h"
+#include "src/tuning/param_space.h"
+
+namespace smartml {
+
+/// Static description of one integrated algorithm.
+struct AlgorithmInfo {
+  std::string name;            ///< Stable id used in configs and the KB.
+  std::string paper_name;      ///< Name as printed in Table 3.
+  std::string paper_package;   ///< R package the paper wraps.
+  size_t categorical_params;   ///< Table 3 "Categorical parameters".
+  size_t numerical_params;     ///< Table 3 "Numerical parameters".
+};
+
+/// All 15 algorithm descriptions, in Table 3 order.
+const std::vector<AlgorithmInfo>& AllAlgorithms();
+
+/// The stable ids of all 15 algorithms, in Table 3 order.
+std::vector<std::string> AllAlgorithmNames();
+
+/// True if `name` is a registered algorithm id.
+bool IsKnownAlgorithm(const std::string& name);
+
+/// Creates an untrained classifier by id.
+StatusOr<std::unique_ptr<Classifier>> CreateClassifier(
+    const std::string& name);
+
+/// The declared hyperparameter space for an algorithm id.
+StatusOr<ParamSpace> SpaceFor(const std::string& name);
+
+}  // namespace smartml
+
+#endif  // SMARTML_ML_REGISTRY_H_

@@ -1,0 +1,95 @@
+// Single-tree classifiers: J48 (C4.5, RWeka), rpart (CART), and PART
+// (rule lists from partial C4.5 trees, RWeka).
+#ifndef SMARTML_ML_TREE_CLASSIFIERS_H_
+#define SMARTML_ML_TREE_CLASSIFIERS_H_
+
+#include "src/ml/classifier.h"
+#include "src/ml/decision_tree.h"
+#include "src/tuning/param_space.h"
+
+namespace smartml {
+
+/// C4.5 decision tree: gain-ratio splits, multiway categorical splits,
+/// confidence-factor error-based pruning.
+class J48Classifier : public Classifier {
+ public:
+  /// Table 3 space (1 categorical + 2 numeric): unpruned switch, confidence
+  /// factor C, minimum leaf size M.
+  static ParamSpace Space();
+
+  std::string name() const override { return "j48"; }
+  Status Fit(const Dataset& train, const ParamConfig& config) override;
+  StatusOr<std::vector<std::vector<double>>> PredictProba(
+      const Dataset& data) const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<J48Classifier>();
+  }
+
+  const DecisionTree& tree() const { return tree_; }
+
+ private:
+  DecisionTree tree_;
+  size_t num_features_ = 0;
+};
+
+/// CART tree with Gini splits and cost-complexity-style pre-pruning (cp).
+class RpartClassifier : public Classifier {
+ public:
+  /// Table 3 space (0 categorical + 4 numeric): cp, minsplit, minbucket,
+  /// maxdepth.
+  static ParamSpace Space();
+
+  std::string name() const override { return "rpart"; }
+  Status Fit(const Dataset& train, const ParamConfig& config) override;
+  StatusOr<std::vector<std::vector<double>>> PredictProba(
+      const Dataset& data) const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<RpartClassifier>();
+  }
+
+  const DecisionTree& tree() const { return tree_; }
+
+ private:
+  DecisionTree tree_;
+  size_t num_features_ = 0;
+};
+
+/// PART rule learner: repeatedly grows a pruned C4.5 tree on the instances
+/// not yet covered, turns the highest-coverage leaf into the next rule, and
+/// removes the covered instances. Prediction fires the first matching rule.
+class PartClassifier : public Classifier {
+ public:
+  /// Table 3 space (1 categorical + 2 numeric): pruned switch, confidence
+  /// factor, minimum instances per rule.
+  static ParamSpace Space();
+
+  std::string name() const override { return "part"; }
+  Status Fit(const Dataset& train, const ParamConfig& config) override;
+  StatusOr<std::vector<std::vector<double>>> PredictProba(
+      const Dataset& data) const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<PartClassifier>();
+  }
+
+  size_t NumRules() const { return rules_.size(); }
+
+  /// Human-readable rule list (for the interpretability report).
+  std::vector<std::string> RuleStrings(const Dataset& schema_source) const;
+
+ private:
+  struct Rule {
+    std::vector<TreeCondition> conditions;  // Empty = default rule.
+    std::vector<double> proba;
+    int majority = 0;
+  };
+
+  static bool Matches(const Rule& rule, const double* row);
+
+  std::vector<Rule> rules_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+};
+
+}  // namespace smartml
+
+#endif  // SMARTML_ML_TREE_CLASSIFIERS_H_

@@ -1,0 +1,311 @@
+#include "src/preprocess/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/strings.h"
+
+namespace smartml {
+
+namespace {
+
+double Entropy(const std::vector<double>& counts, double total) {
+  if (total <= 0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c <= 0) continue;
+    const double p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+// Assigns each row a discrete bin id for one feature: category code for
+// categorical features, equal-frequency bin for numeric ones; missing cells
+// get the last bin.
+std::vector<int> Discretize(const FeatureColumn& col, int bins) {
+  const size_t n = col.values.size();
+  std::vector<int> out(n, 0);
+  if (col.is_categorical()) {
+    const int missing_bin = static_cast<int>(col.num_categories());
+    for (size_t r = 0; r < n; ++r) {
+      out[r] = IsMissing(col.values[r]) ? missing_bin
+                                        : static_cast<int>(col.values[r]);
+    }
+    return out;
+  }
+  // Equal-frequency thresholds from the sorted present values.
+  std::vector<double> present;
+  present.reserve(n);
+  for (double v : col.values) {
+    if (!IsMissing(v)) present.push_back(v);
+  }
+  if (present.empty()) return out;
+  std::sort(present.begin(), present.end());
+  const int b = std::max(2, bins);
+  std::vector<double> thresholds;
+  for (int i = 1; i < b; ++i) {
+    thresholds.push_back(
+        present[present.size() * static_cast<size_t>(i) / static_cast<size_t>(b)]);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const double v = col.values[r];
+    if (IsMissing(v)) {
+      out[r] = b;  // Dedicated missing bin.
+      continue;
+    }
+    int bin = 0;
+    for (double t : thresholds) {
+      if (v > t) ++bin;
+    }
+    out[r] = bin;
+  }
+  return out;
+}
+
+double NumericVariance(const FeatureColumn& col) {
+  double sum = 0, sum_sq = 0;
+  size_t n = 0;
+  for (double v : col.values) {
+    if (IsMissing(v)) continue;
+    sum += v;
+    sum_sq += v * v;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double mean = sum / static_cast<double>(n);
+  return std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+}
+
+// Pearson correlation between two numeric columns over rows where both are
+// present.
+double PearsonCorrelation(const FeatureColumn& a, const FeatureColumn& b) {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t r = 0; r < a.values.size(); ++r) {
+    const double x = a.values[r];
+    const double y = b.values[r];
+    if (IsMissing(x) || IsMissing(y)) continue;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 3) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double cov = sxy / dn - (sx / dn) * (sy / dn);
+  const double vx = sxx / dn - (sx / dn) * (sx / dn);
+  const double vy = syy / dn - (sy / dn) * (sy / dn);
+  if (vx < 1e-15 || vy < 1e-15) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace
+
+const char* FeatureSelectorKindName(FeatureSelectorKind kind) {
+  switch (kind) {
+    case FeatureSelectorKind::kNone:
+      return "none";
+    case FeatureSelectorKind::kVarianceThreshold:
+      return "variance";
+    case FeatureSelectorKind::kCorrelationFilter:
+      return "correlation";
+    case FeatureSelectorKind::kInformationGain:
+      return "infogain";
+  }
+  return "unknown";
+}
+
+StatusOr<FeatureSelectorKind> ParseFeatureSelectorKind(
+    const std::string& name) {
+  const std::string lower = AsciiToLower(name);
+  for (FeatureSelectorKind kind :
+       {FeatureSelectorKind::kNone, FeatureSelectorKind::kVarianceThreshold,
+        FeatureSelectorKind::kCorrelationFilter,
+        FeatureSelectorKind::kInformationGain}) {
+    if (lower == FeatureSelectorKindName(kind)) return kind;
+  }
+  return Status::NotFound("unknown feature selector '" + name + "'");
+}
+
+std::vector<double> InformationGains(const Dataset& dataset, int bins) {
+  const size_t n = dataset.NumRows();
+  const int num_classes = static_cast<int>(dataset.NumClasses());
+  std::vector<double> class_counts(static_cast<size_t>(num_classes), 0.0);
+  for (int y : dataset.labels()) class_counts[static_cast<size_t>(y)] += 1.0;
+  const double class_entropy =
+      Entropy(class_counts, static_cast<double>(n));
+
+  std::vector<double> gains(dataset.NumFeatures(), 0.0);
+  for (size_t f = 0; f < dataset.NumFeatures(); ++f) {
+    const std::vector<int> binned = Discretize(dataset.feature(f), bins);
+    const int max_bin = *std::max_element(binned.begin(), binned.end());
+    std::vector<std::vector<double>> counts(
+        static_cast<size_t>(max_bin + 1),
+        std::vector<double>(static_cast<size_t>(num_classes), 0.0));
+    std::vector<double> bin_totals(static_cast<size_t>(max_bin + 1), 0.0);
+    for (size_t r = 0; r < n; ++r) {
+      counts[static_cast<size_t>(binned[r])]
+            [static_cast<size_t>(dataset.label(r))] += 1.0;
+      bin_totals[static_cast<size_t>(binned[r])] += 1.0;
+    }
+    double conditional = 0.0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      if (bin_totals[b] <= 0) continue;
+      conditional += bin_totals[b] / static_cast<double>(n) *
+                     Entropy(counts[b], bin_totals[b]);
+    }
+    gains[f] = std::max(0.0, class_entropy - conditional);
+  }
+  return gains;
+}
+
+Status FeatureSelector::Fit(const Dataset& train) {
+  if (train.NumFeatures() == 0 || train.NumRows() == 0) {
+    return Status::InvalidArgument("feature selection: empty dataset");
+  }
+  num_features_ = train.NumFeatures();
+  keep_.assign(num_features_, true);
+  scores_.assign(num_features_, 0.0);
+
+  // Explicit include list first.
+  if (!options_.include_features.empty()) {
+    keep_.assign(num_features_, false);
+    for (const std::string& name : options_.include_features) {
+      bool found = false;
+      for (size_t f = 0; f < num_features_; ++f) {
+        if (train.feature(f).name == name) {
+          keep_[f] = true;
+          found = true;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("feature '" + name + "' not in dataset");
+      }
+    }
+  }
+
+  switch (options_.kind) {
+    case FeatureSelectorKind::kNone:
+      break;
+    case FeatureSelectorKind::kVarianceThreshold: {
+      for (size_t f = 0; f < num_features_; ++f) {
+        if (!keep_[f]) continue;
+        const auto& col = train.feature(f);
+        // Categorical: keep unless constant.
+        if (col.is_categorical()) {
+          double first = std::numeric_limits<double>::quiet_NaN();
+          bool varies = false;
+          for (double v : col.values) {
+            if (IsMissing(v)) continue;
+            if (IsMissing(first)) {
+              first = v;
+            } else if (v != first) {
+              varies = true;
+              break;
+            }
+          }
+          scores_[f] = varies ? 1.0 : 0.0;
+          keep_[f] = varies;
+        } else {
+          scores_[f] = NumericVariance(col);
+          keep_[f] = scores_[f] >= options_.min_variance;
+        }
+      }
+      break;
+    }
+    case FeatureSelectorKind::kCorrelationFilter: {
+      // Greedy: walk features in order; drop a numeric feature if it is too
+      // correlated with an already-kept numeric feature.
+      std::vector<size_t> kept_numeric;
+      for (size_t f = 0; f < num_features_; ++f) {
+        if (!keep_[f] || train.feature(f).is_categorical()) continue;
+        double worst = 0.0;
+        for (size_t g : kept_numeric) {
+          worst = std::max(worst, std::fabs(PearsonCorrelation(
+                                      train.feature(f), train.feature(g))));
+        }
+        scores_[f] = worst;
+        if (worst > options_.max_abs_correlation) {
+          keep_[f] = false;
+        } else {
+          kept_numeric.push_back(f);
+        }
+      }
+      break;
+    }
+    case FeatureSelectorKind::kInformationGain: {
+      const std::vector<double> gains =
+          InformationGains(train, options_.gain_bins);
+      scores_ = gains;
+      if (options_.top_k > 0) {
+        // Keep the top-k (among the currently-included) by gain.
+        std::vector<size_t> order;
+        for (size_t f = 0; f < num_features_; ++f) {
+          if (keep_[f]) order.push_back(f);
+        }
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return gains[a] > gains[b];
+        });
+        std::vector<bool> next(num_features_, false);
+        for (size_t i = 0; i < order.size() && i < options_.top_k; ++i) {
+          next[order[i]] = true;
+        }
+        keep_ = std::move(next);
+      } else {
+        for (size_t f = 0; f < num_features_; ++f) {
+          if (keep_[f]) keep_[f] = gains[f] > 1e-12;
+        }
+      }
+      break;
+    }
+  }
+
+  // Never drop everything: fall back to the single best-scoring feature.
+  if (std::none_of(keep_.begin(), keep_.end(), [](bool k) { return k; })) {
+    size_t best = 0;
+    for (size_t f = 1; f < num_features_; ++f) {
+      if (scores_[f] > scores_[best]) best = f;
+    }
+    keep_[best] = true;
+  }
+
+  selected_names_.clear();
+  for (size_t f = 0; f < num_features_; ++f) {
+    if (keep_[f]) selected_names_.push_back(train.feature(f).name);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<Dataset> FeatureSelector::Transform(const Dataset& data) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("feature selection: not fitted");
+  }
+  if (data.NumFeatures() != num_features_) {
+    return Status::InvalidArgument("feature selection: schema mismatch");
+  }
+  Dataset out(data.name());
+  for (size_t f = 0; f < num_features_; ++f) {
+    if (!keep_[f]) continue;
+    const auto& col = data.feature(f);
+    if (col.is_categorical()) {
+      out.AddCategoricalFeature(col.name, col.values, col.categories);
+    } else {
+      out.AddNumericFeature(col.name, col.values);
+    }
+  }
+  out.SetLabels(data.labels(), data.class_names());
+  return out;
+}
+
+StatusOr<Dataset> FeatureSelector::FitTransform(const Dataset& train) {
+  SMARTML_RETURN_NOT_OK(Fit(train));
+  return Transform(train);
+}
+
+}  // namespace smartml

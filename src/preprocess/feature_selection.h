@@ -1,0 +1,89 @@
+// Feature selection (the paper's input-definition phase: the user can
+// "choose the required options for features selection" and "specify which
+// features of the dataset should be included in the modeling process").
+//
+// Three automatic selectors plus an explicit include-list:
+//   * variance threshold  — drop near-constant numeric features;
+//   * correlation filter  — drop one of each highly-correlated numeric pair;
+//   * information gain    — keep the top-k features by class information
+//                           gain (numeric features are entropy-binned).
+// All selectors follow fit-on-train / transform-anywhere semantics like the
+// preprocessing operators.
+#ifndef SMARTML_PREPROCESS_FEATURE_SELECTION_H_
+#define SMARTML_PREPROCESS_FEATURE_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/dataset.h"
+
+namespace smartml {
+
+enum class FeatureSelectorKind {
+  kNone,
+  kVarianceThreshold,
+  kCorrelationFilter,
+  kInformationGain,
+};
+
+/// Stable lower-case name ("variance", "correlation", "infogain", "none").
+const char* FeatureSelectorKindName(FeatureSelectorKind kind);
+
+/// Parses a selector name.
+StatusOr<FeatureSelectorKind> ParseFeatureSelectorKind(
+    const std::string& name);
+
+struct FeatureSelectionOptions {
+  FeatureSelectorKind kind = FeatureSelectorKind::kNone;
+  /// kVarianceThreshold: minimum variance a numeric feature must have.
+  double min_variance = 1e-8;
+  /// kCorrelationFilter: |Pearson r| above which the later feature of a
+  /// pair is dropped.
+  double max_abs_correlation = 0.95;
+  /// kInformationGain: how many features to keep (0 = keep all with
+  /// positive gain).
+  size_t top_k = 0;
+  /// Number of equal-frequency bins used to discretize numeric features for
+  /// the information-gain computation.
+  int gain_bins = 10;
+  /// Explicit include list applied *before* the automatic selector; empty
+  /// means all features. Unknown names are an error at Fit time.
+  std::vector<std::string> include_features;
+};
+
+/// A fitted feature selector: Fit() decides which columns survive, and
+/// Transform() projects any same-schema dataset onto them.
+class FeatureSelector {
+ public:
+  explicit FeatureSelector(FeatureSelectionOptions options = {})
+      : options_(std::move(options)) {}
+
+  Status Fit(const Dataset& train);
+  StatusOr<Dataset> Transform(const Dataset& data) const;
+  StatusOr<Dataset> FitTransform(const Dataset& train);
+
+  bool fitted() const { return fitted_; }
+  /// Names of the surviving features, in original order.
+  const std::vector<std::string>& selected() const { return selected_names_; }
+  /// Per-feature scores from the last Fit (meaning depends on kind:
+  /// variance, max |r| against kept features, or information gain).
+  const std::vector<double>& scores() const { return scores_; }
+
+ private:
+  FeatureSelectionOptions options_;
+  bool fitted_ = false;
+  std::vector<bool> keep_;
+  std::vector<std::string> selected_names_;
+  std::vector<double> scores_;
+  size_t num_features_ = 0;
+};
+
+/// Class information gain of every feature (numeric features discretized
+/// into `bins` equal-frequency bins; missing cells form their own bin).
+/// Exposed for tests and for ranking displays.
+std::vector<double> InformationGains(const Dataset& dataset, int bins = 10);
+
+}  // namespace smartml
+
+#endif  // SMARTML_PREPROCESS_FEATURE_SELECTION_H_

@@ -1,0 +1,167 @@
+#include "src/tuning/genetic.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace smartml {
+
+namespace {
+
+struct Individual {
+  ParamConfig config;
+  double fitness = 2.0;  // Mean fold cost; 2.0 = unevaluated sentinel.
+  bool evaluated = false;
+};
+
+// Parameter-wise uniform crossover.
+ParamConfig Crossover(const ParamSpace& space, const ParamConfig& a,
+                      const ParamConfig& b, Rng* rng) {
+  ParamConfig child;
+  for (const ParamSpec& spec : space.specs()) {
+    const ParamConfig& donor = rng->Bernoulli(0.5) ? a : b;
+    switch (spec.type) {
+      case ParamType::kDouble:
+        child.SetDouble(spec.name,
+                        donor.GetDouble(spec.name, spec.default_double));
+        break;
+      case ParamType::kInt:
+        child.SetInt(spec.name, donor.GetInt(spec.name, spec.default_int));
+        break;
+      case ParamType::kCategorical:
+        child.SetChoice(spec.name,
+                        donor.GetChoice(spec.name, spec.default_choice));
+        break;
+    }
+  }
+  return child;
+}
+
+}  // namespace
+
+StatusOr<TunedResult> GeneticSearch(const ParamSpace& space,
+                                    TuningObjective* objective,
+                                    const GeneticOptions& options) {
+  if (objective == nullptr || objective->NumFolds() == 0) {
+    return Status::InvalidArgument(
+        "genetic: objective with >= 1 fold required");
+  }
+  Rng rng(options.seed);
+  int evaluations_left = options.max_evaluations;
+
+  TunedResult result;
+  result.best_cost = 2.0;
+  result.best_config = space.DefaultConfig();
+
+  // Fitness cache so re-discovered genomes don't burn budget.
+  std::map<std::string, double> cache;
+
+  auto evaluate = [&](Individual* individual) -> Status {
+    if (individual->evaluated) return Status::OK();
+    const std::string key = individual->config.ToString();
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      individual->fitness = it->second;
+      individual->evaluated = true;
+      return Status::OK();
+    }
+    double total = 0.0;
+    size_t folds = 0;
+    for (size_t f = 0; f < objective->NumFolds(); ++f) {
+      if (evaluations_left <= 0 || options.deadline.Expired()) break;
+      SMARTML_ASSIGN_OR_RETURN(double cost,
+                               objective->EvaluateFold(individual->config, f));
+      --evaluations_left;
+      ++result.num_evaluations;
+      total += cost;
+      ++folds;
+      result.trajectory.push_back(result.best_cost > 1.5 ? 1.0
+                                                         : result.best_cost);
+    }
+    if (folds == 0) return Status::OK();  // Budget ran dry mid-individual.
+    individual->fitness = total / static_cast<double>(folds);
+    individual->evaluated = folds == objective->NumFolds();
+    if (individual->evaluated) cache[key] = individual->fitness;
+    if ((individual->evaluated || result.best_cost > 1.5) &&
+        individual->fitness < result.best_cost) {
+      result.best_cost = individual->fitness;
+      result.best_config = individual->config;
+      if (!result.trajectory.empty()) {
+        result.trajectory.back() = result.best_cost;
+      }
+    }
+    return Status::OK();
+  };
+
+  // Initial population: seeds, the default, then random samples.
+  std::vector<Individual> population;
+  for (const ParamConfig& config : options.initial_configs) {
+    Individual individual;
+    individual.config = space.Repair(config);
+    population.push_back(std::move(individual));
+  }
+  {
+    Individual individual;
+    individual.config = space.DefaultConfig();
+    population.push_back(std::move(individual));
+  }
+  while (population.size() < static_cast<size_t>(std::max(
+                                 2, options.population_size))) {
+    Individual individual;
+    individual.config = space.Sample(&rng);
+    population.push_back(std::move(individual));
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    size_t best = rng.UniformInt(population.size());
+    for (int t = 1; t < options.tournament_size; ++t) {
+      const size_t challenger = rng.UniformInt(population.size());
+      if (population[challenger].fitness < population[best].fitness) {
+        best = challenger;
+      }
+    }
+    return population[best];
+  };
+
+  while (evaluations_left > 0 && !options.deadline.Expired()) {
+    for (Individual& individual : population) {
+      if (evaluations_left <= 0 || options.deadline.Expired()) break;
+      SMARTML_RETURN_NOT_OK(evaluate(&individual));
+    }
+    if (evaluations_left <= 0 || options.deadline.Expired()) break;
+
+    // Next generation: elites + offspring.
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness < b.fitness;
+              });
+    std::vector<Individual> next;
+    for (int e = 0; e < options.elite &&
+                    static_cast<size_t>(e) < population.size();
+         ++e) {
+      next.push_back(population[static_cast<size_t>(e)]);
+    }
+    while (next.size() < population.size()) {
+      ParamConfig child;
+      if (rng.Bernoulli(options.crossover_rate)) {
+        child = Crossover(space, tournament().config, tournament().config,
+                          &rng);
+      } else {
+        child = tournament().config;
+      }
+      if (rng.Bernoulli(options.mutation_rate)) {
+        child = space.Neighbor(child, &rng);
+      }
+      Individual individual;
+      individual.config = space.Repair(child);
+      next.push_back(std::move(individual));
+    }
+    population = std::move(next);
+  }
+
+  if (result.best_cost > 1.0) result.best_cost = 1.0;
+  return result;
+}
+
+}  // namespace smartml

@@ -1,0 +1,95 @@
+#include "src/tuning/objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+#include "src/data/metrics.h"
+
+namespace smartml {
+
+const char* TuneMetricName(TuneMetric metric) {
+  switch (metric) {
+    case TuneMetric::kAccuracy:
+      return "accuracy";
+    case TuneMetric::kMacroF1:
+      return "macro_f1";
+    case TuneMetric::kKappa:
+      return "kappa";
+    case TuneMetric::kLogLoss:
+      return "logloss";
+  }
+  return "unknown";
+}
+
+StatusOr<TuneMetric> ParseTuneMetric(const std::string& name) {
+  const std::string lower = AsciiToLower(name);
+  for (TuneMetric metric : {TuneMetric::kAccuracy, TuneMetric::kMacroF1,
+                            TuneMetric::kKappa, TuneMetric::kLogLoss}) {
+    if (lower == TuneMetricName(metric)) return metric;
+  }
+  return Status::NotFound("unknown tuning metric '" + name + "'");
+}
+
+StatusOr<std::unique_ptr<ClassifierObjective>> ClassifierObjective::Create(
+    const Classifier& prototype, const Dataset& data, int num_folds,
+    uint64_t seed, TuneMetric metric) {
+  auto objective = std::unique_ptr<ClassifierObjective>(
+      new ClassifierObjective());
+  objective->prototype_ = prototype.Clone();
+  objective->metric_ = metric;
+  if (num_folds <= 1) {
+    SMARTML_ASSIGN_OR_RETURN(TrainValidationSplit split,
+                             StratifiedSplit(data, 0.25, seed));
+    objective->splits_.push_back(std::move(split));
+  } else {
+    SMARTML_ASSIGN_OR_RETURN(std::vector<int> folds,
+                             StratifiedFolds(data, num_folds, seed));
+    for (int f = 0; f < num_folds; ++f) {
+      objective->splits_.push_back(MaterializeFold(data, folds, f));
+    }
+  }
+  return objective;
+}
+
+StatusOr<double> ClassifierObjective::EvaluateFold(const ParamConfig& config,
+                                                   size_t fold) {
+  if (fold >= splits_.size()) {
+    return Status::InvalidArgument("objective: fold index out of range");
+  }
+  ++num_evaluations_;
+  const TrainValidationSplit& split = splits_[fold];
+  std::unique_ptr<Classifier> model = prototype_->Clone();
+  const Status fit_status = model->Fit(split.train, config);
+  if (!fit_status.ok()) {
+    // A configuration that fails to train is maximally bad, not fatal: SMAC
+    // must be able to route around crashing configs.
+    return 1.0;
+  }
+  const std::vector<int>& actual = split.validation.labels();
+  const int num_classes = static_cast<int>(split.validation.NumClasses());
+
+  if (metric_ == TuneMetric::kLogLoss) {
+    auto proba = model->PredictProba(split.validation);
+    if (!proba.ok()) return 1.0;
+    // Squash unbounded log loss into (0, 1): cost = 1 - exp(-loss).
+    return 1.0 - std::exp(-LogLoss(actual, *proba));
+  }
+
+  auto predictions = model->Predict(split.validation);
+  if (!predictions.ok()) return 1.0;
+  switch (metric_) {
+    case TuneMetric::kAccuracy:
+      return ErrorRate(actual, *predictions);
+    case TuneMetric::kMacroF1:
+      return 1.0 - MacroF1(actual, *predictions, num_classes);
+    case TuneMetric::kKappa:
+      return 1.0 - std::clamp(CohensKappa(actual, *predictions, num_classes),
+                              0.0, 1.0);
+    case TuneMetric::kLogLoss:
+      break;  // Handled above.
+  }
+  return ErrorRate(actual, *predictions);
+}
+
+}  // namespace smartml

@@ -1,0 +1,141 @@
+#include "src/tuning/random_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace smartml {
+
+namespace {
+
+// Evaluates a config on every fold, tracking the running result. Returns
+// false when the budget is exhausted mid-config.
+StatusOr<bool> EvaluateFully(const ParamConfig& config,
+                             TuningObjective* objective,
+                             const SearchOptions& options, TunedResult* result,
+                             int* evaluations_left) {
+  double total = 0.0;
+  size_t folds = 0;
+  for (size_t f = 0; f < objective->NumFolds(); ++f) {
+    if (*evaluations_left <= 0 || options.deadline.Expired()) break;
+    SMARTML_ASSIGN_OR_RETURN(double cost, objective->EvaluateFold(config, f));
+    --*evaluations_left;
+    total += cost;
+    ++folds;
+    ++result->num_evaluations;
+    result->trajectory.push_back(result->best_cost);
+  }
+  if (folds == 0) return false;
+  const double mean = total / static_cast<double>(folds);
+  // Only accept configs measured on the full fold set, unless nothing has
+  // been accepted yet.
+  if ((folds == objective->NumFolds() || result->trajectory.empty() ||
+       result->best_cost > 1.0) &&
+      mean < result->best_cost) {
+    result->best_cost = mean;
+    result->best_config = config;
+    if (!result->trajectory.empty()) result->trajectory.back() = mean;
+  }
+  return folds == objective->NumFolds();
+}
+
+}  // namespace
+
+StatusOr<TunedResult> RandomSearch(const ParamSpace& space,
+                                   TuningObjective* objective,
+                                   const SearchOptions& options) {
+  TunedResult result;
+  result.best_cost = 2.0;  // Sentinel above any real cost.
+  result.best_config = space.DefaultConfig();
+  int evaluations_left = options.max_evaluations;
+  Rng rng(options.seed);
+
+  // Warm-start configs first, then the default, then random draws.
+  std::vector<ParamConfig> seeds = options.initial_configs;
+  seeds.push_back(space.DefaultConfig());
+  for (const ParamConfig& config : seeds) {
+    if (evaluations_left <= 0 || options.deadline.Expired()) break;
+    SMARTML_ASSIGN_OR_RETURN(
+        bool done, EvaluateFully(space.Repair(config), objective, options,
+                                 &result, &evaluations_left));
+    (void)done;
+  }
+  while (evaluations_left > 0 && !options.deadline.Expired()) {
+    SMARTML_ASSIGN_OR_RETURN(
+        bool done, EvaluateFully(space.Sample(&rng), objective, options,
+                                 &result, &evaluations_left));
+    (void)done;
+  }
+  if (result.best_cost > 1.0) result.best_cost = 1.0;
+  return result;
+}
+
+StatusOr<TunedResult> GridSearch(const ParamSpace& space,
+                                 TuningObjective* objective,
+                                 const SearchOptions& options,
+                                 int points_per_numeric) {
+  // Build per-parameter level lists.
+  std::vector<std::vector<ParamConfig>> dimensions;  // Partial assignments.
+  std::vector<ParamConfig> grid;
+  grid.emplace_back();
+  const int levels = std::max(2, points_per_numeric);
+  for (const ParamSpec& spec : space.specs()) {
+    std::vector<ParamConfig> expanded;
+    for (const ParamConfig& partial : grid) {
+      switch (spec.type) {
+        case ParamType::kCategorical:
+          for (const std::string& choice : spec.choices) {
+            ParamConfig next = partial;
+            next.SetChoice(spec.name, choice);
+            expanded.push_back(std::move(next));
+          }
+          break;
+        case ParamType::kDouble:
+        case ParamType::kInt: {
+          for (int level = 0; level < levels; ++level) {
+            const double frac =
+                static_cast<double>(level) / static_cast<double>(levels - 1);
+            double lo = spec.min_value, hi = spec.max_value;
+            double v;
+            if (spec.log_scale) {
+              lo = std::log(std::max(lo, 1e-12));
+              hi = std::log(std::max(hi, 1e-12));
+              v = std::exp(lo + frac * (hi - lo));
+            } else {
+              v = lo + frac * (hi - lo);
+            }
+            ParamConfig next = partial;
+            if (spec.type == ParamType::kInt) {
+              next.SetInt(spec.name, static_cast<int64_t>(std::llround(v)));
+            } else {
+              next.SetDouble(spec.name, v);
+            }
+            expanded.push_back(std::move(next));
+          }
+          break;
+        }
+      }
+    }
+    grid = std::move(expanded);
+    if (grid.size() > 100000) {
+      return Status::InvalidArgument("grid search: grid too large");
+    }
+  }
+
+  TunedResult result;
+  result.best_cost = 2.0;
+  result.best_config = space.DefaultConfig();
+  int evaluations_left = options.max_evaluations;
+  for (const ParamConfig& config : grid) {
+    if (evaluations_left <= 0 || options.deadline.Expired()) break;
+    SMARTML_ASSIGN_OR_RETURN(
+        bool done, EvaluateFully(space.Repair(config), objective, options,
+                                 &result, &evaluations_left));
+    (void)done;
+  }
+  if (result.best_cost > 1.0) result.best_cost = 1.0;
+  return result;
+}
+
+}  // namespace smartml

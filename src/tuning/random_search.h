@@ -1,0 +1,38 @@
+// Baseline hyperparameter optimizers: random search and grid search
+// (the strategies behind Google Vizier per the paper's related work).
+#ifndef SMARTML_TUNING_RANDOM_SEARCH_H_
+#define SMARTML_TUNING_RANDOM_SEARCH_H_
+
+#include "src/common/stopwatch.h"
+#include "src/tuning/objective.h"
+#include "src/tuning/param_space.h"
+
+namespace smartml {
+
+struct SearchOptions {
+  /// Budget in fold-evaluations (each config costs NumFolds() evals).
+  int max_evaluations = 100;
+  /// Optional wall-clock limit (infinite by default).
+  Deadline deadline;
+  uint64_t seed = 1;
+  /// Configurations to evaluate before any sampled ones (warm start).
+  std::vector<ParamConfig> initial_configs;
+};
+
+/// Uniform random search over the space; every config is scored on all folds
+/// (no racing).
+StatusOr<TunedResult> RandomSearch(const ParamSpace& space,
+                                   TuningObjective* objective,
+                                   const SearchOptions& options);
+
+/// Full-factorial grid search with `points_per_numeric` levels per numeric
+/// parameter (categoricals enumerate their choices). Stops early when the
+/// evaluation budget or deadline runs out.
+StatusOr<TunedResult> GridSearch(const ParamSpace& space,
+                                 TuningObjective* objective,
+                                 const SearchOptions& options,
+                                 int points_per_numeric = 4);
+
+}  // namespace smartml
+
+#endif  // SMARTML_TUNING_RANDOM_SEARCH_H_

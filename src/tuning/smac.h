@@ -1,0 +1,98 @@
+// SMAC: sequential model-based algorithm configuration (Hutter et al.,
+// LION 2011) — the Bayesian optimizer SmartML uses for hyperparameter
+// tuning.
+//
+// Faithful structure: a random-forest regression surrogate supplies the
+// predictive mean and variance (from the spread of per-tree predictions),
+// expected improvement selects challengers (random + local search around the
+// best predictions), random challengers are interleaved for coverage, and an
+// intensification race compares challengers against the incumbent on
+// increasing numbers of CV folds so weak configs are discarded after few
+// folds.
+#ifndef SMARTML_TUNING_SMAC_H_
+#define SMARTML_TUNING_SMAC_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/linalg/matrix.h"
+#include "src/tuning/objective.h"
+#include "src/tuning/param_space.h"
+
+namespace smartml {
+
+/// Random-forest regressor over encoded configurations — SMAC's surrogate.
+/// Exposed for testing and for the micro benchmarks.
+class RegressionForest {
+ public:
+  struct Options {
+    int num_trees = 10;
+    size_t min_leaf = 3;
+    int max_depth = 24;
+    double feature_fraction = 0.8;
+    uint64_t seed = 5;
+  };
+
+  /// Fits on rows of `x` with targets `y`.
+  Status Fit(const Matrix& x, const std::vector<double>& y,
+             const Options& options);
+
+  /// Predictive mean and variance (variance of per-tree means).
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  Prediction Predict(const std::vector<double>& row) const;
+
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1, right = -1;
+    double value = 0.0;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int BuildNode(Tree* tree, const Matrix& x, const std::vector<double>& y,
+                const std::vector<size_t>& rows, int depth, Rng* rng) const;
+  static double PredictTree(const Tree& tree, const double* row);
+
+  std::vector<Tree> trees_;
+  Options options_;
+  size_t dim_ = 0;
+};
+
+struct SmacOptions {
+  /// Total budget in fold-evaluations.
+  int max_evaluations = 120;
+  /// Optional wall-clock limit.
+  Deadline deadline;
+  uint64_t seed = 1;
+  /// Warm-start configurations (SmartML fills these from the knowledge
+  /// base); evaluated before model-based search begins.
+  std::vector<ParamConfig> initial_configs;
+  /// Random candidates scored by EI per iteration.
+  int ei_candidates = 400;
+  /// Local-search neighbours explored around the top EI points.
+  int local_search_steps = 8;
+  /// Challengers raced against the incumbent per iteration.
+  int challengers_per_iter = 3;
+  /// Every `random_interleave`-th challenger is drawn uniformly (SMAC's
+  /// round-robin random interleaving for worst-case coverage).
+  int random_interleave = 2;
+  RegressionForest::Options forest;
+};
+
+/// Runs SMAC on `objective`, minimizing mean fold cost.
+StatusOr<TunedResult> Smac(const ParamSpace& space, TuningObjective* objective,
+                           const SmacOptions& options);
+
+}  // namespace smartml
+
+#endif  // SMARTML_TUNING_SMAC_H_

@@ -1,0 +1,327 @@
+// Tests for the JSON serialization and REST API layers: writer correctness,
+// HTTP request parsing, service routing, and one real loopback-socket round
+// trip.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "src/api/json.h"
+#include "src/api/rest.h"
+#include "src/data/csv.h"
+#include "src/data/synthetic.h"
+
+namespace smartml {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("hi");
+  w.Key("n");
+  w.Number(1.5);
+  w.Key("i");
+  w.Int(-7);
+  w.Key("b");
+  w.Bool(true);
+  w.Key("z");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(),
+            R"({"s":"hi","n":1.5,"i":-7,"b":true,"z":null})");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(1);
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.Number(2);
+  w.Number(3);
+  w.EndArray();
+  w.EndObject();
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), R"([1,{"a":[2,3]}])");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(std::nan(""));
+  w.Number(1.0 / 0.0);
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[null,null]");
+}
+
+TEST(JsonTest, ConfigToJson) {
+  ParamConfig config;
+  config.SetDouble("C", 0.5);
+  config.SetInt("k", 3);
+  config.SetChoice("kernel", "rbf");
+  EXPECT_EQ(ConfigToJson(config), R"({"C":0.5,"k":3,"kernel":"rbf"})");
+}
+
+TEST(JsonTest, MetaFeaturesToJsonHasAll25Keys) {
+  MetaFeatureVector mf{};
+  const std::string json = MetaFeaturesToJson(mf);
+  for (const auto& name : MetaFeatureNames()) {
+    EXPECT_NE(json.find("\"" + name + "\""), std::string::npos) << name;
+  }
+}
+
+TEST(JsonTest, ResultToJsonEndToEnd) {
+  SyntheticSpec spec;
+  spec.num_instances = 90;
+  spec.class_sep = 2.5;
+  spec.seed = 41;
+  spec.name = "json_test";
+  SmartMlOptions options;
+  options.max_evaluations = 9;
+  options.cv_folds = 2;
+  options.cold_start_algorithms = {"knn", "rpart"};
+  SmartML framework(options);
+  auto result = framework.Run(GenerateSynthetic(spec));
+  ASSERT_TRUE(result.ok());
+  const std::string json = ResultToJson(*result);
+  EXPECT_NE(json.find("\"dataset\":\"json_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"best_algorithm\""), std::string::npos);
+  EXPECT_NE(json.find("\"importances\""), std::string::npos);
+  EXPECT_NE(json.find("\"selected_features\""), std::string::npos);
+  // No raw control characters.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(JsonTest, KbToJson) {
+  KnowledgeBase kb;
+  KbRecord record;
+  record.dataset_name = "k\"b";  // Needs escaping.
+  KbAlgorithmResult r;
+  r.algorithm = "svm";
+  r.accuracy = 0.75;
+  record.results.push_back(r);
+  kb.AddRecord(record);
+  const std::string json = KbToJson(kb);
+  EXPECT_NE(json.find("\"num_records\":1"), std::string::npos);
+  EXPECT_NE(json.find("k\\\"b"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP parsing
+// ---------------------------------------------------------------------------
+
+TEST(HttpParseTest, BasicGet) {
+  auto request = ParseHttpRequest(
+      "GET /health HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/health");
+  EXPECT_EQ(request->headers.at("host"), "x");
+  EXPECT_TRUE(request->body.empty());
+}
+
+TEST(HttpParseTest, QueryParameters) {
+  auto request = ParseHttpRequest(
+      "POST /run?budget=2.5&selection_only=1&name=my%20set HTTP/1.1\r\n"
+      "Content-Length: 2\r\n\r\nhi");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->path, "/run");
+  EXPECT_EQ(request->query.at("budget"), "2.5");
+  EXPECT_EQ(request->query.at("selection_only"), "1");
+  EXPECT_EQ(request->query.at("name"), "my set");
+  EXPECT_EQ(request->body, "hi");
+}
+
+TEST(HttpParseTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseHttpRequest("not http").ok());
+  EXPECT_FALSE(ParseHttpRequest("GET\r\n\r\n").ok());
+}
+
+TEST(HttpParseTest, ResponseSerialization) {
+  HttpResponse response;
+  response.status = 404;
+  response.body = "{}";
+  const std::string wire = SerializeHttpResponse(response);
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 2), "{}");
+}
+
+// ---------------------------------------------------------------------------
+// RestService routing (no sockets)
+// ---------------------------------------------------------------------------
+
+class RestServiceTest : public testing::Test {
+ protected:
+  RestServiceTest() : framework_(FastOptions()), service_(&framework_) {}
+
+  static SmartMlOptions FastOptions() {
+    SmartMlOptions options;
+    options.max_evaluations = 9;
+    options.cv_folds = 2;
+    options.cold_start_algorithms = {"knn", "rpart"};
+    return options;
+  }
+
+  static std::string DatasetCsv() {
+    SyntheticSpec spec;
+    spec.num_instances = 80;
+    spec.class_sep = 2.5;
+    spec.seed = 43;
+    return WriteCsvString(GenerateSynthetic(spec));
+  }
+
+  HttpResponse Call(const std::string& method, const std::string& path,
+                    const std::string& body = "",
+                    std::map<std::string, std::string> query = {}) {
+    HttpRequest request;
+    request.method = method;
+    request.path = path;
+    request.body = body;
+    request.query = std::move(query);
+    return service_.Handle(request);
+  }
+
+  SmartML framework_;
+  RestService service_;
+};
+
+TEST_F(RestServiceTest, Health) {
+  const HttpResponse response = Call("GET", "/health");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST_F(RestServiceTest, Algorithms) {
+  const HttpResponse response = Call("GET", "/algorithms");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"svm\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"deepboost\""), std::string::npos);
+}
+
+TEST_F(RestServiceTest, UnknownRouteIs404) {
+  EXPECT_EQ(Call("GET", "/nope").status, 404);
+}
+
+TEST_F(RestServiceTest, WrongMethodIs405) {
+  EXPECT_EQ(Call("POST", "/health").status, 405);
+  EXPECT_EQ(Call("GET", "/run").status, 405);
+}
+
+TEST_F(RestServiceTest, MetaFeaturesFromCsv) {
+  const HttpResponse response =
+      Call("POST", "/metafeatures", DatasetCsv());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"num_instances\":80"), std::string::npos);
+}
+
+TEST_F(RestServiceTest, MetaFeaturesBadBodyIs400) {
+  EXPECT_EQ(Call("POST", "/metafeatures", "not,csv").status, 400);
+}
+
+TEST_F(RestServiceTest, RunEndToEndUpdatesKb) {
+  const HttpResponse response =
+      Call("POST", "/run", DatasetCsv(), {{"name", "api_run"}});
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_NE(response.body.find("\"best_algorithm\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"dataset\":\"api_run\""), std::string::npos);
+  // KB grew; /kb reflects it.
+  const HttpResponse kb = Call("GET", "/kb");
+  EXPECT_NE(kb.body.find("\"num_records\":1"), std::string::npos);
+}
+
+TEST_F(RestServiceTest, RunQueryOverridesRestored) {
+  const double original_budget = framework_.options().time_budget_seconds;
+  const HttpResponse response = Call("POST", "/run", DatasetCsv(),
+                                     {{"budget", "1"}, {"evals", "6"}});
+  EXPECT_EQ(response.status, 200);
+  EXPECT_DOUBLE_EQ(framework_.options().time_budget_seconds, original_budget);
+}
+
+TEST_F(RestServiceTest, SelectionOnlyRun) {
+  const HttpResponse response =
+      Call("POST", "/run", DatasetCsv(), {{"selection_only", "1"}});
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"best_algorithm\":\"\""), std::string::npos);
+}
+
+TEST_F(RestServiceTest, SelectFromMetaFeatures) {
+  // Populate the KB first.
+  ASSERT_EQ(Call("POST", "/run", DatasetCsv()).status, 200);
+  MetaFeatureVector mf{};
+  auto dataset = ReadCsvString(DatasetCsv());
+  ASSERT_TRUE(dataset.ok());
+  auto extracted = ExtractMetaFeatures(*dataset);
+  ASSERT_TRUE(extracted.ok());
+  const HttpResponse response =
+      Call("POST", "/select", MetaFeaturesToString(*extracted));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"algorithm\""), std::string::npos);
+}
+
+TEST_F(RestServiceTest, SelectBadBodyIs400) {
+  EXPECT_EQ(Call("POST", "/select", "1 2 3").status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// Real socket round trip
+// ---------------------------------------------------------------------------
+
+TEST(HttpServerTest, LoopbackRoundTrip) {
+  SmartMlOptions options;
+  options.max_evaluations = 6;
+  options.cv_folds = 2;
+  options.cold_start_algorithms = {"knn"};
+  SmartML framework(options);
+  RestService service(&framework);
+  HttpServer server(&service);
+  auto port = server.Bind(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  std::thread server_thread([&] { (void)server.Serve(/*max_requests=*/1); });
+
+  // Raw-socket client.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(*port));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET /health HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    reply.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  server.Stop();
+  server_thread.join();
+
+  EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartml

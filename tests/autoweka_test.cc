@@ -1,0 +1,149 @@
+// Tests for the Auto-Weka-style CASH baseline.
+#include <gtest/gtest.h>
+
+#include "src/baselines/autoweka.h"
+#include "src/common/rng.h"
+#include "src/data/synthetic.h"
+#include "src/ml/registry.h"
+
+namespace smartml {
+namespace {
+
+Dataset MakeData(uint64_t seed = 81) {
+  SyntheticSpec spec;
+  spec.num_instances = 120;
+  spec.num_informative = 4;
+  spec.num_classes = 2;
+  spec.class_sep = 2.5;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+TEST(CashSpaceTest, RootCategoricalPlusConditionalChildren) {
+  auto space = BuildCashSpace({"knn", "svm"});
+  ASSERT_TRUE(space.ok());
+  const ParamSpec* root = space->Find("algorithm");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->choices.size(), 2u);
+  // knn contributes 1 param, svm 5 -> 1 root + 6 children.
+  EXPECT_EQ(space->NumParams(), 7u);
+  const ParamSpec* k = space->Find("knn:k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->parent, "algorithm");
+}
+
+TEST(CashSpaceTest, ChildInactiveWhenOtherAlgorithmSelected) {
+  auto space = BuildCashSpace({"knn", "svm"});
+  ASSERT_TRUE(space.ok());
+  ParamConfig config = space->DefaultConfig();
+  config.SetChoice("algorithm", "svm");
+  const ParamSpec* k = space->Find("knn:k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_FALSE(space->IsActive(*k, config));
+  config.SetChoice("algorithm", "knn");
+  EXPECT_TRUE(space->IsActive(*k, config));
+}
+
+TEST(CashSpaceTest, IntraAlgorithmConditionalityPreserved) {
+  auto space = BuildCashSpace({"svm"});
+  ASSERT_TRUE(space.ok());
+  const ParamSpec* degree = space->Find("svm:degree");
+  ASSERT_NE(degree, nullptr);
+  EXPECT_EQ(degree->parent, "svm:kernel");  // Re-rooted on prefixed parent.
+  ParamConfig config = space->DefaultConfig();
+  config.SetChoice("svm:kernel", "rbf");
+  EXPECT_FALSE(space->IsActive(*degree, config));
+  config.SetChoice("svm:kernel", "poly");
+  EXPECT_TRUE(space->IsActive(*degree, config));
+}
+
+TEST(CashSpaceTest, FullFifteenAlgorithmSpace) {
+  auto space = BuildCashSpace(AllAlgorithmNames());
+  ASSERT_TRUE(space.ok());
+  // 1 root + sum of all Table 3 parameter counts (40).
+  size_t expected = 1;
+  for (const auto& info : AllAlgorithms()) {
+    expected += info.categorical_params + info.numerical_params;
+  }
+  EXPECT_EQ(space->NumParams(), expected);
+}
+
+TEST(CashSpaceTest, EmptyAlgorithmListRejected) {
+  EXPECT_FALSE(BuildCashSpace({}).ok());
+}
+
+TEST(CashDecodeTest, RoundTrip) {
+  auto space = BuildCashSpace({"knn", "svm"});
+  ASSERT_TRUE(space.ok());
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const ParamConfig joint = space->Sample(&rng);
+    auto decoded = DecodeCashConfig(joint);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded->first == "knn" || decoded->first == "svm");
+    if (decoded->first == "knn") {
+      EXPECT_TRUE(decoded->second.Has("k"));
+      EXPECT_FALSE(decoded->second.Has("C"));
+    } else {
+      EXPECT_TRUE(decoded->second.Has("C"));
+    }
+  }
+}
+
+TEST(CashDecodeTest, MissingAlgorithmKeyRejected) {
+  ParamConfig config;
+  config.SetDouble("x", 1.0);
+  EXPECT_FALSE(DecodeCashConfig(config).ok());
+}
+
+TEST(AutoWekaTest, EndToEndSmacFindsGoodModel) {
+  CashOptions options;
+  options.max_evaluations = 24;
+  options.cv_folds = 2;
+  options.seed = 3;
+  options.algorithms = {"knn", "naive_bayes", "rpart"};
+  auto result = RunAutoWekaBaseline(MakeData(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(IsKnownAlgorithm(result->best_algorithm));
+  EXPECT_GT(result->validation_accuracy, 0.7);
+  EXPECT_LE(result->evaluations, 24u);
+}
+
+TEST(AutoWekaTest, RandomSearchVariantRuns) {
+  CashOptions options;
+  options.max_evaluations = 16;
+  options.cv_folds = 2;
+  options.optimizer = CashOptions::Optimizer::kRandomSearch;
+  options.algorithms = {"knn", "naive_bayes"};
+  auto result = RunAutoWekaBaseline(MakeData(83), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->validation_accuracy, 0.6);
+}
+
+TEST(AutoWekaTest, GeneticVariantRuns) {
+  CashOptions options;
+  options.max_evaluations = 16;
+  options.cv_folds = 2;
+  options.optimizer = CashOptions::Optimizer::kGenetic;
+  options.algorithms = {"knn", "naive_bayes", "rpart"};
+  auto result = RunAutoWekaBaseline(MakeData(87), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(IsKnownAlgorithm(result->best_algorithm));
+  EXPECT_GT(result->validation_accuracy, 0.6);
+}
+
+TEST(AutoWekaTest, DeterministicForSeed) {
+  CashOptions options;
+  options.max_evaluations = 12;
+  options.cv_folds = 2;
+  options.seed = 17;
+  options.algorithms = {"knn", "rpart"};
+  auto a = RunAutoWekaBaseline(MakeData(85), options);
+  auto b = RunAutoWekaBaseline(MakeData(85), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->best_algorithm, b->best_algorithm);
+  EXPECT_DOUBLE_EQ(a->validation_accuracy, b->validation_accuracy);
+}
+
+}  // namespace
+}  // namespace smartml

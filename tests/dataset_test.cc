@@ -1,0 +1,153 @@
+// Tests for the Dataset container.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/data/dataset.h"
+
+namespace smartml {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dataset MakeSmallDataset() {
+  Dataset d("toy");
+  d.AddNumericFeature("x1", {1.0, 2.0, 3.0, 4.0});
+  d.AddCategoricalFeature("color", {0, 1, 0, 2}, {"red", "green", "blue"});
+  d.SetLabels({0, 1, 0, 1}, {"neg", "pos"});
+  return d;
+}
+
+TEST(DatasetTest, BasicShape) {
+  const Dataset d = MakeSmallDataset();
+  EXPECT_EQ(d.NumRows(), 4u);
+  EXPECT_EQ(d.NumFeatures(), 2u);
+  EXPECT_EQ(d.NumClasses(), 2u);
+  EXPECT_EQ(d.NumNumericFeatures(), 1u);
+  EXPECT_EQ(d.NumCategoricalFeatures(), 1u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, LabelsFromStringsFirstAppearanceOrder) {
+  Dataset d;
+  d.AddNumericFeature("x", {1, 2, 3});
+  d.SetLabelsFromStrings({"b", "a", "b"});
+  EXPECT_EQ(d.NumClasses(), 2u);
+  EXPECT_EQ(d.class_names()[0], "b");
+  EXPECT_EQ(d.class_names()[1], "a");
+  EXPECT_EQ(d.label(0), 0);
+  EXPECT_EQ(d.label(1), 1);
+}
+
+TEST(DatasetTest, ValidateCatchesLengthMismatch) {
+  Dataset d;
+  d.AddNumericFeature("x", {1, 2, 3});
+  d.SetLabels({0, 1}, {"a", "b"});
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesBadCategoryCode) {
+  Dataset d;
+  d.AddCategoricalFeature("c", {0, 5}, {"a", "b"});
+  d.SetLabels({0, 0}, {"x"});
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesBadLabel) {
+  Dataset d;
+  d.AddNumericFeature("x", {1, 2});
+  d.SetLabels({0, 7}, {"a", "b"});
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, SubsetPreservesSchemaAndClasses) {
+  const Dataset d = MakeSmallDataset();
+  const Dataset sub = d.Subset({0, 3});
+  EXPECT_EQ(sub.NumRows(), 2u);
+  EXPECT_EQ(sub.NumFeatures(), 2u);
+  EXPECT_EQ(sub.NumClasses(), 2u);  // Dictionary preserved.
+  EXPECT_DOUBLE_EQ(sub.feature(0).values[1], 4.0);
+  EXPECT_EQ(sub.label(1), 1);
+  EXPECT_EQ(sub.feature(1).categories.size(), 3u);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  const Dataset d = MakeSmallDataset();
+  const auto counts = d.ClassCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(DatasetTest, MissingDetection) {
+  Dataset d;
+  d.AddNumericFeature("x", {1.0, kNaN, 3.0});
+  d.AddCategoricalFeature("c", {0, 0, kNaN}, {"a"});
+  d.SetLabels({0, 0, 0}, {"y"});
+  EXPECT_TRUE(d.HasMissing());
+  EXPECT_EQ(d.CountMissing(), 2u);
+}
+
+TEST(DatasetTest, NoMissing) {
+  EXPECT_FALSE(MakeSmallDataset().HasMissing());
+}
+
+TEST(DatasetTest, ToNumericMatrixOneHot) {
+  const Dataset d = MakeSmallDataset();
+  const Matrix x = d.ToNumericMatrix();
+  EXPECT_EQ(x.rows(), 4u);
+  EXPECT_EQ(x.cols(), 4u);  // 1 numeric + 3 one-hot.
+  // Row 3: x1=4, color=blue(2).
+  EXPECT_DOUBLE_EQ(x(3, 0), 4.0);
+  EXPECT_DOUBLE_EQ(x(3, 1), 0.0);
+  EXPECT_DOUBLE_EQ(x(3, 2), 0.0);
+  EXPECT_DOUBLE_EQ(x(3, 3), 1.0);
+}
+
+TEST(DatasetTest, ToNumericMatrixImputesMean) {
+  Dataset d;
+  d.AddNumericFeature("x", {1.0, kNaN, 3.0});
+  d.SetLabels({0, 0, 0}, {"y"});
+  const Matrix x = d.ToNumericMatrix();
+  EXPECT_DOUBLE_EQ(x(1, 0), 2.0);  // Mean of 1 and 3.
+}
+
+TEST(DatasetTest, ToNumericMatrixMissingCategoricalAllZero) {
+  Dataset d;
+  d.AddCategoricalFeature("c", {0, kNaN}, {"a", "b"});
+  d.SetLabels({0, 0}, {"y"});
+  const Matrix x = d.ToNumericMatrix();
+  EXPECT_DOUBLE_EQ(x(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(x(1, 1), 0.0);
+}
+
+TEST(DatasetTest, NumericMatrixColumnNames) {
+  const Dataset d = MakeSmallDataset();
+  const auto names = d.NumericMatrixColumnNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "x1");
+  EXPECT_EQ(names[1], "color=red");
+  EXPECT_EQ(names[3], "color=blue");
+}
+
+TEST(DatasetTest, ToRawMatrixKeepsCodesAndNaN) {
+  Dataset d;
+  d.AddNumericFeature("x", {1.0, kNaN});
+  d.AddCategoricalFeature("c", {1, 0}, {"a", "b"});
+  d.SetLabels({0, 0}, {"y"});
+  const Matrix x = d.ToRawMatrix();
+  EXPECT_EQ(x.cols(), 2u);
+  EXPECT_TRUE(std::isnan(x(1, 0)));
+  EXPECT_DOUBLE_EQ(x(0, 1), 1.0);
+}
+
+TEST(DatasetTest, RemoveFeature) {
+  Dataset d = MakeSmallDataset();
+  d.RemoveFeature(0);
+  EXPECT_EQ(d.NumFeatures(), 1u);
+  EXPECT_EQ(d.feature(0).name, "color");
+}
+
+}  // namespace
+}  // namespace smartml

@@ -1,0 +1,64 @@
+// Tests for the dataset profiler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/describe.h"
+
+namespace smartml {
+namespace {
+
+Dataset MakeDataset() {
+  Dataset d("profiled");
+  d.AddNumericFeature("num", {1.0, 2.0, 3.0, std::nan("")});
+  d.AddCategoricalFeature("cat", {0, 0, 1, 0}, {"a", "b"});
+  d.SetLabels({0, 1, 0, 1}, {"no", "yes"});
+  return d;
+}
+
+TEST(DescribeTest, NumericProfile) {
+  const auto profiles = ProfileColumns(MakeDataset());
+  ASSERT_EQ(profiles.size(), 2u);
+  const ColumnProfile& p = profiles[0];
+  EXPECT_FALSE(p.categorical);
+  EXPECT_DOUBLE_EQ(p.min, 1.0);
+  EXPECT_DOUBLE_EQ(p.max, 3.0);
+  EXPECT_DOUBLE_EQ(p.mean, 2.0);
+  EXPECT_NEAR(p.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_EQ(p.missing, 1u);
+}
+
+TEST(DescribeTest, CategoricalProfile) {
+  const auto profiles = ProfileColumns(MakeDataset());
+  const ColumnProfile& p = profiles[1];
+  EXPECT_TRUE(p.categorical);
+  EXPECT_EQ(p.num_categories, 2u);
+  EXPECT_EQ(p.mode, "a");
+  EXPECT_DOUBLE_EQ(p.mode_fraction, 0.75);
+  EXPECT_EQ(p.missing, 0u);
+}
+
+TEST(DescribeTest, ReportContainsKeyFacts) {
+  const std::string report = DescribeDataset(MakeDataset());
+  EXPECT_NE(report.find("profiled"), std::string::npos);
+  EXPECT_NE(report.find("4 rows x 2 features"), std::string::npos);
+  EXPECT_NE(report.find("no=2"), std::string::npos);
+  EXPECT_NE(report.find("yes=2"), std::string::npos);
+  EXPECT_NE(report.find("num"), std::string::npos);
+  EXPECT_NE(report.find("cat"), std::string::npos);
+}
+
+TEST(DescribeTest, AllMissingColumnIsSafe) {
+  Dataset d;
+  d.AddNumericFeature("empty",
+                      {std::nan(""), std::nan(""), std::nan("")});
+  d.SetLabels({0, 0, 1}, {"a", "b"});
+  const auto profiles = ProfileColumns(d);
+  EXPECT_EQ(profiles[0].missing, 3u);
+  EXPECT_DOUBLE_EQ(profiles[0].min, 0.0);
+  const std::string report = DescribeDataset(d);
+  EXPECT_FALSE(report.empty());
+}
+
+}  // namespace
+}  // namespace smartml

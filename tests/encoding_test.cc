@@ -1,0 +1,205 @@
+// Tests for NumericEncoder (train-time-fitted numeric encoding) and the
+// LogisticModel substrate (LMT's leaf models).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/ml/encoding.h"
+#include "src/ml/logistic.h"
+
+namespace smartml {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dataset MixedDataset() {
+  Dataset d("enc");
+  d.AddNumericFeature("x", {1.0, 2.0, kNaN, 4.0});
+  d.AddCategoricalFeature("c", {0, 1, 2, kNaN}, {"a", "b", "c"});
+  d.SetLabels({0, 1, 0, 1}, {"n", "p"});
+  return d;
+}
+
+TEST(EncodingTest, WidthIsNumericPlusOneHot) {
+  NumericEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(MixedDataset(), false).ok());
+  EXPECT_EQ(encoder.output_width(), 4u);  // 1 numeric + 3 categories.
+}
+
+TEST(EncodingTest, ImputesWithTrainingMean) {
+  NumericEncoder encoder;
+  const Dataset d = MixedDataset();
+  ASSERT_TRUE(encoder.Fit(d, false).ok());
+  auto x = encoder.Transform(d);
+  ASSERT_TRUE(x.ok());
+  // Mean of {1,2,4} = 7/3.
+  EXPECT_NEAR((*x)(2, 0), 7.0 / 3.0, 1e-12);
+}
+
+TEST(EncodingTest, MissingCategoricalIsAllZeros) {
+  NumericEncoder encoder;
+  const Dataset d = MixedDataset();
+  ASSERT_TRUE(encoder.Fit(d, false).ok());
+  auto x = encoder.Transform(d);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)(3, 1), 0.0);
+  EXPECT_DOUBLE_EQ((*x)(3, 2), 0.0);
+  EXPECT_DOUBLE_EQ((*x)(3, 3), 0.0);
+}
+
+TEST(EncodingTest, OneHotPositions) {
+  NumericEncoder encoder;
+  const Dataset d = MixedDataset();
+  ASSERT_TRUE(encoder.Fit(d, false).ok());
+  auto x = encoder.Transform(d);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)(0, 1), 1.0);  // "a".
+  EXPECT_DOUBLE_EQ((*x)(1, 2), 1.0);  // "b".
+  EXPECT_DOUBLE_EQ((*x)(2, 3), 1.0);  // "c".
+}
+
+TEST(EncodingTest, StandardizationUsesTrainStats) {
+  Rng rng(3);
+  Dataset train("t");
+  std::vector<double> values(100);
+  for (double& v : values) v = 10.0 + 2.0 * rng.Normal();
+  train.AddNumericFeature("x", values);
+  train.SetLabels(std::vector<int>(100, 0), {"y"});
+
+  NumericEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(train, /*standardize=*/true).ok());
+  auto x = encoder.Transform(train);
+  ASSERT_TRUE(x.ok());
+  double mean = 0;
+  for (size_t r = 0; r < 100; ++r) mean += (*x)(r, 0);
+  mean /= 100;
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+
+  // A shifted test set gets shifted z-scores (no refit).
+  Dataset test = train;
+  for (double& v : test.mutable_feature(0).values) v += 100.0;
+  auto xt = encoder.Transform(test);
+  ASSERT_TRUE(xt.ok());
+  double test_mean = 0;
+  for (size_t r = 0; r < 100; ++r) test_mean += (*xt)(r, 0);
+  EXPECT_GT(test_mean / 100, 10.0);
+}
+
+TEST(EncodingTest, TransformBeforeFitFails) {
+  NumericEncoder encoder;
+  EXPECT_FALSE(encoder.Transform(MixedDataset()).ok());
+}
+
+TEST(EncodingTest, SchemaMismatchFails) {
+  NumericEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(MixedDataset(), false).ok());
+  Dataset other;
+  other.AddNumericFeature("only", {1.0});
+  other.SetLabels({0}, {"z"});
+  EXPECT_FALSE(encoder.Transform(other).ok());
+  // Same arity but swapped type also fails.
+  Dataset swapped;
+  swapped.AddCategoricalFeature("x", {0}, {"u"});
+  swapped.AddNumericFeature("c", {1.0});
+  swapped.SetLabels({0}, {"z"});
+  EXPECT_FALSE(encoder.Transform(swapped).ok());
+}
+
+TEST(EncodingTest, EmptyTrainingRejected) {
+  NumericEncoder encoder;
+  Dataset empty;
+  EXPECT_FALSE(encoder.Fit(empty, false).ok());
+}
+
+// ---------------------------------------------------------------------------
+// LogisticModel
+// ---------------------------------------------------------------------------
+
+TEST(LogisticTest, LearnsLinearlySeparableBinary) {
+  Rng rng(7);
+  const size_t n = 200;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (size_t r = 0; r < n; ++r) {
+    y[r] = static_cast<int>(r % 2);
+    x(r, 0) = 3.0 * y[r] + rng.Normal() * 0.5;
+    x(r, 1) = rng.Normal();
+  }
+  LogisticModel model;
+  ASSERT_TRUE(model.Fit(x, y, 2, {}, {}).ok());
+  size_t correct = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const auto p = model.PredictProbaRow(x.RowPtr(r));
+    if ((p[1] > 0.5 ? 1 : 0) == y[r]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.95);
+}
+
+TEST(LogisticTest, MulticlassProbabilitiesSumToOne) {
+  Rng rng(9);
+  Matrix x(90, 3);
+  std::vector<int> y(90);
+  for (size_t r = 0; r < 90; ++r) {
+    y[r] = static_cast<int>(r % 3);
+    for (size_t c = 0; c < 3; ++c) {
+      x(r, c) = (c == static_cast<size_t>(y[r]) ? 2.0 : 0.0) + rng.Normal();
+    }
+  }
+  LogisticModel model;
+  ASSERT_TRUE(model.Fit(x, y, 3, {}, {}).ok());
+  for (size_t r = 0; r < 10; ++r) {
+    const auto p = model.PredictProbaRow(x.RowPtr(r));
+    double total = 0;
+    for (double v : p) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LogisticTest, SampleWeightsFocusTheFit) {
+  // Two populations with contradictory labels; weighting one population to
+  // zero makes the model follow the other.
+  Matrix x(40, 1);
+  std::vector<int> y(40);
+  for (size_t r = 0; r < 40; ++r) {
+    x(r, 0) = r < 20 ? 1.0 : -1.0;
+    y[r] = r < 20 ? 1 : 0;
+  }
+  std::vector<double> w(40, 0.0);
+  for (size_t r = 0; r < 20; ++r) w[r] = 1.0;  // Only the first population.
+  LogisticModel model;
+  ASSERT_TRUE(model.Fit(x, y, 2, w, {}).ok());
+  const double row_pos[1] = {1.0};
+  EXPECT_GT(model.PredictProbaRow(row_pos)[1], 0.5);
+}
+
+TEST(LogisticTest, L2ShrinksWeightsEffect) {
+  Rng rng(11);
+  Matrix x(100, 1);
+  std::vector<int> y(100);
+  for (size_t r = 0; r < 100; ++r) {
+    y[r] = static_cast<int>(r % 2);
+    x(r, 0) = y[r] == 1 ? 1.0 : -1.0;
+  }
+  LogisticModel::Options weak, strong;
+  weak.l2 = 1e-6;
+  strong.l2 = 10.0;
+  LogisticModel a, b;
+  ASSERT_TRUE(a.Fit(x, y, 2, {}, weak).ok());
+  ASSERT_TRUE(b.Fit(x, y, 2, {}, strong).ok());
+  const double row[1] = {1.0};
+  // Heavier regularization -> probabilities closer to 0.5.
+  EXPECT_GT(a.PredictProbaRow(row)[1], b.PredictProbaRow(row)[1]);
+  EXPECT_GT(b.PredictProbaRow(row)[1], 0.5);
+}
+
+TEST(LogisticTest, RejectsBadInput) {
+  LogisticModel model;
+  Matrix x(3, 1);
+  EXPECT_FALSE(model.Fit(x, {0, 1}, 2, {}, {}).ok());
+  EXPECT_FALSE(model.Fit(x, {0, 1, 0}, 2, {0, 0, 0}, {}).ok());
+}
+
+}  // namespace
+}  // namespace smartml

@@ -1,0 +1,204 @@
+// Tests for the feature-selection phase.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/core/smartml.h"
+#include "src/data/synthetic.h"
+#include "src/preprocess/feature_selection.h"
+
+namespace smartml {
+namespace {
+
+// Dataset with one strong feature, one weaker copy of it, one constant, and
+// one pure-noise column.
+Dataset MakeLabeled() {
+  Rng rng(5);
+  const size_t n = 200;
+  Dataset d("fs");
+  std::vector<int> labels(n);
+  for (size_t r = 0; r < n; ++r) labels[r] = static_cast<int>(r % 2);
+  std::vector<double> strong(n), copy(n), constant(n, 7.5), noise(n);
+  for (size_t r = 0; r < n; ++r) {
+    strong[r] = 4.0 * labels[r] + rng.Normal();
+    copy[r] = strong[r] * 2.0 + rng.Normal() * 0.01;  // ~Perfect correlate.
+    noise[r] = rng.Normal();
+  }
+  d.AddNumericFeature("strong", std::move(strong));
+  d.AddNumericFeature("copy", std::move(copy));
+  d.AddNumericFeature("constant", std::move(constant));
+  d.AddNumericFeature("noise", std::move(noise));
+  d.SetLabels(labels, {"a", "b"});
+  return d;
+}
+
+TEST(FeatureSelectionTest, KindNamesRoundTrip) {
+  for (FeatureSelectorKind kind :
+       {FeatureSelectorKind::kNone, FeatureSelectorKind::kVarianceThreshold,
+        FeatureSelectorKind::kCorrelationFilter,
+        FeatureSelectorKind::kInformationGain}) {
+    auto parsed = ParseFeatureSelectorKind(FeatureSelectorKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseFeatureSelectorKind("magic").ok());
+}
+
+TEST(FeatureSelectionTest, NoneKeepsEverything) {
+  const Dataset d = MakeLabeled();
+  FeatureSelector selector;
+  auto out = selector.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumFeatures(), 4u);
+}
+
+TEST(FeatureSelectionTest, VarianceDropsConstant) {
+  const Dataset d = MakeLabeled();
+  FeatureSelectionOptions options;
+  options.kind = FeatureSelectorKind::kVarianceThreshold;
+  FeatureSelector selector(options);
+  auto out = selector.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumFeatures(), 3u);
+  for (const auto& name : selector.selected()) {
+    EXPECT_NE(name, "constant");
+  }
+}
+
+TEST(FeatureSelectionTest, CorrelationDropsNearDuplicate) {
+  const Dataset d = MakeLabeled();
+  FeatureSelectionOptions options;
+  options.kind = FeatureSelectorKind::kCorrelationFilter;
+  options.max_abs_correlation = 0.95;
+  FeatureSelector selector(options);
+  auto out = selector.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  const auto& kept = selector.selected();
+  // "strong" survives (first in order), its near-copy is dropped.
+  EXPECT_NE(std::find(kept.begin(), kept.end(), "strong"), kept.end());
+  EXPECT_EQ(std::find(kept.begin(), kept.end(), "copy"), kept.end());
+  EXPECT_NE(std::find(kept.begin(), kept.end(), "noise"), kept.end());
+}
+
+TEST(FeatureSelectionTest, InformationGainRanksSignalFirst) {
+  const Dataset d = MakeLabeled();
+  const std::vector<double> gains = InformationGains(d);
+  ASSERT_EQ(gains.size(), 4u);
+  EXPECT_GT(gains[0], gains[3] + 0.1);  // strong >> noise.
+  EXPECT_NEAR(gains[2], 0.0, 1e-9);     // constant: no gain.
+}
+
+TEST(FeatureSelectionTest, TopKKeepsExactlyK) {
+  const Dataset d = MakeLabeled();
+  FeatureSelectionOptions options;
+  options.kind = FeatureSelectorKind::kInformationGain;
+  options.top_k = 2;
+  FeatureSelector selector(options);
+  auto out = selector.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumFeatures(), 2u);
+  // The two signal-bearing columns win.
+  const auto& kept = selector.selected();
+  EXPECT_NE(std::find(kept.begin(), kept.end(), "strong"), kept.end());
+  EXPECT_NE(std::find(kept.begin(), kept.end(), "copy"), kept.end());
+}
+
+TEST(FeatureSelectionTest, InfoGainDropsZeroGainFeatures) {
+  const Dataset d = MakeLabeled();
+  FeatureSelectionOptions options;
+  options.kind = FeatureSelectorKind::kInformationGain;
+  options.top_k = 0;  // Keep all with positive gain.
+  FeatureSelector selector(options);
+  auto out = selector.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  const auto& kept = selector.selected();
+  EXPECT_EQ(std::find(kept.begin(), kept.end(), "constant"), kept.end());
+}
+
+TEST(FeatureSelectionTest, IncludeListRestrictsFirst) {
+  const Dataset d = MakeLabeled();
+  FeatureSelectionOptions options;
+  options.include_features = {"strong", "noise"};
+  FeatureSelector selector(options);
+  auto out = selector.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumFeatures(), 2u);
+}
+
+TEST(FeatureSelectionTest, UnknownIncludeNameRejected) {
+  const Dataset d = MakeLabeled();
+  FeatureSelectionOptions options;
+  options.include_features = {"does_not_exist"};
+  FeatureSelector selector(options);
+  EXPECT_FALSE(selector.Fit(d).ok());
+}
+
+TEST(FeatureSelectionTest, NeverDropsEverything) {
+  Dataset d("allconst");
+  d.AddNumericFeature("c1", {1, 1, 1, 1});
+  d.AddNumericFeature("c2", {2, 2, 2, 2});
+  d.SetLabels({0, 1, 0, 1}, {"a", "b"});
+  FeatureSelectionOptions options;
+  options.kind = FeatureSelectorKind::kVarianceThreshold;
+  FeatureSelector selector(options);
+  auto out = selector.FitTransform(d);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GE(out->NumFeatures(), 1u);
+}
+
+TEST(FeatureSelectionTest, TransformRequiresFit) {
+  FeatureSelector selector;
+  EXPECT_FALSE(selector.Transform(MakeLabeled()).ok());
+}
+
+TEST(FeatureSelectionTest, SchemaMismatchRejected) {
+  FeatureSelector selector;
+  ASSERT_TRUE(selector.Fit(MakeLabeled()).ok());
+  Dataset other;
+  other.AddNumericFeature("x", {1, 2});
+  other.SetLabels({0, 1}, {"a", "b"});
+  EXPECT_FALSE(selector.Transform(other).ok());
+}
+
+TEST(FeatureSelectionTest, CategoricalHandledByInfoGain) {
+  Dataset d("cat");
+  const size_t n = 120;
+  std::vector<int> labels(n);
+  std::vector<double> informative(n), random_cat(n);
+  Rng rng(11);
+  for (size_t r = 0; r < n; ++r) {
+    labels[r] = static_cast<int>(r % 3);
+    informative[r] = static_cast<double>(labels[r]);  // Perfect predictor.
+    random_cat[r] = static_cast<double>(rng.UniformInt(3));
+  }
+  d.AddCategoricalFeature("inf_cat", informative, {"a", "b", "c"});
+  d.AddCategoricalFeature("rand_cat", random_cat, {"a", "b", "c"});
+  d.SetLabels(labels, {"x", "y", "z"});
+  const std::vector<double> gains = InformationGains(d);
+  EXPECT_GT(gains[0], 1.0);  // ~log2(3) bits.
+  EXPECT_LT(gains[1], 0.2);
+}
+
+TEST(FeatureSelectionTest, EndToEndThroughSmartML) {
+  SyntheticSpec spec;
+  spec.num_instances = 150;
+  spec.num_informative = 3;
+  spec.num_noise = 5;
+  spec.class_sep = 2.5;
+  spec.seed = 77;
+  SmartMlOptions options;
+  options.max_evaluations = 9;
+  options.cv_folds = 2;
+  options.cold_start_algorithms = {"knn", "rpart"};
+  options.feature_selection.kind = FeatureSelectorKind::kInformationGain;
+  options.feature_selection.top_k = 3;
+  SmartML framework(options);
+  auto result = framework.Run(GenerateSynthetic(spec));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->selected_features.size(), 3u);
+  EXPECT_GT(result->best_validation_accuracy, 0.7);
+}
+
+}  // namespace
+}  // namespace smartml

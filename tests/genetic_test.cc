@@ -1,0 +1,134 @@
+// Tests for the genetic-algorithm tuner (the TPOT-style optimizer).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tuning/genetic.h"
+
+namespace smartml {
+namespace {
+
+class BowlObjective : public TuningObjective {
+ public:
+  explicit BowlObjective(size_t folds = 1) : folds_(folds) {}
+  size_t NumFolds() const override { return folds_; }
+  StatusOr<double> EvaluateFold(const ParamConfig& config,
+                                size_t fold) override {
+    ++evaluations_;
+    const double dx = config.GetDouble("x", 0.0) - 0.3;
+    const double dy = config.GetDouble("y", 0.0) - 0.7;
+    return dx * dx + dy * dy + 0.001 * static_cast<double>(fold);
+  }
+  size_t evaluations() const { return evaluations_; }
+
+ private:
+  size_t folds_;
+  size_t evaluations_ = 0;
+};
+
+ParamSpace BowlSpace() {
+  ParamSpace space;
+  space.AddDouble("x", 0.0, 1.0, 0.0);
+  space.AddDouble("y", 0.0, 1.0, 0.0);
+  return space;
+}
+
+TEST(GeneticTest, FindsNearOptimum) {
+  BowlObjective objective;
+  GeneticOptions options;
+  options.max_evaluations = 200;
+  options.seed = 3;
+  auto result = GeneticSearch(BowlSpace(), &objective, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->best_cost, 0.03);
+}
+
+TEST(GeneticTest, RespectsBudget) {
+  BowlObjective objective(2);
+  GeneticOptions options;
+  options.max_evaluations = 25;
+  auto result = GeneticSearch(BowlSpace(), &objective, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(objective.evaluations(), 25u);
+  EXPECT_EQ(result->num_evaluations, objective.evaluations());
+}
+
+TEST(GeneticTest, SeedIndividualWins) {
+  BowlObjective objective;
+  GeneticOptions options;
+  options.max_evaluations = 12;
+  ParamConfig seed_config;
+  seed_config.SetDouble("x", 0.3);
+  seed_config.SetDouble("y", 0.7);
+  options.initial_configs = {seed_config};
+  auto result = GeneticSearch(BowlSpace(), &objective, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->best_cost, 1e-9);
+}
+
+TEST(GeneticTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    BowlObjective objective;
+    GeneticOptions options;
+    options.max_evaluations = 60;
+    options.seed = seed;
+    auto result = GeneticSearch(BowlSpace(), &objective, options);
+    EXPECT_TRUE(result.ok());
+    return result->best_cost;
+  };
+  EXPECT_DOUBLE_EQ(run(7), run(7));
+}
+
+TEST(GeneticTest, ImprovesAcrossGenerations) {
+  BowlObjective objective;
+  GeneticOptions options;
+  options.max_evaluations = 120;
+  options.population_size = 10;
+  options.seed = 9;
+  auto result = GeneticSearch(BowlSpace(), &objective, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->trajectory.size(), 20u);
+  // The incumbent after the last generation beats the first generation's.
+  EXPECT_LT(result->trajectory.back(), result->trajectory[9] - 1e-6);
+}
+
+TEST(GeneticTest, HandlesCategoricalSpaces) {
+  ParamSpace space;
+  space.AddCategorical("mode", {"bad", "good"}, "bad");
+  space.AddDouble("x", 0.0, 1.0, 0.0);
+  class ModeObjective : public TuningObjective {
+   public:
+    size_t NumFolds() const override { return 1; }
+    StatusOr<double> EvaluateFold(const ParamConfig& config,
+                                  size_t) override {
+      const double base =
+          config.GetChoice("mode", "bad") == "good" ? 0.0 : 0.5;
+      const double dx = config.GetDouble("x", 0.0) - 0.5;
+      return base + dx * dx;
+    }
+  } objective;
+  GeneticOptions options;
+  options.max_evaluations = 120;
+  options.seed = 11;
+  auto result = GeneticSearch(space, &objective, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best_config.GetChoice("mode", ""), "good");
+  EXPECT_LT(result->best_cost, 0.05);
+}
+
+TEST(GeneticTest, RejectsNullObjective) {
+  GeneticOptions options;
+  EXPECT_FALSE(GeneticSearch(BowlSpace(), nullptr, options).ok());
+}
+
+TEST(GeneticTest, ZeroDeadlineStopsImmediately) {
+  BowlObjective objective;
+  GeneticOptions options;
+  options.max_evaluations = 100000;
+  options.deadline = Deadline::After(0.0);
+  auto result = GeneticSearch(BowlSpace(), &objective, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(objective.evaluations(), 1u);
+}
+
+}  // namespace
+}  // namespace smartml

@@ -1,0 +1,109 @@
+// Tests for the interpretability module (permutation importance and partial
+// dependence).
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/interpret/interpret.h"
+#include "src/ml/forest.h"
+#include "src/ml/knn.h"
+
+namespace smartml {
+namespace {
+
+// Dataset where the informative features carry all the signal.
+Dataset SignalAndNoise() {
+  SyntheticSpec spec;
+  spec.num_instances = 220;
+  spec.num_informative = 2;
+  spec.num_noise = 3;
+  spec.num_classes = 2;
+  spec.class_sep = 3.0;
+  spec.seed = 55;
+  return GenerateSynthetic(spec);
+}
+
+TEST(ImportanceTest, InformativeFeaturesRankAboveNoise) {
+  const Dataset d = SignalAndNoise();
+  RandomForestClassifier forest;
+  ASSERT_TRUE(
+      forest.Fit(d, RandomForestClassifier::Space().DefaultConfig()).ok());
+  auto importances = PermutationImportance(forest, d, 3, 7);
+  ASSERT_TRUE(importances.ok());
+  ASSERT_EQ(importances->size(), 5u);
+  // Sorted descending; the top two should be the informative features.
+  EXPECT_GE((*importances)[0].importance, (*importances)[4].importance);
+  int informative_in_top2 = 0;
+  for (int i = 0; i < 2; ++i) {
+    const std::string& name = (*importances)[static_cast<size_t>(i)].feature;
+    if (name.rfind("inf", 0) == 0) ++informative_in_top2;
+  }
+  EXPECT_EQ(informative_in_top2, 2);
+}
+
+TEST(ImportanceTest, NoiseFeatureImportanceNearZero) {
+  const Dataset d = SignalAndNoise();
+  RandomForestClassifier forest;
+  ASSERT_TRUE(
+      forest.Fit(d, RandomForestClassifier::Space().DefaultConfig()).ok());
+  auto importances = PermutationImportance(forest, d, 3, 7);
+  ASSERT_TRUE(importances.ok());
+  for (const auto& fi : *importances) {
+    if (fi.feature.rfind("noise", 0) == 0) {
+      EXPECT_NEAR(fi.importance, 0.0, 0.06) << fi.feature;
+    }
+  }
+}
+
+TEST(ImportanceTest, TinyDatasetRejected) {
+  Dataset d;
+  d.AddNumericFeature("x", {1});
+  d.SetLabels({0}, {"a"});
+  KnnClassifier knn;
+  EXPECT_FALSE(PermutationImportance(knn, d).ok());
+}
+
+TEST(PdpTest, ProducesGridOfRequestedSize) {
+  const Dataset d = SignalAndNoise();
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Fit(d, KnnClassifier::Space().DefaultConfig()).ok());
+  auto pd = ComputePartialDependence(knn, d, 0, 1, 10);
+  ASSERT_TRUE(pd.ok());
+  EXPECT_EQ(pd->grid.size(), 10u);
+  EXPECT_EQ(pd->mean_probability.size(), 10u);
+  for (double p : pd->mean_probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // Grid is increasing.
+  for (size_t i = 1; i < pd->grid.size(); ++i) {
+    EXPECT_GT(pd->grid[i], pd->grid[i - 1]);
+  }
+}
+
+TEST(PdpTest, InformativeFeatureMovesProbability) {
+  const Dataset d = SignalAndNoise();
+  RandomForestClassifier forest;
+  ASSERT_TRUE(
+      forest.Fit(d, RandomForestClassifier::Space().DefaultConfig()).ok());
+  auto pd = ComputePartialDependence(forest, d, 0, 1, 8);
+  ASSERT_TRUE(pd.ok());
+  double lo = 1.0, hi = 0.0;
+  for (double p : pd->mean_probability) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi - lo, 0.1);  // Sweeping an informative feature matters.
+}
+
+TEST(PdpTest, RejectsCategoricalAndOutOfRange) {
+  Dataset d;
+  d.AddCategoricalFeature("c", {0, 1, 0, 1}, {"a", "b"});
+  d.SetLabels({0, 1, 0, 1}, {"x", "y"});
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Fit(d, KnnClassifier::Space().DefaultConfig()).ok());
+  EXPECT_FALSE(ComputePartialDependence(knn, d, 0, 0).ok());
+  EXPECT_FALSE(ComputePartialDependence(knn, d, 5, 0).ok());
+}
+
+}  // namespace
+}  // namespace smartml

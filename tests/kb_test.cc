@@ -1,0 +1,197 @@
+// Tests for the knowledge base: records, merging (incremental update),
+// weighted-NN nomination, and persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/kb/knowledge_base.h"
+
+namespace smartml {
+namespace {
+
+MetaFeatureVector MakeMeta(double base) {
+  MetaFeatureVector mf{};
+  for (size_t i = 0; i < kNumMetaFeatures; ++i) {
+    mf[i] = base + static_cast<double>(i) * 0.1;
+  }
+  return mf;
+}
+
+KbRecord MakeRecord(const std::string& name, double meta_base,
+                    std::vector<std::pair<std::string, double>> results) {
+  KbRecord record;
+  record.dataset_name = name;
+  record.meta_features = MakeMeta(meta_base);
+  for (auto& [algo, acc] : results) {
+    KbAlgorithmResult r;
+    r.algorithm = algo;
+    r.accuracy = acc;
+    r.best_config.SetDouble("p", acc * 10);
+    record.results.push_back(std::move(r));
+  }
+  return record;
+}
+
+TEST(KbTest, AddAndFind) {
+  KnowledgeBase kb;
+  EXPECT_EQ(kb.NumRecords(), 0u);
+  kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.9}}));
+  EXPECT_EQ(kb.NumRecords(), 1u);
+  ASSERT_NE(kb.Find("d1"), nullptr);
+  EXPECT_EQ(kb.Find("d2"), nullptr);
+}
+
+TEST(KbTest, MergeKeepsBetterResult) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.7}, {"knn", 0.8}}));
+  kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.9}, {"j48", 0.6}}));
+  EXPECT_EQ(kb.NumRecords(), 1u);
+  const KbRecord* r = kb.Find("d1");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->results.size(), 3u);
+  for (const auto& result : r->results) {
+    if (result.algorithm == "svm") {
+      EXPECT_DOUBLE_EQ(result.accuracy, 0.9);  // Upgraded.
+    }
+    if (result.algorithm == "knn") {
+      EXPECT_DOUBLE_EQ(result.accuracy, 0.8);  // Preserved.
+    }
+  }
+}
+
+TEST(KbTest, MergeDoesNotDowngrade) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.9}}));
+  kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.5}}));
+  EXPECT_DOUBLE_EQ(kb.Find("d1")->results[0].accuracy, 0.9);
+}
+
+TEST(KbTest, NearestRecordsOrdering) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("near", 1.0, {{"svm", 0.9}}));
+  kb.AddRecord(MakeRecord("mid", 3.0, {{"svm", 0.9}}));
+  kb.AddRecord(MakeRecord("far", 9.0, {{"svm", 0.9}}));
+  const auto neighbors = kb.NearestRecords(MakeMeta(1.1), 3);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].first->dataset_name, "near");
+  EXPECT_EQ(neighbors[2].first->dataset_name, "far");
+  EXPECT_LE(neighbors[0].second, neighbors[1].second);
+}
+
+TEST(KbTest, NominateEmptyKbReturnsNothing) {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.Nominate(MakeMeta(1.0), {}).empty());
+}
+
+TEST(KbTest, NominateRanksByNeighborPerformance) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("similar", 1.0, {{"svm", 0.95}, {"knn", 0.60}}));
+  kb.AddRecord(MakeRecord("distant", 50.0, {{"rpart", 0.99}}));
+  NominationOptions options;
+  options.max_algorithms = 2;
+  options.max_neighbors = 1;  // Only the closest dataset contributes.
+  const auto nominations = kb.Nominate(MakeMeta(1.05), options);
+  ASSERT_EQ(nominations.size(), 2u);
+  EXPECT_EQ(nominations[0].algorithm, "svm");
+  EXPECT_EQ(nominations[1].algorithm, "knn");
+  EXPECT_GT(nominations[0].score, nominations[1].score);
+}
+
+TEST(KbTest, NominationCarriesWarmStartConfigs) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("a", 1.0, {{"svm", 0.9}}));
+  kb.AddRecord(MakeRecord("b", 1.2, {{"svm", 0.8}}));
+  NominationOptions options;
+  options.max_algorithms = 1;
+  options.max_neighbors = 2;
+  const auto nominations = kb.Nominate(MakeMeta(1.1), options);
+  ASSERT_EQ(nominations.size(), 1u);
+  EXPECT_GE(nominations[0].warm_start_configs.size(), 2u);
+  // Best-performing neighbour's config comes first (p = acc * 10).
+  EXPECT_NEAR(nominations[0].warm_start_configs[0].GetDouble("p", 0), 9.0,
+              1e-9);
+}
+
+TEST(KbTest, PerformanceWeightingChangesRanking) {
+  // Algorithm A: mediocre on the very nearest dataset. Algorithm B:
+  // excellent on a slightly farther one. Performance weighting should be
+  // able to flip the ranking relative to distance-only.
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("nearest", 1.00, {{"weak_algo", 0.20}}));
+  kb.AddRecord(MakeRecord("close", 1.18, {{"strong_algo", 0.99}}));
+
+  NominationOptions weighted;
+  weighted.max_algorithms = 2;
+  weighted.max_neighbors = 2;
+  weighted.performance_weight = 3.0;  // Emphasize performance magnitude.
+  const auto with_perf = kb.Nominate(MakeMeta(1.02), weighted);
+  ASSERT_EQ(with_perf.size(), 2u);
+  EXPECT_EQ(with_perf[0].algorithm, "strong_algo");
+
+  NominationOptions unweighted = weighted;
+  unweighted.performance_weight = 0.0;  // Distance only.
+  const auto without_perf = kb.Nominate(MakeMeta(1.02), unweighted);
+  ASSERT_EQ(without_perf.size(), 2u);
+  EXPECT_EQ(without_perf[0].algorithm, "weak_algo");
+}
+
+TEST(KbTest, MaxAlgorithmsHonored) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord(
+      "d", 1.0, {{"a", 0.9}, {"b", 0.8}, {"c", 0.7}, {"e", 0.6}}));
+  NominationOptions options;
+  options.max_algorithms = 2;
+  EXPECT_EQ(kb.Nominate(MakeMeta(1.0), options).size(), 2u);
+}
+
+TEST(KbTest, SerializeRoundTrip) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.9}, {"knn", 0.7}}));
+  kb.AddRecord(MakeRecord("d2", 4.0, {{"j48", 0.85}}));
+  auto back = KnowledgeBase::Deserialize(kb.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumRecords(), 2u);
+  const KbRecord* r = back->Find("d1");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->results.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->results[0].accuracy, 0.9);
+  EXPECT_NEAR(r->results[0].best_config.GetDouble("p", 0), 9.0, 1e-9);
+  for (size_t i = 0; i < kNumMetaFeatures; ++i) {
+    EXPECT_NEAR(r->meta_features[i], MakeMeta(1.0)[i], 1e-9);
+  }
+}
+
+TEST(KbTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(KnowledgeBase::Deserialize("not a kb").ok());
+  EXPECT_FALSE(KnowledgeBase::Deserialize("").ok());
+  EXPECT_FALSE(
+      KnowledgeBase::Deserialize("smartml-kb v1\nrecord x\n").ok());
+  EXPECT_FALSE(
+      KnowledgeBase::Deserialize("smartml-kb v1\nmeta 1 2 3\n").ok());
+}
+
+TEST(KbTest, EmptyKbSerializes) {
+  KnowledgeBase kb;
+  auto back = KnowledgeBase::Deserialize(kb.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRecords(), 0u);
+}
+
+TEST(KbTest, FileRoundTrip) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("disk", 2.0, {{"rda", 0.75}}));
+  const std::string path = testing::TempDir() + "/smartml_kb_test.txt";
+  ASSERT_TRUE(kb.SaveToFile(path).ok());
+  auto back = KnowledgeBase::LoadFromFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRecords(), 1u);
+  EXPECT_NE(back->Find("disk"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(KbTest, LoadMissingFileFails) {
+  EXPECT_FALSE(KnowledgeBase::LoadFromFile("/no/such/file.kb").ok());
+}
+
+}  // namespace
+}  // namespace smartml

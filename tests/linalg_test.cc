@@ -1,0 +1,206 @@
+// Tests for src/linalg: matrix algebra and factorizations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/linalg/matrix.h"
+
+namespace smartml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromRowsAndAccessors) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MultiplyMatrices) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const std::vector<double> v = {1, 0, -1};
+  const std::vector<double> out = a.Multiply(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(MatrixTest, AddAndScale) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = a.Scale(2.0).Add(a);
+  EXPECT_DOUBLE_EQ(b(1, 1), 12.0);
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  const Matrix a = Matrix::FromRows({{3, 0}, {0, 1}});
+  auto eig = EigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownSymmetricMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  auto eig = EigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-9);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-9);
+}
+
+TEST(EigenTest, ReconstructsMatrix) {
+  const Matrix a =
+      Matrix::FromRows({{4, 1, 0.5}, {1, 3, -0.2}, {0.5, -0.2, 2}});
+  auto eig = EigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  // A = V diag(values) V^T.
+  const size_t n = 3;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        acc += eig->vectors(i, k) * eig->values[k] * eig->vectors(j, k);
+      }
+      EXPECT_NEAR(acc, a(i, j), 1e-8) << i << "," << j;
+    }
+  }
+}
+
+TEST(EigenTest, VectorsAreOrthonormal) {
+  const Matrix a = Matrix::FromRows({{5, 2, 1}, {2, 4, 0}, {1, 0, 3}});
+  auto eig = EigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  for (size_t c1 = 0; c1 < 3; ++c1) {
+    for (size_t c2 = 0; c2 < 3; ++c2) {
+      double dot = 0.0;
+      for (size_t r = 0; r < 3; ++r) {
+        dot += eig->vectors(r, c1) * eig->vectors(r, c2);
+      }
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  const Matrix a(2, 3);
+  EXPECT_FALSE(EigenSymmetric(a).ok());
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  const Matrix a = Matrix::FromRows({{4, 1}, {1, 3}});
+  const std::vector<double> b = {1, 2};
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  EXPECT_NEAR(4 * (*x)[0] + 1 * (*x)[1], 1.0, 1e-10);
+  EXPECT_NEAR(1 * (*x)[0] + 3 * (*x)[1], 2.0, 1e-10);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  const Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(CholeskyTest, RidgeRepairsNearSingular) {
+  const Matrix a = Matrix::FromRows({{1, 1}, {1, 1}});
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+  EXPECT_TRUE(CholeskySolve(a, {1, 1}, /*ridge=*/0.1).ok());
+}
+
+TEST(LuTest, SolvesGeneralSystem) {
+  const Matrix a = Matrix::FromRows({{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}});
+  const std::vector<double> b = {-8, 0, 3};
+  auto x = LuSolve(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < 3; ++j) acc += a(i, j) * (*x)[j];
+    EXPECT_NEAR(acc, b[i], 1e-9);
+  }
+}
+
+TEST(LuTest, RejectsSingular) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(LuSolve(a, {1, 1}).ok());
+}
+
+TEST(InverseTest, InverseTimesSelfIsIdentity) {
+  const Matrix a = Matrix::FromRows({{2, 1, 0}, {1, 3, 1}, {0, 1, 2}});
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  const Matrix prod = a.Multiply(*inv);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(LogDetTest, MatchesKnownDeterminant) {
+  // det([[4,1],[1,3]]) = 11.
+  const Matrix a = Matrix::FromRows({{4, 1}, {1, 3}});
+  auto ld = LogDetSpd(a);
+  ASSERT_TRUE(ld.ok());
+  EXPECT_NEAR(*ld, std::log(11.0), 1e-9);
+}
+
+TEST(CovarianceTest, KnownCovariance) {
+  // Two perfectly correlated columns.
+  const Matrix x = Matrix::FromRows({{1, 2}, {2, 4}, {3, 6}});
+  const Matrix cov = Covariance(x);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-15);
+}
+
+TEST(CovarianceTest, ColumnMeans) {
+  const Matrix x = Matrix::FromRows({{1, 10}, {3, 20}});
+  const std::vector<double> mean = ColumnMeans(x);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 15.0);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace smartml

@@ -1,0 +1,74 @@
+// Tests for classification metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/metrics.h"
+
+namespace smartml {
+namespace {
+
+TEST(AccuracyTest, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2}, {1, 2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ErrorRate({0, 1}, {0, 0}), 0.5);
+}
+
+TEST(AccuracyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(ConfusionTest, CountsLandInRightCells) {
+  const Matrix c = ConfusionMatrix({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0}, 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 2.0);
+}
+
+TEST(MacroF1Test, PerfectPrediction) {
+  EXPECT_NEAR(MacroF1({0, 1, 2, 0}, {0, 1, 2, 0}, 3), 1.0, 1e-12);
+}
+
+TEST(MacroF1Test, KnownValue) {
+  // Class 0: TP=1 FP=1 FN=1 -> P=0.5 R=0.5 F1=0.5.
+  // Class 1: TP=1 FP=1 FN=1 -> F1=0.5.
+  const double f1 = MacroF1({0, 0, 1, 1}, {0, 1, 1, 0}, 2);
+  EXPECT_NEAR(f1, 0.5, 1e-12);
+}
+
+TEST(MacroF1Test, SkipsAbsentClasses) {
+  // Class 2 never appears in ground truth; it must not dilute the mean.
+  const double f1 = MacroF1({0, 1}, {0, 1}, 3);
+  EXPECT_NEAR(f1, 1.0, 1e-12);
+}
+
+TEST(KappaTest, PerfectAgreementIsOne) {
+  EXPECT_NEAR(CohensKappa({0, 1, 0, 1}, {0, 1, 0, 1}, 2), 1.0, 1e-12);
+}
+
+TEST(KappaTest, ChanceAgreementIsZero) {
+  // Predictions independent of truth: kappa ~ 0.
+  const std::vector<int> actual = {0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 1, 0, 1};
+  EXPECT_NEAR(CohensKappa(actual, predicted, 2), 0.0, 1e-12);
+}
+
+TEST(LogLossTest, ConfidentCorrectIsSmall) {
+  const double loss = LogLoss({0}, {{0.99, 0.01}});
+  EXPECT_NEAR(loss, -std::log(0.99), 1e-12);
+}
+
+TEST(LogLossTest, ClipsExtremeProbabilities) {
+  const double loss = LogLoss({0}, {{0.0, 1.0}});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 30.0);
+}
+
+TEST(LogLossTest, UniformPrediction) {
+  const double loss = LogLoss({0, 1}, {{0.5, 0.5}, {0.5, 0.5}});
+  EXPECT_NEAR(loss, std::log(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace smartml

@@ -1,0 +1,229 @@
+// Cross-cutting property sweeps: every preprocessing operator and every
+// classifier is exercised against structural invariants and edge-case
+// datasets (categorical-only, constant features, tiny samples, many
+// classes, missing cells). These are the "does the framework survive the
+// weird corners of real data" tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/data/synthetic.h"
+#include "src/ml/registry.h"
+#include "src/preprocess/preprocess.h"
+
+namespace smartml {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dataset MixedReference() {
+  SyntheticSpec spec;
+  spec.num_instances = 120;
+  spec.num_informative = 3;
+  spec.num_categorical = 2;
+  spec.num_classes = 3;
+  spec.class_sep = 2.0;
+  spec.missing_fraction = 0.03;
+  spec.seed = 808;
+  return GenerateSynthetic(spec);
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing invariants over all 8 Table 2 operators.
+// ---------------------------------------------------------------------------
+
+class AllOpsTest : public testing::TestWithParam<PreprocessOp> {};
+
+TEST_P(AllOpsTest, PreservesRowsAndLabels) {
+  const Dataset d = MixedReference();
+  auto p = CreatePreprocessor(GetParam());
+  ASSERT_TRUE(p->Fit(d).ok()) << PreprocessOpName(GetParam());
+  auto out = p->Transform(d);
+  ASSERT_TRUE(out.ok()) << PreprocessOpName(GetParam());
+  EXPECT_EQ(out->NumRows(), d.NumRows());
+  EXPECT_EQ(out->labels(), d.labels());
+  EXPECT_EQ(out->class_names(), d.class_names());
+  EXPECT_TRUE(out->Validate().ok());
+}
+
+TEST_P(AllOpsTest, TransformIsDeterministic) {
+  const Dataset d = MixedReference();
+  auto p = CreatePreprocessor(GetParam(), 7);
+  ASSERT_TRUE(p->Fit(d).ok());
+  auto a = p->Transform(d);
+  auto b = p->Transform(d);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumFeatures(), b->NumFeatures());
+  for (size_t f = 0; f < a->NumFeatures(); ++f) {
+    for (size_t r = 0; r < a->NumRows(); ++r) {
+      const double va = a->feature(f).values[r];
+      const double vb = b->feature(f).values[r];
+      if (std::isnan(va)) {
+        EXPECT_TRUE(std::isnan(vb));
+      } else {
+        EXPECT_DOUBLE_EQ(va, vb);
+      }
+    }
+  }
+}
+
+TEST_P(AllOpsTest, SurvivesCategoricalOnlyData) {
+  Dataset d("cats");
+  Rng rng(5);
+  std::vector<double> c1(60), c2(60);
+  std::vector<int> labels(60);
+  for (size_t r = 0; r < 60; ++r) {
+    c1[r] = static_cast<double>(rng.UniformInt(3));
+    c2[r] = static_cast<double>(rng.UniformInt(2));
+    labels[r] = static_cast<int>(r % 2);
+  }
+  d.AddCategoricalFeature("c1", c1, {"a", "b", "c"});
+  d.AddCategoricalFeature("c2", c2, {"x", "y"});
+  d.SetLabels(labels, {"n", "p"});
+  auto p = CreatePreprocessor(GetParam(), 9);
+  ASSERT_TRUE(p->Fit(d).ok()) << PreprocessOpName(GetParam());
+  auto out = p->Transform(d);
+  ASSERT_TRUE(out.ok()) << PreprocessOpName(GetParam());
+  EXPECT_GE(out->NumFeatures(), 1u);
+}
+
+TEST_P(AllOpsTest, OutputIsFiniteWhereInputWasPresent) {
+  const Dataset d = MixedReference();
+  auto p = CreatePreprocessor(GetParam(), 11);
+  ASSERT_TRUE(p->Fit(d).ok());
+  auto out = p->Transform(d);
+  ASSERT_TRUE(out.ok());
+  for (const auto& col : out->features()) {
+    for (double v : col.values) {
+      if (!std::isnan(v)) {
+        EXPECT_TRUE(std::isfinite(v)) << PreprocessOpName(GetParam());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, AllOpsTest, testing::ValuesIn(AllPreprocessOps()),
+    [](const auto& info) { return std::string(PreprocessOpName(info.param)); });
+
+// ---------------------------------------------------------------------------
+// Classifier edge cases over all 15 algorithms.
+// ---------------------------------------------------------------------------
+
+class ClassifierEdgeTest : public testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Classifier> Make() {
+    auto c = CreateClassifier(GetParam());
+    EXPECT_TRUE(c.ok());
+    return std::move(*c);
+  }
+  ParamConfig Default() {
+    auto space = SpaceFor(GetParam());
+    EXPECT_TRUE(space.ok());
+    return space->DefaultConfig();
+  }
+};
+
+TEST_P(ClassifierEdgeTest, SurvivesConstantFeature) {
+  SyntheticSpec spec;
+  spec.num_instances = 90;
+  spec.num_informative = 3;
+  spec.class_sep = 2.5;
+  spec.seed = 901;
+  Dataset d = GenerateSynthetic(spec);
+  d.AddNumericFeature("constant", std::vector<double>(d.NumRows(), 1.0));
+  auto model = Make();
+  ASSERT_TRUE(model->Fit(d, Default()).ok()) << GetParam();
+  auto pred = model->Predict(d);
+  ASSERT_TRUE(pred.ok()) << GetParam();
+}
+
+TEST_P(ClassifierEdgeTest, SurvivesTinySample) {
+  // 12 rows, 2 classes: must fit and predict without crashing; accuracy is
+  // not asserted.
+  SyntheticSpec spec;
+  spec.num_instances = 12;
+  spec.num_informative = 2;
+  spec.class_sep = 3.0;
+  spec.seed = 902;
+  const Dataset d = GenerateSynthetic(spec);
+  auto model = Make();
+  ASSERT_TRUE(model->Fit(d, Default()).ok()) << GetParam();
+  auto proba = model->PredictProba(d);
+  ASSERT_TRUE(proba.ok()) << GetParam();
+  EXPECT_EQ(proba->size(), 12u);
+}
+
+TEST_P(ClassifierEdgeTest, SurvivesManyClasses) {
+  SyntheticSpec spec;
+  spec.num_instances = 240;
+  spec.num_informative = 5;
+  spec.num_classes = 12;
+  spec.class_sep = 2.5;
+  spec.seed = 903;
+  const Dataset d = GenerateSynthetic(spec);
+  auto model = Make();
+  ASSERT_TRUE(model->Fit(d, Default()).ok()) << GetParam();
+  auto proba = model->PredictProba(d);
+  ASSERT_TRUE(proba.ok()) << GetParam();
+  EXPECT_EQ((*proba)[0].size(), 12u);
+}
+
+TEST_P(ClassifierEdgeTest, PredictsOnRowsWithMissingValues) {
+  // Trained on complete data, asked to predict rows containing NaN: every
+  // classifier must produce *some* valid distribution (imputation/routing
+  // is the classifier's internal business).
+  SyntheticSpec spec;
+  spec.num_instances = 100;
+  spec.num_informative = 4;
+  spec.class_sep = 2.5;
+  spec.seed = 904;
+  const Dataset train = GenerateSynthetic(spec);
+  auto model = Make();
+  ASSERT_TRUE(model->Fit(train, Default()).ok()) << GetParam();
+
+  Dataset test = train.Subset({0, 1, 2, 3, 4});
+  test.mutable_feature(0).values[0] = kNaN;
+  test.mutable_feature(2).values[1] = kNaN;
+  auto proba = model->PredictProba(test);
+  ASSERT_TRUE(proba.ok()) << GetParam();
+  for (const auto& p : *proba) {
+    double sum = 0;
+    for (double v : p) {
+      EXPECT_TRUE(std::isfinite(v)) << GetParam();
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6) << GetParam();
+  }
+}
+
+TEST_P(ClassifierEdgeTest, ImbalancedDataStillFavorsMajorityOverChance) {
+  SyntheticSpec spec;
+  spec.num_instances = 150;
+  spec.num_informative = 3;
+  spec.num_classes = 3;
+  spec.imbalance = 0.4;  // Heavy skew.
+  spec.class_sep = 2.0;
+  spec.seed = 905;
+  const Dataset d = GenerateSynthetic(spec);
+  auto model = Make();
+  ASSERT_TRUE(model->Fit(d, Default()).ok()) << GetParam();
+  auto pred = model->Predict(d);
+  ASSERT_TRUE(pred.ok());
+  size_t correct = 0;
+  for (size_t r = 0; r < d.NumRows(); ++r) {
+    if ((*pred)[r] == d.label(r)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(d.NumRows()),
+            1.0 / 3.0)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(All15, ClassifierEdgeTest,
+                         testing::ValuesIn(AllAlgorithmNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace smartml

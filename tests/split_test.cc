@@ -1,0 +1,139 @@
+// Tests for stratified splitting and k-fold construction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/split.h"
+#include "src/data/synthetic.h"
+
+namespace smartml {
+namespace {
+
+Dataset MakeDataset(size_t n, size_t classes) {
+  SyntheticSpec spec;
+  spec.num_instances = n;
+  spec.num_informative = 3;
+  spec.num_classes = classes;
+  spec.seed = 5;
+  return GenerateSynthetic(spec);
+}
+
+TEST(SplitTest, PartitionsAreDisjointAndComplete) {
+  const Dataset d = MakeDataset(100, 3);
+  auto split = StratifiedSplit(d, 0.25, 1);
+  ASSERT_TRUE(split.ok());
+  std::set<size_t> all(split->train_rows.begin(), split->train_rows.end());
+  for (size_t r : split->validation_rows) {
+    EXPECT_EQ(all.count(r), 0u);
+    all.insert(r);
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, ValidationFractionRespected) {
+  const Dataset d = MakeDataset(200, 2);
+  auto split = StratifiedSplit(d, 0.25, 2);
+  ASSERT_TRUE(split.ok());
+  EXPECT_NEAR(static_cast<double>(split->validation_rows.size()), 50.0, 5.0);
+}
+
+TEST(SplitTest, StratificationPreservesClassRatios) {
+  const Dataset d = MakeDataset(300, 3);
+  auto split = StratifiedSplit(d, 0.3, 3);
+  ASSERT_TRUE(split.ok());
+  const auto total = d.ClassCounts();
+  const auto val = split->validation.ClassCounts();
+  for (size_t k = 0; k < 3; ++k) {
+    const double expected = 0.3 * static_cast<double>(total[k]);
+    EXPECT_NEAR(static_cast<double>(val[k]), expected,
+                0.25 * expected + 2.0);
+  }
+}
+
+TEST(SplitTest, EveryClassInBothPartitions) {
+  const Dataset d = MakeDataset(120, 4);
+  auto split = StratifiedSplit(d, 0.2, 4);
+  ASSERT_TRUE(split.ok());
+  const auto train_counts = split->train.ClassCounts();
+  const auto val_counts = split->validation.ClassCounts();
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(train_counts[k], 0u) << k;
+    EXPECT_GT(val_counts[k], 0u) << k;
+  }
+}
+
+TEST(SplitTest, DeterministicForSeed) {
+  const Dataset d = MakeDataset(80, 2);
+  auto a = StratifiedSplit(d, 0.25, 9);
+  auto b = StratifiedSplit(d, 0.25, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->train_rows, b->train_rows);
+  auto c = StratifiedSplit(d, 0.25, 10);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->train_rows, c->train_rows);
+}
+
+TEST(SplitTest, RejectsBadFraction) {
+  const Dataset d = MakeDataset(50, 2);
+  EXPECT_FALSE(StratifiedSplit(d, 0.0, 1).ok());
+  EXPECT_FALSE(StratifiedSplit(d, 1.0, 1).ok());
+  EXPECT_FALSE(StratifiedSplit(d, -0.5, 1).ok());
+}
+
+TEST(FoldsTest, AssignsEveryRow) {
+  const Dataset d = MakeDataset(90, 3);
+  auto folds = StratifiedFolds(d, 5, 1);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 90u);
+  std::vector<int> counts(5, 0);
+  for (int f : *folds) {
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 5);
+    counts[static_cast<size_t>(f)]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 18, 4);
+}
+
+TEST(FoldsTest, FoldsAreClassBalanced) {
+  const Dataset d = MakeDataset(200, 2);
+  auto folds = StratifiedFolds(d, 4, 3);
+  ASSERT_TRUE(folds.ok());
+  // Per fold, class ratio should be near the global ratio.
+  const auto global = d.ClassCounts();
+  const double global_ratio = static_cast<double>(global[0]) /
+                              static_cast<double>(d.NumRows());
+  for (int f = 0; f < 4; ++f) {
+    size_t c0 = 0, total = 0;
+    for (size_t r = 0; r < d.NumRows(); ++r) {
+      if ((*folds)[r] != f) continue;
+      ++total;
+      if (d.label(r) == 0) ++c0;
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_NEAR(static_cast<double>(c0) / static_cast<double>(total),
+                global_ratio, 0.1);
+  }
+}
+
+TEST(FoldsTest, RejectsBadK) {
+  const Dataset d = MakeDataset(20, 2);
+  EXPECT_FALSE(StratifiedFolds(d, 1, 1).ok());
+  EXPECT_FALSE(StratifiedFolds(d, 21, 1).ok());
+}
+
+TEST(FoldsTest, MaterializeFoldDisjoint) {
+  const Dataset d = MakeDataset(60, 2);
+  auto folds = StratifiedFolds(d, 3, 1);
+  ASSERT_TRUE(folds.ok());
+  const TrainValidationSplit split = MaterializeFold(d, *folds, 1);
+  EXPECT_EQ(split.train.NumRows() + split.validation.NumRows(), 60u);
+  for (size_t r : split.validation_rows) {
+    EXPECT_EQ((*folds)[r], 1);
+  }
+  for (size_t r : split.train_rows) {
+    EXPECT_NE((*folds)[r], 1);
+  }
+}
+
+}  // namespace
+}  // namespace smartml

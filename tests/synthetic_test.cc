@@ -1,0 +1,176 @@
+// Tests for the synthetic dataset generator family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/data/synthetic.h"
+
+namespace smartml {
+namespace {
+
+TEST(SyntheticTest, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.num_instances = 150;
+  spec.num_informative = 4;
+  spec.num_redundant = 2;
+  spec.num_noise = 3;
+  spec.num_categorical = 2;
+  spec.num_classes = 3;
+  const Dataset d = GenerateSynthetic(spec);
+  EXPECT_EQ(d.NumRows(), 150u);
+  EXPECT_EQ(d.NumFeatures(), 11u);
+  EXPECT_EQ(d.NumNumericFeatures(), 9u);
+  EXPECT_EQ(d.NumCategoricalFeatures(), 2u);
+  EXPECT_EQ(d.NumClasses(), 3u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.num_instances = 60;
+  spec.seed = 77;
+  const Dataset a = GenerateSynthetic(spec);
+  const Dataset b = GenerateSynthetic(spec);
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_EQ(a.feature(0).values, b.feature(0).values);
+  spec.seed = 78;
+  const Dataset c = GenerateSynthetic(spec);
+  EXPECT_NE(a.feature(0).values, c.feature(0).values);
+}
+
+TEST(SyntheticTest, AllClassesPresent) {
+  for (auto kind :
+       {SyntheticKind::kGaussianClusters, SyntheticKind::kHypercube,
+        SyntheticKind::kSpirals}) {
+    SyntheticSpec spec;
+    spec.kind = kind;
+    spec.num_instances = 200;
+    spec.num_classes = 5;
+    spec.num_informative = 4;
+    const Dataset d = GenerateSynthetic(spec);
+    const auto counts = d.ClassCounts();
+    for (size_t k = 0; k < 5; ++k) {
+      EXPECT_GT(counts[k], 0u) << "kind=" << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(SyntheticTest, ImbalanceSkewsClassSizes) {
+  SyntheticSpec spec;
+  spec.num_instances = 400;
+  spec.num_classes = 4;
+  spec.imbalance = 0.5;
+  const Dataset d = GenerateSynthetic(spec);
+  const auto counts = d.ClassCounts();
+  EXPECT_GT(counts[0], 2 * counts[3]);
+}
+
+TEST(SyntheticTest, MissingFractionApproximatelyHonored) {
+  SyntheticSpec spec;
+  spec.num_instances = 400;
+  spec.num_informative = 5;
+  spec.missing_fraction = 0.1;
+  const Dataset d = GenerateSynthetic(spec);
+  const double cells =
+      static_cast<double>(d.NumRows() * d.NumFeatures());
+  const double ratio = static_cast<double>(d.CountMissing()) / cells;
+  EXPECT_NEAR(ratio, 0.1, 0.03);
+}
+
+TEST(SyntheticTest, SeparableDataIsActuallySeparable) {
+  // Very high class_sep Gaussian blobs: a nearest-centroid rule should be
+  // nearly perfect, so average within-class distance << between-class.
+  SyntheticSpec spec;
+  spec.num_instances = 200;
+  spec.num_informative = 3;
+  spec.num_classes = 2;
+  spec.class_sep = 8.0;
+  const Dataset d = GenerateSynthetic(spec);
+  // Compute class means on first informative feature set.
+  std::vector<double> mean0(3, 0), mean1(3, 0);
+  size_t n0 = 0, n1 = 0;
+  for (size_t r = 0; r < d.NumRows(); ++r) {
+    for (size_t f = 0; f < 3; ++f) {
+      if (d.label(r) == 0) {
+        mean0[f] += d.feature(f).values[r];
+      } else {
+        mean1[f] += d.feature(f).values[r];
+      }
+    }
+    (d.label(r) == 0 ? n0 : n1)++;
+  }
+  double dist = 0;
+  for (size_t f = 0; f < 3; ++f) {
+    const double diff = mean0[f] / n0 - mean1[f] / n1;
+    dist += diff * diff;
+  }
+  EXPECT_GT(std::sqrt(dist), 4.0);  // Centers far apart vs unit noise.
+}
+
+TEST(SyntheticTest, RulesKindProducesAllRequestedClasses) {
+  SyntheticSpec spec;
+  spec.kind = SyntheticKind::kRules;
+  spec.num_instances = 500;
+  spec.num_classes = 4;
+  spec.num_informative = 5;
+  const Dataset d = GenerateSynthetic(spec);
+  std::set<int> seen(d.labels().begin(), d.labels().end());
+  EXPECT_GE(seen.size(), 3u);  // Rule programs may starve at most one class.
+}
+
+TEST(Table4Test, HasTenDatasets) {
+  const auto entries = Table4Datasets();
+  ASSERT_EQ(entries.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& e : entries) names.insert(e.spec.name);
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_TRUE(names.count("madelon"));
+  EXPECT_TRUE(names.count("yeast"));
+}
+
+TEST(Table4Test, PaperNumbersMatchTable) {
+  for (const auto& e : Table4Datasets()) {
+    EXPECT_GT(e.paper_smartml_accuracy, e.paper_autoweka_accuracy)
+        << e.spec.name << ": the paper reports SmartML winning on all rows";
+  }
+}
+
+TEST(Table4Test, RecipesGenerate) {
+  for (const auto& e : Table4Datasets()) {
+    const Dataset d = GenerateSynthetic(e.spec);
+    EXPECT_TRUE(d.Validate().ok()) << e.spec.name;
+    EXPECT_EQ(d.NumRows(), e.spec.num_instances) << e.spec.name;
+    EXPECT_EQ(d.NumClasses(), e.spec.num_classes) << e.spec.name;
+  }
+}
+
+TEST(BootstrapSpecsTest, CountAndVariety) {
+  const auto specs = BootstrapKbSpecs(50, 7);
+  ASSERT_EQ(specs.size(), 50u);
+  std::set<std::string> names;
+  std::set<size_t> class_counts;
+  std::set<int> kinds;
+  for (const auto& s : specs) {
+    names.insert(s.name);
+    class_counts.insert(s.num_classes);
+    kinds.insert(static_cast<int>(s.kind));
+  }
+  EXPECT_EQ(names.size(), 50u);
+  EXPECT_GE(class_counts.size(), 5u);
+  EXPECT_EQ(kinds.size(), 4u);
+}
+
+TEST(BootstrapSpecsTest, DeterministicForSeed) {
+  const auto a = BootstrapKbSpecs(10, 3);
+  const auto b = BootstrapKbSpecs(10, 3);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[i].num_instances, b[i].num_instances);
+    EXPECT_EQ(a[i].num_classes, b[i].num_classes);
+    EXPECT_DOUBLE_EQ(a[i].class_sep, b[i].class_sep);
+  }
+}
+
+}  // namespace
+}  // namespace smartml
