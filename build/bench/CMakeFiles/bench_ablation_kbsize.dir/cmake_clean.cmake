@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kbsize.dir/bench_ablation_kbsize.cc.o"
+  "CMakeFiles/bench_ablation_kbsize.dir/bench_ablation_kbsize.cc.o.d"
+  "bench_ablation_kbsize"
+  "bench_ablation_kbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_landmarking.dir/bench_ablation_landmarking.cc.o"
+  "CMakeFiles/bench_ablation_landmarking.dir/bench_ablation_landmarking.cc.o.d"
+  "bench_ablation_landmarking"
+  "bench_ablation_landmarking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_landmarking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_classifiers.dir/bench_table3_classifiers.cc.o"
+  "CMakeFiles/bench_table3_classifiers.dir/bench_table3_classifiers.cc.o.d"
+  "bench_table3_classifiers"
+  "bench_table3_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpretability_demo.dir/interpretability_demo.cpp.o"
+  "CMakeFiles/interpretability_demo.dir/interpretability_demo.cpp.o.d"
+  "interpretability_demo"
+  "interpretability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpretability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

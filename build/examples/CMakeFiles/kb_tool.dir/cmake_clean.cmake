@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_tool.dir/kb_tool.cpp.o"
+  "CMakeFiles/kb_tool.dir/kb_tool.cpp.o.d"
+  "kb_tool"
+  "kb_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_warmstart_demo.dir/kb_warmstart_demo.cpp.o"
+  "CMakeFiles/kb_warmstart_demo.dir/kb_warmstart_demo.cpp.o.d"
+  "kb_warmstart_demo"
+  "kb_warmstart_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_warmstart_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_server.dir/rest_server.cpp.o"
+  "CMakeFiles/rest_server.dir/rest_server.cpp.o.d"
+  "rest_server"
+  "rest_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_experiment_demo "/root/repo/build/examples/run_experiment" "--demo" "--budget" "2" "--evals" "12" "--quiet")
+set_tests_properties(example_run_experiment_demo PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_experiment_csv "/root/repo/build/examples/run_experiment" "--dataset" "/root/repo/examples/data/banknotes.csv" "--budget" "2" "--evals" "9" "--quiet")
+set_tests_properties(example_run_experiment_csv PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_experiment_arff "/root/repo/build/examples/run_experiment" "--dataset" "/root/repo/examples/data/weather.arff" "--budget" "1" "--evals" "6" "--quiet" "--no-interpretability")
+set_tests_properties(example_run_experiment_arff PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/json.cc" "src/CMakeFiles/smartml.dir/api/json.cc.o" "gcc" "src/CMakeFiles/smartml.dir/api/json.cc.o.d"
+  "/root/repo/src/api/rest.cc" "src/CMakeFiles/smartml.dir/api/rest.cc.o" "gcc" "src/CMakeFiles/smartml.dir/api/rest.cc.o.d"
+  "/root/repo/src/baselines/autoweka.cc" "src/CMakeFiles/smartml.dir/baselines/autoweka.cc.o" "gcc" "src/CMakeFiles/smartml.dir/baselines/autoweka.cc.o.d"
+  "/root/repo/src/common/distributions.cc" "src/CMakeFiles/smartml.dir/common/distributions.cc.o" "gcc" "src/CMakeFiles/smartml.dir/common/distributions.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/smartml.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/smartml.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/smartml.dir/common/status.cc.o" "gcc" "src/CMakeFiles/smartml.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/smartml.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/smartml.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/CMakeFiles/smartml.dir/core/ensemble.cc.o" "gcc" "src/CMakeFiles/smartml.dir/core/ensemble.cc.o.d"
+  "/root/repo/src/core/smartml.cc" "src/CMakeFiles/smartml.dir/core/smartml.cc.o" "gcc" "src/CMakeFiles/smartml.dir/core/smartml.cc.o.d"
+  "/root/repo/src/data/arff.cc" "src/CMakeFiles/smartml.dir/data/arff.cc.o" "gcc" "src/CMakeFiles/smartml.dir/data/arff.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/smartml.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/smartml.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/smartml.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/smartml.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/describe.cc" "src/CMakeFiles/smartml.dir/data/describe.cc.o" "gcc" "src/CMakeFiles/smartml.dir/data/describe.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "src/CMakeFiles/smartml.dir/data/metrics.cc.o" "gcc" "src/CMakeFiles/smartml.dir/data/metrics.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/smartml.dir/data/split.cc.o" "gcc" "src/CMakeFiles/smartml.dir/data/split.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/smartml.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/smartml.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/interpret/interpret.cc" "src/CMakeFiles/smartml.dir/interpret/interpret.cc.o" "gcc" "src/CMakeFiles/smartml.dir/interpret/interpret.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/CMakeFiles/smartml.dir/kb/knowledge_base.cc.o" "gcc" "src/CMakeFiles/smartml.dir/kb/knowledge_base.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/smartml.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/smartml.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/metafeatures/landmarking.cc" "src/CMakeFiles/smartml.dir/metafeatures/landmarking.cc.o" "gcc" "src/CMakeFiles/smartml.dir/metafeatures/landmarking.cc.o.d"
+  "/root/repo/src/metafeatures/metafeatures.cc" "src/CMakeFiles/smartml.dir/metafeatures/metafeatures.cc.o" "gcc" "src/CMakeFiles/smartml.dir/metafeatures/metafeatures.cc.o.d"
+  "/root/repo/src/ml/boosting.cc" "src/CMakeFiles/smartml.dir/ml/boosting.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/boosting.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/CMakeFiles/smartml.dir/ml/classifier.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/classifier.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/smartml.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/discriminant.cc" "src/CMakeFiles/smartml.dir/ml/discriminant.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/discriminant.cc.o.d"
+  "/root/repo/src/ml/encoding.cc" "src/CMakeFiles/smartml.dir/ml/encoding.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/encoding.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/CMakeFiles/smartml.dir/ml/forest.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/forest.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/smartml.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/lmt.cc" "src/CMakeFiles/smartml.dir/ml/lmt.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/lmt.cc.o.d"
+  "/root/repo/src/ml/logistic.cc" "src/CMakeFiles/smartml.dir/ml/logistic.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/logistic.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/smartml.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/neuralnet.cc" "src/CMakeFiles/smartml.dir/ml/neuralnet.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/neuralnet.cc.o.d"
+  "/root/repo/src/ml/plsda.cc" "src/CMakeFiles/smartml.dir/ml/plsda.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/plsda.cc.o.d"
+  "/root/repo/src/ml/registry.cc" "src/CMakeFiles/smartml.dir/ml/registry.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/registry.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/CMakeFiles/smartml.dir/ml/svm.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/svm.cc.o.d"
+  "/root/repo/src/ml/tree_classifiers.cc" "src/CMakeFiles/smartml.dir/ml/tree_classifiers.cc.o" "gcc" "src/CMakeFiles/smartml.dir/ml/tree_classifiers.cc.o.d"
+  "/root/repo/src/preprocess/feature_selection.cc" "src/CMakeFiles/smartml.dir/preprocess/feature_selection.cc.o" "gcc" "src/CMakeFiles/smartml.dir/preprocess/feature_selection.cc.o.d"
+  "/root/repo/src/preprocess/preprocess.cc" "src/CMakeFiles/smartml.dir/preprocess/preprocess.cc.o" "gcc" "src/CMakeFiles/smartml.dir/preprocess/preprocess.cc.o.d"
+  "/root/repo/src/tuning/genetic.cc" "src/CMakeFiles/smartml.dir/tuning/genetic.cc.o" "gcc" "src/CMakeFiles/smartml.dir/tuning/genetic.cc.o.d"
+  "/root/repo/src/tuning/objective.cc" "src/CMakeFiles/smartml.dir/tuning/objective.cc.o" "gcc" "src/CMakeFiles/smartml.dir/tuning/objective.cc.o.d"
+  "/root/repo/src/tuning/param_space.cc" "src/CMakeFiles/smartml.dir/tuning/param_space.cc.o" "gcc" "src/CMakeFiles/smartml.dir/tuning/param_space.cc.o.d"
+  "/root/repo/src/tuning/random_search.cc" "src/CMakeFiles/smartml.dir/tuning/random_search.cc.o" "gcc" "src/CMakeFiles/smartml.dir/tuning/random_search.cc.o.d"
+  "/root/repo/src/tuning/smac.cc" "src/CMakeFiles/smartml.dir/tuning/smac.cc.o" "gcc" "src/CMakeFiles/smartml.dir/tuning/smac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_test.dir/api_test.cc.o"
+  "CMakeFiles/api_test.dir/api_test.cc.o.d"
+  "api_test"
+  "api_test.pdb"
+  "api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

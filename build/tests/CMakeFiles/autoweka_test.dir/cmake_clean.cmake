@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoweka_test.dir/autoweka_test.cc.o"
+  "CMakeFiles/autoweka_test.dir/autoweka_test.cc.o.d"
+  "autoweka_test"
+  "autoweka_test.pdb"
+  "autoweka_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoweka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifiers_test.dir/classifiers_test.cc.o"
+  "CMakeFiles/classifiers_test.dir/classifiers_test.cc.o.d"
+  "classifiers_test"
+  "classifiers_test.pdb"
+  "classifiers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

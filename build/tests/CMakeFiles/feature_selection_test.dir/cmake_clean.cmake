@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_selection_test.dir/feature_selection_test.cc.o"
+  "CMakeFiles/feature_selection_test.dir/feature_selection_test.cc.o.d"
+  "feature_selection_test"
+  "feature_selection_test.pdb"
+  "feature_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genetic_test.dir/genetic_test.cc.o"
+  "CMakeFiles/genetic_test.dir/genetic_test.cc.o.d"
+  "genetic_test"
+  "genetic_test.pdb"
+  "genetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

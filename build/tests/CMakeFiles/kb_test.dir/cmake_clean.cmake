@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_test.dir/kb_test.cc.o"
+  "CMakeFiles/kb_test.dir/kb_test.cc.o.d"
+  "kb_test"
+  "kb_test.pdb"
+  "kb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

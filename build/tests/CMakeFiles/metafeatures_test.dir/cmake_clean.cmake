@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metafeatures_test.dir/metafeatures_test.cc.o"
+  "CMakeFiles/metafeatures_test.dir/metafeatures_test.cc.o.d"
+  "metafeatures_test"
+  "metafeatures_test.pdb"
+  "metafeatures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metafeatures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_space_test.dir/param_space_test.cc.o"
+  "CMakeFiles/param_space_test.dir/param_space_test.cc.o.d"
+  "param_space_test"
+  "param_space_test.pdb"
+  "param_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

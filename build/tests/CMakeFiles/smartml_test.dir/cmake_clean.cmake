@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartml_test.dir/smartml_test.cc.o"
+  "CMakeFiles/smartml_test.dir/smartml_test.cc.o.d"
+  "smartml_test"
+  "smartml_test.pdb"
+  "smartml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

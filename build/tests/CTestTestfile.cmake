@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/split_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_test[1]_include.cmake")
+include("/root/repo/build/tests/preprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/metafeatures_test[1]_include.cmake")
+include("/root/repo/build/tests/param_space_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/classifiers_test[1]_include.cmake")
+include("/root/repo/build/tests/tuning_test[1]_include.cmake")
+include("/root/repo/build/tests/kb_test[1]_include.cmake")
+include("/root/repo/build/tests/interpret_test[1]_include.cmake")
+include("/root/repo/build/tests/ensemble_test[1]_include.cmake")
+include("/root/repo/build/tests/autoweka_test[1]_include.cmake")
+include("/root/repo/build/tests/smartml_test[1]_include.cmake")
+include("/root/repo/build/tests/api_test[1]_include.cmake")
+include("/root/repo/build/tests/feature_selection_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/genetic_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/describe_test[1]_include.cmake")
