@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Demonstrates the paper's language-agnostic claim: drive SmartML-cpp from
-Python using nothing but its REST API and the standard library.
+Python using nothing but its v1 REST API and the standard library.
+
+Experiments run asynchronously: POST /v1/runs answers 202 with a job id
+immediately, and the client polls GET /v1/runs/{id} until the job reports
+``done`` (queued -> running -> done | failed).
 
 Usage:
     ./build/examples/rest_server --port 8080 &
@@ -8,15 +12,25 @@ Usage:
 """
 import argparse
 import json
+import sys
+import time
+import urllib.error
 import urllib.request
 
 
-def call(port: int, path: str, body: bytes | None = None) -> dict | list:
+def call(port: int, path: str, body: bytes | None = None,
+         method: str | None = None) -> dict | list:
     url = f"http://127.0.0.1:{port}{path}"
-    req = urllib.request.Request(url, data=body,
-                                 method="POST" if body is not None else "GET")
-    with urllib.request.urlopen(req, timeout=300) as resp:
-        return json.loads(resp.read())
+    if method is None:
+        method = "POST" if body is not None else "GET"
+    req = urllib.request.Request(url, data=body, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=300) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        envelope = json.loads(err.read())["error"]
+        sys.exit(f"{method} {path} -> {err.code} "
+                 f"[{envelope['code']}] {envelope['message']}")
 
 
 def main() -> None:
@@ -24,28 +38,60 @@ def main() -> None:
     parser.add_argument("--port", type=int, default=8080)
     parser.add_argument("--csv", default="examples/data/banknotes.csv")
     parser.add_argument("--budget", default="5")
+    parser.add_argument("--poll-seconds", type=float, default=0.5)
     args = parser.parse_args()
 
-    health = call(args.port, "/health")
+    health = call(args.port, "/v1/health")
+    jobs = health.get("jobs", {})
     print(f"server ok, {health['algorithms']} algorithms, "
-          f"{health['kb_records']} KB records")
+          f"{health['kb_records']} KB records, "
+          f"{jobs.get('running', 0)} running / {jobs.get('queued', 0)} "
+          f"queued jobs")
 
-    algos = call(args.port, "/algorithms")
+    algos = call(args.port, "/v1/algorithms")
     print("integrated classifiers:", ", ".join(a["name"] for a in algos))
 
     with open(args.csv, "rb") as f:
         csv_body = f.read()
 
-    mf = call(args.port, "/metafeatures", csv_body)
+    mf = call(args.port, "/v1/metafeatures", csv_body)
     print(f"meta-features: {mf['num_instances']:.0f} rows, "
           f"{mf['num_features']:.0f} features, "
           f"class entropy {mf['class_entropy']:.3f}")
 
-    result = call(args.port, f"/run?budget={args.budget}&name=py_client",
-                  csv_body)
+    # Algorithm selection from named meta-features (the paper's
+    # "upload only the dataset meta-features file" mode), now structured.
+    nominations = call(args.port, "/v1/select",
+                       json.dumps({"meta_features": mf}).encode())
+    if nominations:
+        print("nominated:", ", ".join(n["algorithm"] for n in nominations))
+    else:
+        print("nominated: (empty knowledge base, server will cold-start)")
+
+    # Submit the experiment as an async job and poll it to completion.
+    submitted = call(args.port,
+                     f"/v1/runs?budget={args.budget}&name=py_client",
+                     csv_body)
+    job_id = submitted["id"]
+    print(f"submitted job {job_id}, polling {submitted['location']} ...")
+    while True:
+        job = call(args.port, f"/v1/runs/{job_id}")
+        if job["state"] in ("done", "failed", "cancelled"):
+            break
+        print(f"  {job['state']} (queue {job['queue_seconds']:.1f}s, "
+              f"run {job['run_seconds']:.1f}s)")
+        time.sleep(args.poll_seconds)
+    if job["state"] != "done":
+        sys.exit(f"job {job_id} ended {job['state']}: {job.get('error')}")
+
+    result = job["result"]
+    phases = job["phase_seconds"]
     print(f"best algorithm: {result['best_algorithm']} "
           f"(validation accuracy {result['best_validation_accuracy']:.4f})")
     print("best config:", json.dumps(result["best_config"]))
+    print(f"phases: preprocess {phases['preprocessing']:.2f}s, "
+          f"selection {phases['selection']:.2f}s, "
+          f"tuning {phases['tuning']:.2f}s, output {phases['output']:.2f}s")
     if result.get("importances"):
         top = result["importances"][0]
         print(f"most important feature: {top['feature']} "

@@ -1,23 +1,30 @@
 // rest_server: the paper's REST API ("programming language agnostic ... can
-// be embedded in any programming language using its available REST APIs").
+// be embedded in any programming language using its available REST APIs"),
+// served concurrently: a worker pool handles requests while experiments run
+// asynchronously on a separate job pool.
 //
 //   rest_server [--port P] [--kb FILE] [--budget SECONDS] [--evals N]
+//               [--workers N] [--job-workers N] [--max-jobs N]
 //
-// Endpoints (see src/api/rest.h):
-//   GET  /health   GET /algorithms   GET /kb
-//   POST /metafeatures (CSV body)
-//   POST /select       (25 meta-feature values body)
-//   POST /run[?budget=..&evals=..&selection_only=1] (CSV body)
+// v1 endpoints (see docs/API.md):
+//   GET    /v1/health /v1/algorithms /v1/kb
+//   POST   /v1/metafeatures (CSV body)
+//   POST   /v1/select       (JSON body of named meta-features)
+//   POST   /v1/runs[?budget=..&evals=..] (CSV body) -> 202 + job id
+//   GET    /v1/runs/{id}    DELETE /v1/runs/{id}
+// plus the deprecated pre-versioning aliases (/health /select /run ...).
 //
 // Try it:
 //   ./rest_server --port 8080 &
-//   curl localhost:8080/health
-//   curl -X POST --data-binary @data.csv 'localhost:8080/run?budget=10'
+//   curl localhost:8080/v1/health
+//   curl -X POST --data-binary @data.csv 'localhost:8080/v1/runs?budget=10'
+//   curl localhost:8080/v1/runs/run-000001
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "src/api/job_manager.h"
 #include "src/api/rest.h"
 #include "src/common/logging.h"
 
@@ -37,6 +44,8 @@ int main(int argc, char** argv) {
   options.time_budget_seconds = 10;
   options.max_evaluations = 60;
   options.cv_folds = 2;
+  HttpServerOptions server_options;
+  JobManagerOptions job_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -48,6 +57,13 @@ int main(int argc, char** argv) {
       options.time_budget_seconds = std::atof(next());
     } else if (arg == "--evals") {
       options.max_evaluations = std::atoi(next());
+    } else if (arg == "--workers") {
+      server_options.num_workers = std::atoi(next());
+    } else if (arg == "--job-workers") {
+      job_options.num_workers = std::atoi(next());
+    } else if (arg == "--max-jobs") {
+      job_options.max_pending_jobs =
+          static_cast<size_t>(std::atoi(next()));
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -63,8 +79,10 @@ int main(int argc, char** argv) {
                 framework.kb().NumRecords());
   }
 
-  RestService service(&framework);
-  HttpServer server(&service);
+  JobManager jobs(&framework, job_options);
+  RestService service(&framework, &jobs);
+  HttpServer server(&service, server_options);
+  service.set_http_server(&server);
   auto bound = server.Bind(port);
   if (!bound.ok()) {
     std::fprintf(stderr, "bind failed: %s\n", bound.status().ToString().c_str());
@@ -72,9 +90,12 @@ int main(int argc, char** argv) {
   }
   g_server = &server;
   std::signal(SIGINT, HandleSigInt);
-  std::printf("SmartML REST API listening on http://127.0.0.1:%d\n", *bound);
-  std::printf("endpoints: GET /health /algorithms /kb; "
-              "POST /metafeatures /select /run\n");
+  std::printf("SmartML REST API listening on http://127.0.0.1:%d "
+              "(%d http workers, %d experiment workers)\n",
+              *bound, server.num_workers(), jobs.num_workers());
+  std::printf("endpoints: GET /v1/health /v1/algorithms /v1/kb "
+              "/v1/runs/{id}; POST /v1/metafeatures /v1/select /v1/runs; "
+              "DELETE /v1/runs/{id}\n");
 
   const Status status = server.Serve();
   if (!kb_path.empty()) {

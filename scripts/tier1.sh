@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+#   scripts/tier1.sh                 # plain build + ctest (the CI gate)
+#   SMARTML_SANITIZE=thread scripts/tier1.sh
+#       ThreadSanitizer build; additionally re-runs the concurrency tests
+#       (rest_concurrency_test, kb_concurrency_test) under TSan so data
+#       races in the serving core fail loudly.
+#
+# The sanitizer build lands in build-<sanitizer>/ so it never invalidates
+# the primary build/ tree.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${SMARTML_SANITIZE:-}"
+BUILD_DIR="build${SANITIZE:+-$SANITIZE}"
+
+cmake -B "$BUILD_DIR" -S . ${SANITIZE:+-DSMARTML_SANITIZE="$SANITIZE"}
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+if [ "$SANITIZE" = "thread" ]; then
+  # Surface the concurrency suites explicitly; TSAN_OPTIONS makes any
+  # report fatal instead of a warning.
+  TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+    "$BUILD_DIR"/tests/kb_concurrency_test
+  TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+    "$BUILD_DIR"/tests/rest_concurrency_test
+fi

@@ -1,0 +1,240 @@
+#include "src/api/job_manager.h"
+
+#include <algorithm>
+
+#include "src/api/json.h"
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace smartml {
+
+namespace {
+
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(SmartML* framework, JobManagerOptions options)
+    : framework_(framework), options_(options) {
+  options_.num_workers = std::max(options_.num_workers, 1);
+  options_.max_pending_jobs = std::max<size_t>(options_.max_pending_jobs, 1);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+JobManager::~JobManager() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+StatusOr<std::string> JobManager::Submit(Dataset dataset,
+                                         SmartMlOptions run_options) {
+  auto job = std::make_shared<Job>();
+  job->dataset_name = dataset.name();
+  job->dataset = std::move(dataset);
+  job->run_options = std::move(run_options);
+  job->submitted = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return Status::FailedPrecondition("job manager is shutting down");
+    }
+    if (queue_.size() + num_running_ >= options_.max_pending_jobs) {
+      return Status::ResourceExhausted(
+          StrFormat("experiment queue full (%zu pending, cap %zu)",
+                    queue_.size() + num_running_, options_.max_pending_jobs));
+    }
+    job->id = StrFormat("run-%06llu",
+                        static_cast<unsigned long long>(next_id_++));
+    jobs_[job->id] = job;
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_one();
+  return job->id;
+}
+
+StatusOr<JobSnapshot> JobManager::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id '" + id + "'");
+  }
+  return SnapshotLocked(*it->second);
+}
+
+Status JobManager::Cancel(const std::string& id) {
+  std::shared_ptr<Job> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job with id '" + id + "'");
+    }
+    Job& job = *it->second;
+    switch (job.state) {
+      case JobState::kQueued:
+        break;
+      case JobState::kRunning:
+        return Status::FailedPrecondition(
+            "job '" + id + "' is already running and cannot be cancelled");
+      default:
+        return Status::FailedPrecondition(
+            "job '" + id + "' already finished (" +
+            std::string(JobStateName(job.state)) + ")");
+    }
+    job.state = JobState::kCancelled;
+    job.finished = std::chrono::steady_clock::now();
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), it->second),
+                 queue_.end());
+    cancelled = it->second;
+  }
+  done_cv_.notify_all();
+  return Status::OK();
+}
+
+StatusOr<JobSnapshot> JobManager::Wait(const std::string& id,
+                                       double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(timeout_seconds));
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id '" + id + "'");
+  }
+  std::shared_ptr<Job> job = it->second;
+  if (!done_cv_.wait_until(lock, deadline,
+                           [&] { return IsTerminal(job->state); })) {
+    return Status::DeadlineExceeded("job '" + id + "' still " +
+                                    std::string(JobStateName(job->state)));
+  }
+  return SnapshotLocked(*job);
+}
+
+size_t JobManager::NumQueued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+size_t JobManager::NumRunning() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_running_;
+}
+
+JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
+  JobSnapshot snapshot;
+  snapshot.id = job.id;
+  snapshot.dataset_name = job.dataset_name;
+  snapshot.state = job.state;
+  snapshot.error = job.error;
+  snapshot.result_json = job.result_json;
+  snapshot.preprocessing_seconds = job.preprocessing_seconds;
+  snapshot.selection_seconds = job.selection_seconds;
+  snapshot.tuning_seconds = job.tuning_seconds;
+  snapshot.output_seconds = job.output_seconds;
+  snapshot.total_seconds = job.total_seconds;
+  snapshot.best_algorithm = job.best_algorithm;
+  snapshot.best_validation_accuracy = job.best_validation_accuracy;
+
+  const auto now = std::chrono::steady_clock::now();
+  switch (job.state) {
+    case JobState::kQueued:
+      snapshot.queue_seconds = SecondsBetween(job.submitted, now);
+      break;
+    case JobState::kRunning:
+      snapshot.queue_seconds = SecondsBetween(job.submitted, job.started);
+      snapshot.run_seconds = SecondsBetween(job.started, now);
+      break;
+    case JobState::kCancelled:
+      snapshot.queue_seconds = SecondsBetween(job.submitted, job.finished);
+      break;
+    case JobState::kDone:
+    case JobState::kFailed:
+      snapshot.queue_seconds = SecondsBetween(job.submitted, job.started);
+      snapshot.run_seconds = SecondsBetween(job.started, job.finished);
+      break;
+  }
+  return snapshot;
+}
+
+void JobManager::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, nothing left to start.
+      job = queue_.front();
+      queue_.pop_front();
+      job->state = JobState::kRunning;
+      job->started = std::chrono::steady_clock::now();
+      ++num_running_;
+    }
+
+    SMARTML_LOG_INFO << "job " << job->id << ": starting experiment on '"
+                     << job->dataset_name << "'";
+    // The long part — no locks held. SmartML::Run with explicit options is
+    // safe to execute concurrently (the KB is internally synchronized).
+    auto result = framework_->Run(job->dataset, job->run_options);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->finished = std::chrono::steady_clock::now();
+      if (result.ok()) {
+        job->state = JobState::kDone;
+        job->result_json = ResultToJson(*result);
+        job->preprocessing_seconds = result->preprocessing_seconds;
+        job->selection_seconds = result->selection_seconds;
+        job->tuning_seconds = result->tuning_seconds;
+        job->output_seconds = result->output_seconds;
+        job->total_seconds = result->total_seconds;
+        job->best_algorithm = result->best_algorithm;
+        job->best_validation_accuracy = result->best_validation_accuracy;
+      } else {
+        job->state = JobState::kFailed;
+        job->error = result.status();
+      }
+      --num_running_;
+      // The Dataset is no longer needed; release the memory while keeping
+      // the job entry pollable.
+      job->dataset = Dataset();
+    }
+    done_cv_.notify_all();
+    SMARTML_LOG_INFO << "job " << job->id << ": "
+                     << (result.ok() ? "done" : result.status().ToString());
+  }
+}
+
+}  // namespace smartml

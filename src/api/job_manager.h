@@ -1,0 +1,147 @@
+// Asynchronous experiment execution for the v1 REST API.
+//
+// A SmartML run can legitimately consume its whole time budget (minutes),
+// which is the wrong shape for a synchronous HTTP request/response. The
+// JobManager turns POST /v1/runs into a job-queue submission: requests
+// validate the dataset, enqueue a job and immediately get back an id; the
+// experiment executes on a dedicated pool of experiment threads whose size
+// caps how many tuning runs compete for CPU at once. Results are folded
+// into the (internally synchronized) knowledge base as usual and the
+// serialized outcome is retained for polling via GET /v1/runs/{id}.
+//
+// Lifecycle:  queued -> running -> done | failed
+//             queued -> cancelled        (DELETE /v1/runs/{id})
+//
+// Load shedding: Submit() fails with ResourceExhausted once the number of
+// not-yet-finished jobs reaches `max_pending_jobs`; the REST layer maps
+// that to 429 + Retry-After.
+#ifndef SMARTML_API_JOB_MANAGER_H_
+#define SMARTML_API_JOB_MANAGER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/smartml.h"
+
+namespace smartml {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+/// Stable lower-case name ("queued", "running", ...).
+const char* JobStateName(JobState state);
+
+struct JobManagerOptions {
+  /// Concurrent experiments cap (threads executing SmartML::Run).
+  int num_workers = 1;
+  /// Maximum queued+running jobs before Submit() sheds load.
+  size_t max_pending_jobs = 8;
+  /// Hint returned with 429 responses.
+  double retry_after_seconds = 5.0;
+};
+
+/// Copyable point-in-time view of one job (what GET /v1/runs/{id} reports).
+struct JobSnapshot {
+  std::string id;
+  std::string dataset_name;
+  JobState state = JobState::kQueued;
+  /// Set when state == kFailed.
+  Status error;
+  /// Serialized SmartMlResult (ResultToJson); set when state == kDone.
+  std::string result_json;
+  /// Phase timings copied from the SmartMlResult (done jobs only).
+  double preprocessing_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double tuning_seconds = 0.0;
+  double output_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Seconds spent waiting in the queue / executing so far (live values for
+  /// queued/running jobs, final values for terminal jobs).
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+  std::string best_algorithm;
+  double best_validation_accuracy = 0.0;
+};
+
+class JobManager {
+ public:
+  /// `framework` must outlive the manager. Worker threads start immediately.
+  explicit JobManager(SmartML* framework, JobManagerOptions options = {});
+
+  /// Drains nothing: signals shutdown, waits for the running experiments to
+  /// finish, leaves queued jobs queued.
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Validates nothing beyond queue capacity (the dataset was parsed by the
+  /// caller); enqueues and returns the job id. ResourceExhausted once
+  /// `max_pending_jobs` jobs are queued or running.
+  StatusOr<std::string> Submit(Dataset dataset, SmartMlOptions run_options);
+
+  /// Point-in-time view of a job; NotFound for unknown ids.
+  StatusOr<JobSnapshot> Get(const std::string& id) const;
+
+  /// Cancels a queued job. FailedPrecondition when the job already started
+  /// (running experiments are not interrupted); NotFound for unknown ids.
+  Status Cancel(const std::string& id);
+
+  /// Blocks until the job reaches a terminal state (done/failed/cancelled)
+  /// or `timeout_seconds` elapses; returns the final snapshot or
+  /// DeadlineExceeded. Test/tooling helper.
+  StatusOr<JobSnapshot> Wait(const std::string& id, double timeout_seconds);
+
+  size_t NumQueued() const;
+  size_t NumRunning() const;
+  int num_workers() const { return options_.num_workers; }
+  size_t max_pending_jobs() const { return options_.max_pending_jobs; }
+  double retry_after_seconds() const { return options_.retry_after_seconds; }
+
+ private:
+  struct Job {
+    std::string id;
+    std::string dataset_name;  // Outlives the dataset itself.
+    Dataset dataset;
+    SmartMlOptions run_options;
+    JobState state = JobState::kQueued;
+    Status error;
+    std::string result_json;
+    double preprocessing_seconds = 0.0;
+    double selection_seconds = 0.0;
+    double tuning_seconds = 0.0;
+    double output_seconds = 0.0;
+    double total_seconds = 0.0;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point started;
+    std::chrono::steady_clock::time_point finished;
+    std::string best_algorithm;
+    double best_validation_accuracy = 0.0;
+  };
+
+  void WorkerLoop();
+  JobSnapshot SnapshotLocked(const Job& job) const;
+
+  SmartML* framework_;
+  JobManagerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;     // Workers: work available/shutdown.
+  mutable std::condition_variable done_cv_;  // Wait(): job reached terminal.
+  bool stopping_ = false;
+  uint64_t next_id_ = 1;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  size_t num_running_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace smartml
+
+#endif  // SMARTML_API_JOB_MANAGER_H_

@@ -1,12 +1,15 @@
-// Minimal JSON serialization for SmartML results — the machine-readable half
-// of the paper's "programming language agnostic ... REST APIs" claim.
+// Minimal JSON serialization and parsing for the SmartML REST API — the
+// machine-readable half of the paper's "programming language agnostic ...
+// REST APIs" claim.
 //
-// Writer only (the API's inputs are CSV/ARFF/meta-feature text, not JSON),
-// with correct string escaping and canonical number formatting.
+// The writer produces correct string escaping and canonical number
+// formatting; the reader is a small recursive-descent parser used for the
+// structured request bodies of the v1 API (e.g. POST /v1/select).
 #ifndef SMARTML_API_JSON_H_
 #define SMARTML_API_JSON_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/smartml.h"
@@ -35,6 +38,9 @@ class JsonWriter {
   void Int(int64_t value);
   void Bool(bool value);
   void Null();
+  /// Splices pre-serialized JSON in value position (caller guarantees
+  /// validity) — used to embed stored result documents without reparsing.
+  void Raw(const std::string& json);
 
   std::string Take() && { return std::move(out_); }
   const std::string& str() const { return out_; }
@@ -65,6 +71,33 @@ std::string KbToJson(const KnowledgeBase& kb);
 
 /// Serializes a hyperparameter configuration as a flat object.
 std::string ConfigToJson(const ParamConfig& config);
+
+/// A parsed JSON value (RFC 8259 subset: no \uXXXX surrogate pairs beyond
+/// the BMP). Object member order is preserved; duplicate keys keep the last
+/// occurrence on lookup.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document (trailing non-whitespace is an error).
+StatusOr<JsonValue> ParseJson(const std::string& text);
 
 }  // namespace smartml
 

@@ -2,11 +2,16 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
+#include "src/api/job_manager.h"
 #include "src/api/json.h"
 #include "src/common/strings.h"
 #include "src/data/csv.h"
@@ -40,36 +45,103 @@ std::string UrlDecode(std::string_view s) {
   return out;
 }
 
-HttpResponse ErrorResponse(int status, const std::string& message) {
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("error");
-  w.String(message);
-  w.EndObject();
-  HttpResponse response;
-  response.status = status;
-  response.body = std::move(w).Take();
-  return response;
-}
-
 const char* StatusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 202:
+      return "Accepted";
     case 400:
       return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 429:
+      return "Too Many Requests";
     case 500:
       return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
   }
 }
 
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kIOError:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    default:
+      return 500;
+  }
+}
+
+/// Per-request option overrides (the Figure 2 configuration screen),
+/// applied to a copy — the shared framework options are never mutated.
+SmartMlOptions OptionsFromQuery(const SmartMlOptions& base,
+                                const HttpRequest& request) {
+  SmartMlOptions options = base;
+  auto get = [&](const char* key) -> const std::string* {
+    auto q = request.query.find(key);
+    return q == request.query.end() ? nullptr : &q->second;
+  };
+  if (const std::string* v = get("budget")) {
+    options.time_budget_seconds = std::atof(v->c_str());
+  }
+  if (const std::string* v = get("evals")) {
+    options.max_evaluations = std::atoi(v->c_str());
+  }
+  if (const std::string* v = get("selection_only")) {
+    options.selection_only = *v == "1" || *v == "true";
+  }
+  if (const std::string* v = get("ensemble")) {
+    options.enable_ensembling = !(*v == "0" || *v == "false");
+  }
+  if (const std::string* v = get("interpretability")) {
+    options.enable_interpretability = !(*v == "0" || *v == "false");
+  }
+  if (const std::string* v = get("nominations")) {
+    options.max_nominations = static_cast<size_t>(std::atoi(v->c_str()));
+  }
+  return options;
+}
+
 }  // namespace
+
+HttpResponse ErrorResponse(int http_status, const std::string& code,
+                           const std::string& message) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.BeginObject();
+  w.Key("code");
+  w.String(code);
+  w.Key("message");
+  w.String(message);
+  w.EndObject();
+  w.EndObject();
+  HttpResponse response;
+  response.status = http_status;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse ErrorResponseFromStatus(const Status& status) {
+  return ErrorResponse(HttpStatusFor(status), StatusCodeSlug(status.code()),
+                       status.message());
+}
 
 StatusOr<HttpRequest> ParseHttpRequest(const std::string& text) {
   const size_t head_end = text.find("\r\n\r\n");
@@ -125,39 +197,88 @@ std::string SerializeHttpResponse(const HttpResponse& response) {
   std::string out = StrFormat("HTTP/1.1 %d %s\r\n", response.status,
                               StatusText(response.status));
   out += "Content-Type: " + response.content_type + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += StrFormat("Content-Length: %zu\r\n", response.body.size());
   out += "Connection: close\r\n\r\n";
   out += response.body;
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// RestService
+// ---------------------------------------------------------------------------
+
 HttpResponse RestService::Handle(const HttpRequest& request) {
-  if (request.path == "/health" && request.method == "GET") {
-    return HandleHealth();
+  if (request.path.rfind("/v1/", 0) == 0) {
+    HttpRequest v1 = request;
+    v1.path = request.path.substr(3);  // Strip "/v1".
+    return RouteV1(v1);
   }
-  if (request.path == "/algorithms" && request.method == "GET") {
+  // Legacy unversioned routes: thin aliases onto the v1 handlers (with the
+  // pre-versioning request shapes for /select and /run), marked deprecated.
+  static const std::map<std::string, std::string> kLegacyRoutes = {
+      {"/health", "GET"},       {"/algorithms", "GET"},
+      {"/kb", "GET"},           {"/metafeatures", "POST"},
+      {"/select", "POST"},      {"/run", "POST"},
+  };
+  auto legacy = kLegacyRoutes.find(request.path);
+  if (legacy != kLegacyRoutes.end()) {
+    HttpResponse response;
+    if (request.method != legacy->second) {
+      response = ErrorResponse(405, "method_not_allowed",
+                               "method not allowed for " + request.path);
+    } else if (request.path == "/select") {
+      response = HandleSelectLegacy(request);
+    } else if (request.path == "/run") {
+      response = HandleRunSync(request);
+    } else {
+      response = RouteV1(request);
+    }
+    response.headers["Deprecation"] = "true";
+    response.headers["Link"] =
+        "</v1" + request.path + ">; rel=\"successor-version\"";
+    return response;
+  }
+  return ErrorResponse(404, "not_found", "no route for " + request.path);
+}
+
+HttpResponse RestService::RouteV1(const HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path == "/health" && request.method == "GET") return HandleHealth();
+  if (path == "/algorithms" && request.method == "GET") {
     return HandleAlgorithms();
   }
-  if (request.path == "/kb" && request.method == "GET") {
-    return HandleKb();
-  }
-  if (request.path == "/metafeatures" && request.method == "POST") {
+  if (path == "/kb" && request.method == "GET") return HandleKb();
+  if (path == "/metafeatures" && request.method == "POST") {
     return HandleMetaFeatures(request);
   }
-  if (request.path == "/select" && request.method == "POST") {
-    return HandleSelect(request);
+  if (path == "/select" && request.method == "POST") {
+    return HandleSelectV1(request);
   }
-  if (request.path == "/run" && request.method == "POST") {
-    return HandleRun(request);
+  if (path == "/runs" && request.method == "POST") {
+    return HandleSubmitRun(request);
+  }
+  if (path.rfind("/runs/", 0) == 0) {
+    const std::string id = path.substr(6);
+    if (id.empty() || id.find('/') != std::string::npos) {
+      return ErrorResponse(404, "not_found", "no route for /v1" + path);
+    }
+    if (request.method == "GET") return HandleGetRun(id);
+    if (request.method == "DELETE") return HandleCancelRun(id);
+    return ErrorResponse(405, "method_not_allowed",
+                         "method not allowed for /v1" + path);
   }
   for (const char* known :
        {"/health", "/algorithms", "/kb", "/metafeatures", "/select",
-        "/run"}) {
-    if (request.path == known) {
-      return ErrorResponse(405, "method not allowed for " + request.path);
+        "/runs"}) {
+    if (path == known) {
+      return ErrorResponse(405, "method_not_allowed",
+                           "method not allowed for /v1" + path);
     }
   }
-  return ErrorResponse(404, "no route for " + request.path);
+  return ErrorResponse(404, "not_found", "no route for /v1" + path);
 }
 
 HttpResponse RestService::HandleHealth() {
@@ -165,10 +286,36 @@ HttpResponse RestService::HandleHealth() {
   w.BeginObject();
   w.Key("status");
   w.String("ok");
+  w.Key("api_version");
+  w.String("v1");
   w.Key("kb_records");
   w.Int(static_cast<int64_t>(framework_->kb().NumRecords()));
   w.Key("algorithms");
   w.Int(static_cast<int64_t>(AllAlgorithms().size()));
+  if (server_ != nullptr) {
+    w.Key("server");
+    w.BeginObject();
+    w.Key("workers");
+    w.Int(server_->num_workers());
+    w.Key("queue_depth");
+    w.Int(static_cast<int64_t>(server_->queue_depth()));
+    w.Key("requests_served");
+    w.Int(server_->requests_served());
+    w.EndObject();
+  }
+  if (jobs_ != nullptr) {
+    w.Key("jobs");
+    w.BeginObject();
+    w.Key("queued");
+    w.Int(static_cast<int64_t>(jobs_->NumQueued()));
+    w.Key("running");
+    w.Int(static_cast<int64_t>(jobs_->NumRunning()));
+    w.Key("workers");
+    w.Int(jobs_->num_workers());
+    w.Key("capacity");
+    w.Int(static_cast<int64_t>(jobs_->max_pending_jobs()));
+    w.EndObject();
+  }
   w.EndObject();
   HttpResponse response;
   response.body = std::move(w).Take();
@@ -207,70 +354,212 @@ HttpResponse RestService::HandleKb() {
 HttpResponse RestService::HandleMetaFeatures(const HttpRequest& request) {
   auto dataset = ReadCsvString(request.body);
   if (!dataset.ok()) {
-    return ErrorResponse(400, dataset.status().ToString());
+    return ErrorResponseFromStatus(dataset.status());
   }
   auto mf = ExtractMetaFeatures(*dataset);
   if (!mf.ok()) {
-    return ErrorResponse(400, mf.status().ToString());
+    return ErrorResponseFromStatus(mf.status());
   }
   HttpResponse response;
   response.body = MetaFeaturesToJson(*mf);
   return response;
 }
 
-HttpResponse RestService::HandleSelect(const HttpRequest& request) {
-  // Body: the 25 space-separated meta-feature values (the paper's
-  // "upload only the dataset meta-features file" mode).
+HttpResponse RestService::HandleSelectV1(const HttpRequest& request) {
+  // Body: {"meta_features": {"num_instances": 150, ...}} with all 25
+  // features named, or the flat feature object itself.
+  auto parsed = ParseJson(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponseFromStatus(parsed.status());
+  }
+  if (!parsed->is_object()) {
+    return ErrorResponse(400, "invalid_argument",
+                         "body must be a JSON object of named meta-features");
+  }
+  const JsonValue* features = parsed->Find("meta_features");
+  if (features == nullptr) {
+    features = &*parsed;
+  } else if (!features->is_object()) {
+    return ErrorResponse(400, "invalid_argument",
+                         "\"meta_features\" must be an object");
+  }
+
+  const auto& names = MetaFeatureNames();
+  for (const auto& [key, value] : features->object) {
+    if (std::find(names.begin(), names.end(), key) == names.end()) {
+      return ErrorResponse(400, "invalid_argument",
+                           "unknown meta-feature \"" + key + "\"");
+    }
+    if (!value.is_number()) {
+      return ErrorResponse(400, "invalid_argument",
+                           "meta-feature \"" + key + "\" must be a number");
+    }
+  }
+  MetaFeatureVector mf{};
+  std::vector<std::string> missing;
+  for (size_t i = 0; i < kNumMetaFeatures; ++i) {
+    const JsonValue* value = features->Find(names[i]);
+    if (value == nullptr) {
+      missing.push_back(names[i]);
+      continue;
+    }
+    mf[i] = value->number;
+  }
+  if (!missing.empty()) {
+    return ErrorResponse(
+        400, "invalid_argument",
+        "missing meta-features: " + Join(missing, ", "));
+  }
+  HttpResponse response;
+  response.body = NominationsToJson(framework_->SelectAlgorithms(mf));
+  return response;
+}
+
+HttpResponse RestService::HandleSelectLegacy(const HttpRequest& request) {
+  // Pre-versioning body: the 25 space-separated meta-feature values (the
+  // paper's "upload only the dataset meta-features file" mode).
   auto mf = MetaFeaturesFromString(request.body);
   if (!mf.ok()) {
-    return ErrorResponse(400, mf.status().ToString());
+    return ErrorResponseFromStatus(mf.status());
   }
   HttpResponse response;
   response.body = NominationsToJson(framework_->SelectAlgorithms(*mf));
   return response;
 }
 
-HttpResponse RestService::HandleRun(const HttpRequest& request) {
+HttpResponse RestService::HandleRunSync(const HttpRequest& request) {
   auto dataset = ReadCsvString(request.body);
   if (!dataset.ok()) {
-    return ErrorResponse(400, dataset.status().ToString());
+    return ErrorResponseFromStatus(dataset.status());
   }
   auto it = request.query.find("name");
   dataset->set_name(it != request.query.end() ? it->second : "api_dataset");
 
-  // Per-request option overrides (the Figure 2 configuration screen).
-  SmartMlOptions saved = framework_->options();
-  SmartMlOptions& options = framework_->mutable_options();
-  auto get = [&](const char* key) -> const std::string* {
-    auto q = request.query.find(key);
-    return q == request.query.end() ? nullptr : &q->second;
-  };
-  if (const std::string* v = get("budget")) {
-    options.time_budget_seconds = std::atof(v->c_str());
-  }
-  if (const std::string* v = get("evals")) {
-    options.max_evaluations = std::atoi(v->c_str());
-  }
-  if (const std::string* v = get("selection_only")) {
-    options.selection_only = *v == "1" || *v == "true";
-  }
-  if (const std::string* v = get("ensemble")) {
-    options.enable_ensembling = !(*v == "0" || *v == "false");
-  }
-  if (const std::string* v = get("interpretability")) {
-    options.enable_interpretability = !(*v == "0" || *v == "false");
-  }
-  if (const std::string* v = get("nominations")) {
-    options.max_nominations = static_cast<size_t>(std::atoi(v->c_str()));
-  }
-
-  auto result = framework_->Run(*dataset);
-  framework_->mutable_options() = std::move(saved);
+  const SmartMlOptions options =
+      OptionsFromQuery(framework_->options(), request);
+  auto result = framework_->Run(*dataset, options);
   if (!result.ok()) {
-    return ErrorResponse(400, result.status().ToString());
+    return ErrorResponseFromStatus(result.status());
   }
   HttpResponse response;
   response.body = ResultToJson(*result);
+  return response;
+}
+
+HttpResponse RestService::HandleSubmitRun(const HttpRequest& request) {
+  if (jobs_ == nullptr) {
+    return ErrorResponse(503, "unavailable",
+                         "async runs are disabled (no job manager)");
+  }
+  auto dataset = ReadCsvString(request.body);
+  if (!dataset.ok()) {
+    return ErrorResponseFromStatus(dataset.status());
+  }
+  auto it = request.query.find("name");
+  dataset->set_name(it != request.query.end() ? it->second : "api_dataset");
+
+  auto id = jobs_->Submit(std::move(*dataset),
+                          OptionsFromQuery(framework_->options(), request));
+  if (!id.ok()) {
+    HttpResponse response = ErrorResponseFromStatus(id.status());
+    if (response.status == 429) {
+      response.headers["Retry-After"] = StrFormat(
+          "%d", std::max(1, static_cast<int>(
+                             std::ceil(jobs_->retry_after_seconds()))));
+    }
+    return response;
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(*id);
+  w.Key("state");
+  w.String("queued");
+  w.Key("location");
+  w.String("/v1/runs/" + *id);
+  w.EndObject();
+  HttpResponse response;
+  response.status = 202;
+  response.headers["Location"] = "/v1/runs/" + *id;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse RestService::HandleGetRun(const std::string& id) {
+  if (jobs_ == nullptr) {
+    return ErrorResponse(503, "unavailable",
+                         "async runs are disabled (no job manager)");
+  }
+  auto snapshot = jobs_->Get(id);
+  if (!snapshot.ok()) {
+    return ErrorResponseFromStatus(snapshot.status());
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(snapshot->id);
+  w.Key("state");
+  w.String(JobStateName(snapshot->state));
+  w.Key("dataset");
+  w.String(snapshot->dataset_name);
+  w.Key("queue_seconds");
+  w.Number(snapshot->queue_seconds);
+  w.Key("run_seconds");
+  w.Number(snapshot->run_seconds);
+  if (snapshot->state == JobState::kDone) {
+    w.Key("best_algorithm");
+    w.String(snapshot->best_algorithm);
+    w.Key("best_validation_accuracy");
+    w.Number(snapshot->best_validation_accuracy);
+    w.Key("phase_seconds");
+    w.BeginObject();
+    w.Key("preprocessing");
+    w.Number(snapshot->preprocessing_seconds);
+    w.Key("selection");
+    w.Number(snapshot->selection_seconds);
+    w.Key("tuning");
+    w.Number(snapshot->tuning_seconds);
+    w.Key("output");
+    w.Number(snapshot->output_seconds);
+    w.Key("total");
+    w.Number(snapshot->total_seconds);
+    w.EndObject();
+    w.Key("result");
+    w.Raw(snapshot->result_json);
+  } else if (snapshot->state == JobState::kFailed) {
+    w.Key("error");
+    w.BeginObject();
+    w.Key("code");
+    w.String(StatusCodeSlug(snapshot->error.code()));
+    w.Key("message");
+    w.String(snapshot->error.message());
+    w.EndObject();
+  }
+  w.EndObject();
+  HttpResponse response;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse RestService::HandleCancelRun(const std::string& id) {
+  if (jobs_ == nullptr) {
+    return ErrorResponse(503, "unavailable",
+                         "async runs are disabled (no job manager)");
+  }
+  const Status status = jobs_->Cancel(id);
+  if (!status.ok()) {
+    return ErrorResponseFromStatus(status);
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("state");
+  w.String("cancelled");
+  w.EndObject();
+  HttpResponse response;
+  response.body = std::move(w).Take();
   return response;
 }
 
@@ -278,7 +567,17 @@ HttpResponse RestService::HandleRun(const HttpRequest& request) {
 // HttpServer
 // ---------------------------------------------------------------------------
 
+HttpServer::HttpServer(RestService* service, HttpServerOptions options)
+    : service_(service), options_(options) {
+  options_.num_workers = std::max(options_.num_workers, 1);
+  options_.max_queued_connections =
+      std::max<size_t>(options_.max_queued_connections, 1);
+}
+
 HttpServer::~HttpServer() {
+  Stop();
+  // Serve() joins its workers before returning; by contract the caller
+  // joins the thread running Serve() before destroying the server.
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
@@ -296,7 +595,10 @@ StatusOr<int> HttpServer::Bind(int port) {
       0) {
     return Status::Internal("bind() failed");
   }
-  if (::listen(listen_fd_, 8) < 0) {
+  const int backlog =
+      static_cast<int>(options_.max_queued_connections) +
+      options_.num_workers;
+  if (::listen(listen_fd_, backlog) < 0) {
     return Status::Internal("listen() failed");
   }
   socklen_t len = sizeof(addr);
@@ -308,12 +610,32 @@ StatusOr<int> HttpServer::Bind(int port) {
   return port_;
 }
 
+size_t HttpServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
 Status HttpServer::Serve(int max_requests) {
   if (listen_fd_ < 0) {
     return Status::FailedPrecondition("HttpServer: Bind() first");
   }
-  int served = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = false;
+  }
+  workers_.clear();
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+
+  // 503 shed response, serialized once.
+  const std::string shed_wire = SerializeHttpResponse(ErrorResponse(
+      503, "unavailable", "server overloaded; connection queue full"));
+
+  Status status = Status::OK();
   while (!stopping_.load()) {
+    if (max_requests > 0 && served_.load() >= max_requests) break;
     // Half-second accept timeout so Stop() is honoured promptly.
     timeval tv{};
     tv.tv_usec = 500000;
@@ -321,63 +643,133 @@ Status HttpServer::Serve(int max_requests) {
     FD_ZERO(&fds);
     FD_SET(listen_fd_, &fds);
     const int ready = ::select(listen_fd_ + 1, &fds, nullptr, nullptr, &tv);
-    if (ready < 0) return Status::Internal("select() failed");
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      status = Status::Internal("select() failed");
+      break;
+    }
     if (ready == 0) continue;
 
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
 
-    // Read until the full header + Content-Length body has arrived.
-    std::string data;
-    char buffer[8192];
-    size_t expected_total = std::string::npos;
-    while (data.size() < (expected_total == std::string::npos
-                              ? data.size() + 1
-                              : expected_total)) {
-      const ssize_t n = ::read(client, buffer, sizeof(buffer));
-      if (n <= 0) break;
-      data.append(buffer, static_cast<size_t>(n));
-      if (expected_total == std::string::npos) {
-        const size_t head_end = data.find("\r\n\r\n");
-        if (head_end == std::string::npos) continue;
-        size_t content_length = 0;
-        auto parsed = ParseHttpRequest(data.substr(0, head_end + 4));
-        if (parsed.ok()) {
-          auto it = parsed->headers.find("content-length");
-          if (it != parsed->headers.end()) {
-            content_length = static_cast<size_t>(
-                std::strtoull(it->second.c_str(), nullptr, 10));
-          }
-        }
-        expected_total = head_end + 4 + content_length;
+    // Per-connection I/O timeouts: a stalled client gets dropped instead of
+    // pinning a worker thread forever.
+    timeval io{};
+    io.tv_sec = static_cast<time_t>(options_.io_timeout_seconds);
+    io.tv_usec = static_cast<suseconds_t>(
+        (options_.io_timeout_seconds - static_cast<double>(io.tv_sec)) * 1e6);
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &io, sizeof(io));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &io, sizeof(io));
+
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.size() >= options_.max_queued_connections) {
+        shed = true;
+      } else {
+        pending_.push_back(client);
       }
     }
+    if (shed) {
+      // Load shedding on the accept thread — cheap, never blocks long
+      // thanks to SO_SNDTIMEO.
+      (void)!::write(client, shed_wire.data(), shed_wire.size());
+      ::close(client);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
 
-    HttpResponse response;
+  // Graceful drain: no new connections; queued and in-flight requests
+  // finish, then the workers exit.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  return status;
+}
+
+void HttpServer::Stop() {
+  stopping_.store(true);
+  queue_cv_.notify_all();
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int client = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return draining_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // Draining and nothing left.
+      client = pending_.front();
+      pending_.pop_front();
+    }
+    HandleConnection(client);
+    served_.fetch_add(1);
+  }
+}
+
+void HttpServer::HandleConnection(int client) {
+  // Read until the full header + Content-Length body has arrived (or the
+  // socket times out).
+  std::string data;
+  char buffer[8192];
+  size_t expected_total = std::string::npos;
+  bool timed_out = false;
+  while (data.size() < (expected_total == std::string::npos
+                            ? data.size() + 1
+                            : expected_total)) {
+    const ssize_t n = ::read(client, buffer, sizeof(buffer));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      timed_out = true;
+      break;
+    }
+    if (n <= 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+    if (expected_total == std::string::npos) {
+      const size_t head_end = data.find("\r\n\r\n");
+      if (head_end == std::string::npos) continue;
+      size_t content_length = 0;
+      auto parsed = ParseHttpRequest(data.substr(0, head_end + 4));
+      if (parsed.ok()) {
+        auto it = parsed->headers.find("content-length");
+        if (it != parsed->headers.end()) {
+          content_length = static_cast<size_t>(
+              std::strtoull(it->second.c_str(), nullptr, 10));
+        }
+      }
+      expected_total = head_end + 4 + content_length;
+    }
+  }
+
+  HttpResponse response;
+  if (timed_out &&
+      (expected_total == std::string::npos || data.size() < expected_total)) {
+    response = ErrorResponse(408, "request_timeout",
+                             "client did not send a complete request in time");
+  } else {
     auto request = ParseHttpRequest(data);
     if (request.ok()) {
       response = service_->Handle(*request);
     } else {
-      response.status = 400;
-      response.body = "{\"error\":\"" +
-                      JsonWriter::Escape(request.status().ToString()) +
-                      "\"}";
+      response = ErrorResponseFromStatus(request.status());
     }
-    const std::string wire = SerializeHttpResponse(response);
-    size_t written = 0;
-    while (written < wire.size()) {
-      const ssize_t n =
-          ::write(client, wire.data() + written, wire.size() - written);
-      if (n <= 0) break;
-      written += static_cast<size_t>(n);
-    }
-    ::close(client);
-
-    if (max_requests > 0 && ++served >= max_requests) break;
   }
-  return Status::OK();
+  const std::string wire = SerializeHttpResponse(response);
+  size_t written = 0;
+  while (written < wire.size()) {
+    const ssize_t n =
+        ::write(client, wire.data() + written, wire.size() - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+  ::close(client);
 }
-
-void HttpServer::Stop() { stopping_.store(true); }
 
 }  // namespace smartml

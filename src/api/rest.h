@@ -3,36 +3,58 @@
 // using its available REST APIs").
 //
 // Two layers:
-//   * RestService — pure request->response routing over a SmartML instance,
-//     fully testable without sockets;
-//   * HttpServer  — a small blocking HTTP/1.1 server (POSIX sockets) that
-//     feeds RestService. Single-threaded by design: a SmartML run is CPU
-//     bound and the KB is not synchronized.
+//   * RestService — pure request->response routing over a SmartML instance
+//     (and an optional JobManager for async runs), fully testable without
+//     sockets. Thread-safe: handlers never mutate shared framework state.
+//   * HttpServer  — a small HTTP/1.1 server (POSIX sockets) with an accept
+//     loop feeding a fixed pool of worker threads over a bounded queue, so
+//     one slow request cannot starve other clients. Per-connection
+//     read/write timeouts keep stalled clients from pinning a worker.
 //
-// Routes:
-//   GET  /health                      -> {"status":"ok", ...}
-//   GET  /algorithms                  -> the 15 algorithms + param counts
-//   GET  /kb                          -> knowledge-base dump
-//   POST /metafeatures   (CSV body)   -> the 25 meta-features
-//   POST /select         (meta-features text body) -> nominations
-//   POST /run            (CSV body)   -> full experiment result
-//        query params: budget=SECONDS, evals=N, selection_only=1,
-//                      ensemble=0, interpretability=0, nominations=K
+// Versioned v1 routes (all non-2xx responses carry the uniform envelope
+// {"error":{"code":"...","message":"..."}}):
+//   GET    /v1/health                 -> live server state (workers, queue
+//                                        depth, job counts, KB size)
+//   GET    /v1/algorithms             -> the 15 algorithms + param counts
+//   GET    /v1/kb                     -> knowledge-base dump (snapshot)
+//   POST   /v1/metafeatures (CSV)     -> the 25 meta-features
+//   POST   /v1/select       (JSON)    -> nominations; body is
+//                                        {"meta_features": {name: value}}
+//                                        (or the flat object itself)
+//   POST   /v1/runs         (CSV)     -> 202 + {"id": ...}; async job
+//          query params: name=, budget=SECONDS, evals=N, selection_only=1,
+//                        ensemble=0, interpretability=0, nominations=K
+//   GET    /v1/runs/{id}              -> queued|running|done|failed|
+//                                        cancelled (+ result when done)
+//   DELETE /v1/runs/{id}              -> cancels a queued job
+//
+// The pre-versioning routes (/health /algorithms /kb /metafeatures /select
+// /run) remain as thin deprecated aliases that set "Deprecation: true";
+// legacy /select still takes the positional whitespace-separated
+// meta-feature body and legacy /run still executes synchronously.
 #ifndef SMARTML_API_REST_H_
 #define SMARTML_API_REST_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/core/smartml.h"
 
 namespace smartml {
 
+class HttpServer;
+class JobManager;
+
 struct HttpRequest {
   std::string method;  // "GET", "POST", ...
-  std::string path;    // "/run" (query string stripped).
+  std::string path;    // "/v1/runs" (query string stripped).
   std::map<std::string, std::string> query;
   std::map<std::string, std::string> headers;  // Lower-cased keys.
   std::string body;
@@ -41,6 +63,8 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
+  /// Extra response headers (Deprecation, Retry-After, Location, ...).
+  std::map<std::string, std::string> headers;
   std::string body;
 };
 
@@ -51,49 +75,108 @@ StatusOr<HttpRequest> ParseHttpRequest(const std::string& text);
 /// Serializes a response with Content-Length framing.
 std::string SerializeHttpResponse(const HttpResponse& response);
 
-/// The routing layer. Not thread-safe (single-threaded server by design).
+/// Builds the uniform v1 error envelope
+/// {"error":{"code":"<slug>","message":"..."}}.
+HttpResponse ErrorResponse(int http_status, const std::string& code,
+                           const std::string& message);
+
+/// Envelope from a Status, with the HTTP status derived from the code.
+HttpResponse ErrorResponseFromStatus(const Status& status);
+
+/// The routing layer. Handlers are thread-safe (the KB is internally
+/// synchronized and per-request option overrides never touch the shared
+/// SmartML options), so one RestService may be driven by many server
+/// workers concurrently.
 class RestService {
  public:
-  /// `framework` must outlive the service.
-  explicit RestService(SmartML* framework) : framework_(framework) {}
+  /// `framework` must outlive the service. Without a JobManager, POST
+  /// /v1/runs responds 503 (async execution disabled); everything else
+  /// works.
+  explicit RestService(SmartML* framework, JobManager* jobs = nullptr)
+      : framework_(framework), jobs_(jobs) {}
 
   HttpResponse Handle(const HttpRequest& request);
 
+  /// Lets /v1/health report transport stats (worker count, queue depth).
+  void set_http_server(const HttpServer* server) { server_ = server; }
+
  private:
+  HttpResponse RouteV1(const HttpRequest& request);
+
   HttpResponse HandleHealth();
   HttpResponse HandleAlgorithms();
   HttpResponse HandleKb();
   HttpResponse HandleMetaFeatures(const HttpRequest& request);
-  HttpResponse HandleSelect(const HttpRequest& request);
-  HttpResponse HandleRun(const HttpRequest& request);
+  HttpResponse HandleSelectV1(const HttpRequest& request);
+  HttpResponse HandleSelectLegacy(const HttpRequest& request);
+  HttpResponse HandleRunSync(const HttpRequest& request);
+  HttpResponse HandleSubmitRun(const HttpRequest& request);
+  HttpResponse HandleGetRun(const std::string& id);
+  HttpResponse HandleCancelRun(const std::string& id);
 
   SmartML* framework_;
+  JobManager* jobs_;
+  const HttpServer* server_ = nullptr;
 };
 
-/// Blocking single-threaded HTTP server on 127.0.0.1:`port` (0 = ephemeral).
+struct HttpServerOptions {
+  /// Handler threads. The accept loop itself runs on the Serve() caller.
+  int num_workers = 4;
+  /// Accepted connections waiting for a worker before the server sheds
+  /// load with 503.
+  size_t max_queued_connections = 64;
+  /// Per-connection socket read/write timeout; a stalled client is dropped
+  /// (408) instead of pinning a worker forever.
+  double io_timeout_seconds = 10.0;
+};
+
+/// HTTP server on 127.0.0.1:`port` (0 = ephemeral) with a fixed worker
+/// pool. Stop() drains gracefully: queued and in-flight requests finish,
+/// then Serve() returns.
 class HttpServer {
  public:
-  HttpServer(RestService* service) : service_(service) {}
+  explicit HttpServer(RestService* service, HttpServerOptions options = {});
   ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
 
   /// Binds and listens; returns the bound port. Call before Serve().
   StatusOr<int> Bind(int port);
 
-  /// Accept loop; returns when Stop() is called from another thread or on a
-  /// fatal socket error. `max_requests` > 0 limits the number of requests
-  /// served (useful for tests); 0 means unlimited.
+  /// Runs the accept loop on the calling thread (workers are spawned
+  /// internally). Returns after Stop() — or once `max_requests` > 0
+  /// responses have been fully written (useful for tests); 0 = unlimited.
   Status Serve(int max_requests = 0);
 
-  /// Signals the accept loop to exit (safe from another thread).
+  /// Signals Serve() to drain and return (safe from another thread).
   void Stop();
 
   int port() const { return port_; }
+  int num_workers() const { return options_.num_workers; }
+
+  /// Accepted connections currently waiting for a worker.
+  size_t queue_depth() const;
+
+  /// Requests fully served since Bind().
+  int64_t requests_served() const { return served_.load(); }
 
  private:
+  void WorkerLoop();
+  void HandleConnection(int client_fd);
+
   RestService* service_;
+  HttpServerOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> served_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // Accepted fds awaiting a worker.
+  bool draining_ = false;    // Workers exit once pending_ is empty.
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace smartml

@@ -23,10 +23,16 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kUnimplemented,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
 const char* StatusCodeName(StatusCode code);
+
+/// Returns a stable machine-readable snake_case slug for a StatusCode
+/// ("invalid_argument", "resource_exhausted", ...) — used by the REST API's
+/// JSON error envelope.
+const char* StatusCodeSlug(StatusCode code);
 
 /// A success-or-error result, cheap to copy on the success path.
 class Status {
@@ -57,6 +63,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -34,9 +34,10 @@ std::vector<Nomination> SmartML::SelectAlgorithms(
 }
 
 StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
-    const std::string& algorithm, const Dataset& train,
-    const Dataset& validation, double budget_seconds, int max_evaluations,
-    const std::vector<ParamConfig>& warm_starts, uint64_t seed) const {
+    const SmartMlOptions& options, const std::string& algorithm,
+    const Dataset& train, const Dataset& validation, double budget_seconds,
+    int max_evaluations, const std::vector<ParamConfig>& warm_starts,
+    uint64_t seed) const {
   Stopwatch watch;
   AlgorithmRunResult run;
   run.algorithm = algorithm;
@@ -46,8 +47,8 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
   SMARTML_ASSIGN_OR_RETURN(ParamSpace space, SpaceFor(algorithm));
   SMARTML_ASSIGN_OR_RETURN(
       std::unique_ptr<ClassifierObjective> objective,
-      ClassifierObjective::Create(*prototype, train, options_.cv_folds, seed,
-                                  options_.metric));
+      ClassifierObjective::Create(*prototype, train, options.cv_folds, seed,
+                                  options.metric));
 
   SmacOptions smac_options;
   smac_options.deadline = Deadline::After(budget_seconds);
@@ -78,6 +79,11 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
 }
 
 StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
+  return Run(dataset, options_);
+}
+
+StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
+                                     const SmartMlOptions& options) {
   Stopwatch total_watch;
   SMARTML_RETURN_NOT_OK(dataset.Validate());
   if (dataset.NumRows() < 10) {
@@ -99,15 +105,15 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
                    << " rows, " << dataset.NumFeatures() << " features)";
   SMARTML_ASSIGN_OR_RETURN(
       TrainValidationSplit split,
-      StratifiedSplit(dataset, options_.validation_fraction, options_.seed));
+      StratifiedSplit(dataset, options.validation_fraction, options.seed));
 
   Dataset train = std::move(split.train);
   Dataset validation = std::move(split.validation);
 
   // Feature selection (fitted on the training partition only).
-  if (options_.feature_selection.kind != FeatureSelectorKind::kNone ||
-      !options_.feature_selection.include_features.empty()) {
-    FeatureSelector selector(options_.feature_selection);
+  if (options.feature_selection.kind != FeatureSelectorKind::kNone ||
+      !options.feature_selection.include_features.empty()) {
+    FeatureSelector selector(options.feature_selection);
     SMARTML_RETURN_NOT_OK(selector.Fit(train));
     SMARTML_ASSIGN_OR_RETURN(train, selector.Transform(train));
     SMARTML_ASSIGN_OR_RETURN(validation, selector.Transform(validation));
@@ -122,12 +128,12 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
   }
 
   std::vector<PreprocessOp> ops;
-  if (options_.auto_impute && dataset.HasMissing()) {
+  if (options.auto_impute && dataset.HasMissing()) {
     ops.push_back(PreprocessOp::kImpute);
   }
-  for (PreprocessOp op : options_.preprocessing) ops.push_back(op);
+  for (PreprocessOp op : options.preprocessing) ops.push_back(op);
   if (!ops.empty()) {
-    PreprocessPipeline pipeline(ops, options_.seed);
+    PreprocessPipeline pipeline(ops, options.seed);
     SMARTML_RETURN_NOT_OK(pipeline.Fit(train));
     SMARTML_ASSIGN_OR_RETURN(train, pipeline.Transform(train));
     SMARTML_ASSIGN_OR_RETURN(validation, pipeline.Transform(validation));
@@ -137,8 +143,8 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
   // Phase 2b: meta-features from the training split.
   // -------------------------------------------------------------------
   SMARTML_ASSIGN_OR_RETURN(result.meta_features, ExtractMetaFeatures(train));
-  if (options_.use_landmarking) {
-    auto landmarks = ExtractLandmarkers(train, options_.seed);
+  if (options.use_landmarking) {
+    auto landmarks = ExtractLandmarkers(train, options.seed);
     if (landmarks.ok()) {
       result.has_landmarks = true;
       result.landmarks = *landmarks;
@@ -152,14 +158,17 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
   // Phase 3: algorithm selection via the knowledge base.
   // -------------------------------------------------------------------
   if (result.has_landmarks) {
-    NominationOptions nomination = options_.nomination;
-    nomination.max_algorithms = options_.max_nominations;
-    nomination.max_neighbors = options_.kb_neighbors;
+    NominationOptions nomination = options.nomination;
+    nomination.max_algorithms = options.max_nominations;
+    nomination.max_neighbors = options.kb_neighbors;
     if (nomination.landmark_weight <= 0.0) nomination.landmark_weight = 2.0;
     result.nominations =
         kb_.Nominate(result.meta_features, result.landmarks, nomination);
   } else {
-    result.nominations = SelectAlgorithms(result.meta_features);
+    NominationOptions nomination = options.nomination;
+    nomination.max_algorithms = options.max_nominations;
+    nomination.max_neighbors = options.kb_neighbors;
+    result.nominations = kb_.Nominate(result.meta_features, nomination);
   }
   result.used_meta_learning = !result.nominations.empty();
   std::vector<std::string> algorithms;
@@ -173,7 +182,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
   }
   if (algorithms.empty()) {
     // Cold start: fixed diverse roster, no warm starts.
-    for (const std::string& name : options_.cold_start_algorithms) {
+    for (const std::string& name : options.cold_start_algorithms) {
       if (IsKnownAlgorithm(name)) {
         algorithms.push_back(name);
         warm_starts.emplace_back();
@@ -193,7 +202,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
   result.selection_seconds = phase_watch.ElapsedSeconds();
   phase_watch.Restart();
 
-  if (options_.selection_only) {
+  if (options.selection_only) {
     result.total_seconds = total_watch.ElapsedSeconds();
     return result;
   }
@@ -211,24 +220,24 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
     param_total += param_counts.back();
   }
 
-  uint64_t seed = options_.seed * 2654435761ULL + 17;
+  uint64_t seed = options.seed * 2654435761ULL + 17;
   for (size_t i = 0; i < algorithms.size(); ++i) {
     const double share =
         static_cast<double>(param_counts[i]) /
         static_cast<double>(std::max<size_t>(param_total, 1));
-    const double budget = options_.time_budget_seconds * share;
+    const double budget = options.time_budget_seconds * share;
     const int eval_budget =
-        options_.max_evaluations > 0
+        options.max_evaluations > 0
             ? std::max(1, static_cast<int>(std::lround(
-                              options_.max_evaluations * share)))
+                              options.max_evaluations * share)))
             : 0;
     SMARTML_LOG_INFO << "phase: tuning " << algorithms[i] << " (budget "
                      << budget << "s, " << warm_starts[i].size()
                      << " warm starts)";
     SMARTML_ASSIGN_OR_RETURN(
         AlgorithmRunResult run,
-        TuneAlgorithm(algorithms[i], train, validation, budget, eval_budget,
-                      warm_starts[i], seed + i * 7919));
+        TuneAlgorithm(options, algorithms[i], train, validation, budget,
+                      eval_budget, warm_starts[i], seed + i * 7919));
     result.per_algorithm.push_back(std::move(run));
   }
 
@@ -258,11 +267,11 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
   }
 
   // Optional weighted ensemble of the top performers.
-  if (options_.enable_ensembling && result.per_algorithm.size() >= 2) {
+  if (options.enable_ensembling && result.per_algorithm.size() >= 2) {
     // Candidate pool: the top `ensemble_size` tuned models, refitted.
     std::vector<std::unique_ptr<Classifier>> pool;
     std::vector<double> pool_accuracy;
-    for (size_t i = 0; i < order.size() && i < options_.ensemble_size; ++i) {
+    for (size_t i = 0; i < order.size() && i < options.ensemble_size; ++i) {
       const AlgorithmRunResult& run = result.per_algorithm[order[i]];
       SMARTML_ASSIGN_OR_RETURN(std::unique_ptr<Classifier> member,
                                CreateClassifier(run.algorithm));
@@ -273,7 +282,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
     }
 
     std::vector<double> weights(pool.size(), 0.0);
-    switch (options_.ensemble_strategy) {
+    switch (options.ensemble_strategy) {
       case SmartMlOptions::EnsembleStrategy::kAccuracyWeighted:
         weights = pool_accuracy;
         break;
@@ -370,15 +379,15 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
   }
 
   // Optional interpretability (permutation importance on validation data).
-  if (options_.enable_interpretability && result.best_model != nullptr) {
+  if (options.enable_interpretability && result.best_model != nullptr) {
     auto importances = PermutationImportance(*result.best_model, validation,
-                                             /*repeats=*/2, options_.seed);
+                                             /*repeats=*/2, options.seed);
     if (importances.ok()) result.importances = std::move(*importances);
   }
 
   // KB update: store this dataset's meta-features and every algorithm's
   // best outcome so future runs benefit.
-  if (options_.update_kb) {
+  if (options.update_kb) {
     KbRecord record;
     record.dataset_name =
         dataset.name().empty() ? "unnamed" : dataset.name();
@@ -405,20 +414,19 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
 Status SmartML::BootstrapWithDataset(
     const Dataset& dataset, const std::vector<std::string>& algorithms,
     int evaluations_per_algorithm) {
-  SmartMlOptions saved = options_;
-  options_.max_evaluations =
+  SmartMlOptions options = options_;
+  options.max_evaluations =
       evaluations_per_algorithm * static_cast<int>(algorithms.size());
-  options_.time_budget_seconds = 1e9;  // Evaluation-capped, not time-capped.
-  options_.enable_ensembling = false;
-  options_.enable_interpretability = false;
-  options_.update_kb = true;
-  options_.cold_start_algorithms = algorithms;
-  // Force a cold-start style run over exactly `algorithms`: temporarily
-  // disable nominations so every listed algorithm is evaluated.
-  options_.max_nominations = 0;
+  options.time_budget_seconds = 1e9;  // Evaluation-capped, not time-capped.
+  options.enable_ensembling = false;
+  options.enable_interpretability = false;
+  options.update_kb = true;
+  options.cold_start_algorithms = algorithms;
+  // Force a cold-start style run over exactly `algorithms`: disable
+  // nominations so every listed algorithm is evaluated.
+  options.max_nominations = 0;
 
-  auto result = Run(dataset);
-  options_ = std::move(saved);
+  auto result = Run(dataset, options);
   if (!result.ok()) return result.status();
   return Status::OK();
 }

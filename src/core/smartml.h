@@ -151,8 +151,15 @@ class SmartML {
   Status LoadKnowledgeBase(const std::string& path);
   Status SaveKnowledgeBase(const std::string& path) const;
 
-  /// Runs the full pipeline on a dataset.
+  /// Runs the full pipeline on a dataset with the instance options.
   StatusOr<SmartMlResult> Run(const Dataset& dataset);
+
+  /// Runs the full pipeline with explicit per-run options. Does not touch
+  /// the instance options, and the knowledge base is internally
+  /// synchronized, so any number of Run() calls may execute concurrently on
+  /// one SmartML instance (the async job manager's execution path).
+  StatusOr<SmartMlResult> Run(const Dataset& dataset,
+                              const SmartMlOptions& options);
 
   /// Algorithm selection only, from a meta-feature vector (paper: "it is
   /// possible to upload only the dataset meta-features file").
@@ -167,9 +174,10 @@ class SmartML {
 
  private:
   StatusOr<AlgorithmRunResult> TuneAlgorithm(
-      const std::string& algorithm, const Dataset& train,
-      const Dataset& validation, double budget_seconds, int max_evaluations,
-      const std::vector<ParamConfig>& warm_starts, uint64_t seed) const;
+      const SmartMlOptions& options, const std::string& algorithm,
+      const Dataset& train, const Dataset& validation, double budget_seconds,
+      int max_evaluations, const std::vector<ParamConfig>& warm_starts,
+      uint64_t seed) const;
 
   SmartMlOptions options_;
   KnowledgeBase kb_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "src/common/strings.h"
@@ -14,7 +15,50 @@ namespace {
 constexpr char kHeader[] = "smartml-kb v1";
 }
 
+KnowledgeBase::KnowledgeBase(const KnowledgeBase& other) {
+  std::shared_lock lock(other.mutex_);
+  records_ = other.records_;
+  normalizer_ = other.normalizer_;
+}
+
+KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
+  if (this == &other) return *this;
+  std::vector<KbRecord> records;
+  MetaFeatureNormalizer normalizer;
+  {
+    std::shared_lock lock(other.mutex_);
+    records = other.records_;
+    normalizer = other.normalizer_;
+  }
+  std::unique_lock lock(mutex_);
+  records_ = std::move(records);
+  normalizer_ = normalizer;
+  return *this;
+}
+
+KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
+  std::unique_lock lock(other.mutex_);
+  records_ = std::move(other.records_);
+  normalizer_ = other.normalizer_;
+}
+
+KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
+  if (this == &other) return *this;
+  std::vector<KbRecord> records;
+  MetaFeatureNormalizer normalizer;
+  {
+    std::unique_lock lock(other.mutex_);
+    records = std::move(other.records_);
+    normalizer = other.normalizer_;
+  }
+  std::unique_lock lock(mutex_);
+  records_ = std::move(records);
+  normalizer_ = normalizer;
+  return *this;
+}
+
 void KnowledgeBase::AddRecord(const KbRecord& record) {
+  std::unique_lock lock(mutex_);
   for (auto& existing : records_) {
     if (existing.dataset_name != record.dataset_name) continue;
     // Merge: refresh meta-features, keep the better result per algorithm.
@@ -41,7 +85,18 @@ void KnowledgeBase::AddRecord(const KbRecord& record) {
   RefreshNormalizer();
 }
 
+size_t KnowledgeBase::NumRecords() const {
+  std::shared_lock lock(mutex_);
+  return records_.size();
+}
+
+std::vector<KbRecord> KnowledgeBase::SnapshotRecords() const {
+  std::shared_lock lock(mutex_);
+  return records_;
+}
+
 const KbRecord* KnowledgeBase::Find(const std::string& dataset_name) const {
+  std::shared_lock lock(mutex_);
   for (const auto& r : records_) {
     if (r.dataset_name == dataset_name) return &r;
   }
@@ -63,6 +118,14 @@ std::vector<std::pair<const KbRecord*, double>> KnowledgeBase::NearestRecords(
 std::vector<std::pair<const KbRecord*, double>> KnowledgeBase::NearestRecords(
     const MetaFeatureVector& mf, const LandmarkVector* landmarks,
     double landmark_weight, size_t k) const {
+  std::shared_lock lock(mutex_);
+  return NearestRecordsLocked(mf, landmarks, landmark_weight, k);
+}
+
+std::vector<std::pair<const KbRecord*, double>>
+KnowledgeBase::NearestRecordsLocked(const MetaFeatureVector& mf,
+                                    const LandmarkVector* landmarks,
+                                    double landmark_weight, size_t k) const {
   std::vector<std::pair<const KbRecord*, double>> out;
   if (records_.empty()) return out;
   const MetaFeatureVector query = normalizer_.Apply(mf);
@@ -83,16 +146,19 @@ std::vector<std::pair<const KbRecord*, double>> KnowledgeBase::NearestRecords(
 
 std::vector<Nomination> KnowledgeBase::Nominate(
     const MetaFeatureVector& mf, const NominationOptions& options) const {
+  std::shared_lock lock(mutex_);
   return NominateImpl(
-      NearestRecords(mf, nullptr, 0.0, options.max_neighbors), options);
+      NearestRecordsLocked(mf, nullptr, 0.0, options.max_neighbors), options);
 }
 
 std::vector<Nomination> KnowledgeBase::Nominate(
     const MetaFeatureVector& mf, const LandmarkVector& landmarks,
     const NominationOptions& options) const {
-  return NominateImpl(NearestRecords(mf, &landmarks, options.landmark_weight,
-                                     options.max_neighbors),
-                      options);
+  std::shared_lock lock(mutex_);
+  return NominateImpl(
+      NearestRecordsLocked(mf, &landmarks, options.landmark_weight,
+                           options.max_neighbors),
+      options);
 }
 
 std::vector<Nomination> KnowledgeBase::NominateImpl(
@@ -147,6 +213,11 @@ std::vector<Nomination> KnowledgeBase::NominateImpl(
 }
 
 std::string KnowledgeBase::Serialize() const {
+  std::shared_lock lock(mutex_);
+  return SerializeLocked();
+}
+
+std::string KnowledgeBase::SerializeLocked() const {
   std::ostringstream out;
   out << kHeader << "\n";
   for (const auto& record : records_) {

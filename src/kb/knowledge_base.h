@@ -8,9 +8,17 @@
 // returns the stored configurations as SMAC warm starts. Every completed
 // SmartML run is folded back in, which is what makes the framework "smarter
 // over time".
+//
+// Thread safety: all member functions are safe to call concurrently — a
+// shared_mutex lets many readers (Nominate, Serialize, snapshots) proceed in
+// parallel with each other while AddRecord takes the lock exclusively. The
+// exceptions are `records()`, `Find()` and `NearestRecords()`, whose returned
+// references/pointers are only stable while no writer runs; concurrent
+// callers should use SnapshotRecords() / Nominate() (which return copies).
 #ifndef SMARTML_KB_KNOWLEDGE_BASE_H_
 #define SMARTML_KB_KNOWLEDGE_BASE_H_
 
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -64,14 +72,30 @@ struct NominationOptions {
 
 class KnowledgeBase {
  public:
+  KnowledgeBase() = default;
+  // Copy/move synchronize on the source (and destination) mutex; the mutex
+  // itself is never copied or moved.
+  KnowledgeBase(const KnowledgeBase& other);
+  KnowledgeBase& operator=(const KnowledgeBase& other);
+  KnowledgeBase(KnowledgeBase&& other) noexcept;
+  KnowledgeBase& operator=(KnowledgeBase&& other) noexcept;
+
   /// Inserts or merges a record. Merging keeps, per algorithm, the result
   /// with the higher accuracy (this is the paper's incremental update).
+  /// Takes the lock exclusively.
   void AddRecord(const KbRecord& record);
 
-  size_t NumRecords() const { return records_.size(); }
+  size_t NumRecords() const;
+
+  /// Consistent copy of all records (safe under concurrent writers).
+  std::vector<KbRecord> SnapshotRecords() const;
+
+  /// Direct view of the records. Only valid while no concurrent writer
+  /// runs; concurrent callers should use SnapshotRecords().
   const std::vector<KbRecord>& records() const { return records_; }
 
-  /// Finds the record for `dataset_name`, or nullptr.
+  /// Finds the record for `dataset_name`, or nullptr. The pointer is only
+  /// stable while no concurrent writer runs.
   const KbRecord* Find(const std::string& dataset_name) const;
 
   /// Nominates algorithms for a dataset with meta-features `mf`.
@@ -104,11 +128,20 @@ class KnowledgeBase {
   static StatusOr<KnowledgeBase> LoadFromFile(const std::string& path);
 
  private:
+  // Unlocked implementations; callers hold mutex_.
+  std::vector<std::pair<const KbRecord*, double>> NearestRecordsLocked(
+      const MetaFeatureVector& mf, const LandmarkVector* landmarks,
+      double landmark_weight, size_t k) const;
   std::vector<Nomination> NominateImpl(
       const std::vector<std::pair<const KbRecord*, double>>& neighbors,
       const NominationOptions& options) const;
+  std::string SerializeLocked() const;
   void RefreshNormalizer();
 
+  /// Guards records_ and normalizer_: shared for lookups, exclusive for
+  /// AddRecord (the REST layer serves /v1/select from many worker threads
+  /// while completed runs commit their results).
+  mutable std::shared_mutex mutex_;
   std::vector<KbRecord> records_;
   MetaFeatureNormalizer normalizer_;
 };

@@ -1,18 +1,24 @@
-// Tests for the JSON serialization and REST API layers: writer correctness,
-// HTTP request parsing, service routing, and one real loopback-socket round
-// trip.
+// Tests for the JSON serialization and REST API layers: writer/parser
+// correctness, HTTP request parsing, v1 service routing (async runs, the
+// error envelope, deprecated legacy aliases), and one real loopback-socket
+// round trip.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
 #include <netinet/in.h>
 #include <unistd.h>
 
+#include <cstdlib>
+#include <map>
+#include <string>
 #include <thread>
 
+#include "src/api/job_manager.h"
 #include "src/api/json.h"
 #include "src/api/rest.h"
 #include "src/data/csv.h"
 #include "src/data/synthetic.h"
+#include "src/metafeatures/metafeatures.h"
 
 namespace smartml {
 namespace {
@@ -123,6 +129,53 @@ TEST(JsonTest, KbToJson) {
 }
 
 // ---------------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------------
+
+TEST(JsonParseTest, RoundTripsScalarsAndContainers) {
+  auto v = ParseJson(R"({"a": [1, -2.5e1, "x\n", true, null], "b": {}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 5u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(a->array[1].number, -25.0);
+  EXPECT_EQ(a->array[2].string, "x\n");
+  EXPECT_TRUE(a->array[3].boolean);
+  EXPECT_TRUE(a->array[4].is_null());
+  ASSERT_NE(v->Find("b"), nullptr);
+  EXPECT_TRUE(v->Find("b")->is_object());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, UnicodeEscape) {
+  auto v = ParseJson(R"("café")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string, "caf\xC3\xA9");
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nan").ok());
+}
+
+TEST(JsonParseTest, WriterOutputParses) {
+  MetaFeatureVector mf{};
+  mf[0] = 42.0;
+  auto v = ParseJson(MetaFeaturesToJson(mf));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->object.size(), kNumMetaFeatures);
+}
+
+// ---------------------------------------------------------------------------
 // HTTP parsing
 // ---------------------------------------------------------------------------
 
@@ -169,13 +222,23 @@ TEST(HttpParseTest, ResponseSerialization) {
 
 class RestServiceTest : public testing::Test {
  protected:
-  RestServiceTest() : framework_(FastOptions()), service_(&framework_) {}
+  RestServiceTest()
+      : framework_(FastOptions()),
+        jobs_(&framework_, JobOptions()),
+        service_(&framework_, &jobs_) {}
 
   static SmartMlOptions FastOptions() {
     SmartMlOptions options;
     options.max_evaluations = 9;
     options.cv_folds = 2;
     options.cold_start_algorithms = {"knn", "rpart"};
+    return options;
+  }
+
+  static JobManagerOptions JobOptions() {
+    JobManagerOptions options;
+    options.num_workers = 1;
+    options.max_pending_jobs = 2;
     return options;
   }
 
@@ -199,6 +262,7 @@ class RestServiceTest : public testing::Test {
   }
 
   SmartML framework_;
+  JobManager jobs_;
   RestService service_;
 };
 
@@ -264,7 +328,6 @@ TEST_F(RestServiceTest, SelectionOnlyRun) {
 TEST_F(RestServiceTest, SelectFromMetaFeatures) {
   // Populate the KB first.
   ASSERT_EQ(Call("POST", "/run", DatasetCsv()).status, 200);
-  MetaFeatureVector mf{};
   auto dataset = ReadCsvString(DatasetCsv());
   ASSERT_TRUE(dataset.ok());
   auto extracted = ExtractMetaFeatures(*dataset);
@@ -277,6 +340,163 @@ TEST_F(RestServiceTest, SelectFromMetaFeatures) {
 
 TEST_F(RestServiceTest, SelectBadBodyIs400) {
   EXPECT_EQ(Call("POST", "/select", "1 2 3").status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// v1 surface: envelope, deprecation, JSON select, async runs
+// ---------------------------------------------------------------------------
+
+TEST_F(RestServiceTest, ErrorEnvelopeIsUniform) {
+  const HttpResponse response = Call("GET", "/nope");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("\"error\":{\"code\":\"not_found\""),
+            std::string::npos)
+      << response.body;
+  const HttpResponse bad = Call("POST", "/v1/metafeatures", "not,csv");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("\"error\":{\"code\":\""), std::string::npos)
+      << bad.body;
+}
+
+TEST_F(RestServiceTest, LegacyRoutesCarryDeprecationHeader) {
+  for (const char* path : {"/health", "/algorithms", "/kb"}) {
+    const HttpResponse response = Call("GET", path);
+    EXPECT_EQ(response.status, 200) << path;
+    ASSERT_TRUE(response.headers.count("Deprecation")) << path;
+    EXPECT_EQ(response.headers.at("Deprecation"), "true");
+    EXPECT_NE(response.headers.at("Link").find("successor-version"),
+              std::string::npos);
+  }
+  // The versioned routes are not deprecated.
+  EXPECT_FALSE(Call("GET", "/v1/health").headers.count("Deprecation"));
+}
+
+TEST_F(RestServiceTest, V1RoutesMirrorLegacy) {
+  EXPECT_EQ(Call("GET", "/v1/health").status, 200);
+  EXPECT_EQ(Call("GET", "/v1/algorithms").status, 200);
+  EXPECT_EQ(Call("GET", "/v1/kb").status, 200);
+  EXPECT_EQ(Call("POST", "/v1/metafeatures", DatasetCsv()).status, 200);
+  EXPECT_EQ(Call("POST", "/v1/health").status, 405);
+  EXPECT_EQ(Call("GET", "/v1/runs").status, 405);
+  EXPECT_EQ(Call("GET", "/v1/nope").status, 404);
+}
+
+TEST_F(RestServiceTest, V1HealthReportsJobPoolState) {
+  const HttpResponse response = Call("GET", "/v1/health");
+  EXPECT_NE(response.body.find("\"api_version\":\"v1\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"jobs\":{\"queued\":0,\"running\":0"),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"capacity\":2"), std::string::npos);
+}
+
+TEST_F(RestServiceTest, V1SelectAcceptsNamedMetaFeatures) {
+  ASSERT_EQ(Call("POST", "/run", DatasetCsv()).status, 200);
+  auto dataset = ReadCsvString(DatasetCsv());
+  ASSERT_TRUE(dataset.ok());
+  auto extracted = ExtractMetaFeatures(*dataset);
+  ASSERT_TRUE(extracted.ok());
+  // Flat object form.
+  const HttpResponse flat =
+      Call("POST", "/v1/select", MetaFeaturesToJson(*extracted));
+  EXPECT_EQ(flat.status, 200) << flat.body;
+  EXPECT_NE(flat.body.find("\"algorithm\""), std::string::npos);
+  // Wrapped form.
+  const HttpResponse wrapped =
+      Call("POST", "/v1/select",
+           "{\"meta_features\":" + MetaFeaturesToJson(*extracted) + "}");
+  EXPECT_EQ(wrapped.status, 200) << wrapped.body;
+  EXPECT_EQ(wrapped.body, flat.body);
+}
+
+TEST_F(RestServiceTest, V1SelectRejectsBadBodies) {
+  // Not JSON.
+  EXPECT_EQ(Call("POST", "/v1/select", "1 2 3").status, 400);
+  // Not an object.
+  EXPECT_EQ(Call("POST", "/v1/select", "[1,2]").status, 400);
+  // Unknown feature name.
+  const HttpResponse unknown =
+      Call("POST", "/v1/select", R"({"bogus_feature": 1.0})");
+  EXPECT_EQ(unknown.status, 400);
+  EXPECT_NE(unknown.body.find("bogus_feature"), std::string::npos);
+  // Missing features are named in the error.
+  const HttpResponse missing =
+      Call("POST", "/v1/select", R"({"num_instances": 80})");
+  EXPECT_EQ(missing.status, 400);
+  EXPECT_NE(missing.body.find("missing meta-features"), std::string::npos);
+  EXPECT_NE(missing.body.find("num_classes"), std::string::npos);
+  // Non-numeric value.
+  EXPECT_EQ(Call("POST", "/v1/select", R"({"num_instances": "80"})").status,
+            400);
+}
+
+TEST_F(RestServiceTest, V1RunsLifecycle) {
+  const HttpResponse submitted =
+      Call("POST", "/v1/runs", DatasetCsv(), {{"name", "async_run"}});
+  ASSERT_EQ(submitted.status, 202) << submitted.body;
+  EXPECT_TRUE(submitted.headers.count("Location"));
+  auto parsed = ParseJson(submitted.body);
+  ASSERT_TRUE(parsed.ok());
+  const std::string id = parsed->Find("id")->string;
+  EXPECT_EQ(submitted.headers.at("Location"), "/v1/runs/" + id);
+
+  auto final_snapshot = jobs_.Wait(id, /*timeout_seconds=*/60.0);
+  ASSERT_TRUE(final_snapshot.ok()) << final_snapshot.status().ToString();
+  EXPECT_EQ(final_snapshot->state, JobState::kDone);
+
+  const HttpResponse done = Call("GET", "/v1/runs/" + id);
+  ASSERT_EQ(done.status, 200);
+  EXPECT_NE(done.body.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(done.body.find("\"dataset\":\"async_run\""), std::string::npos);
+  // Same result fields as a synchronous run, plus phase timings.
+  EXPECT_NE(done.body.find("\"best_algorithm\""), std::string::npos);
+  EXPECT_NE(done.body.find("\"phase_seconds\""), std::string::npos);
+  EXPECT_NE(done.body.find("\"importances\""), std::string::npos);
+  auto doc = ParseJson(done.body);
+  ASSERT_TRUE(doc.ok()) << done.body;
+  EXPECT_EQ(doc->Find("result")->Find("dataset")->string, "async_run");
+
+  // The completed run was folded into the KB.
+  EXPECT_GE(framework_.kb().NumRecords(), 1u);
+
+  // Terminal jobs cannot be cancelled.
+  EXPECT_EQ(Call("DELETE", "/v1/runs/" + id).status, 409);
+  // Unknown ids are 404s.
+  EXPECT_EQ(Call("GET", "/v1/runs/run-999999").status, 404);
+  EXPECT_EQ(Call("DELETE", "/v1/runs/run-999999").status, 404);
+}
+
+TEST_F(RestServiceTest, V1RunsShedLoadAndCancelQueued) {
+  // Occupy the single job worker with a time-boxed run, then fill the queue
+  // (capacity 2 = running + queued).
+  // budget=3&evals=0 -> time-capped only, so the first job reliably holds
+  // the worker while the later submissions arrive.
+  const std::map<std::string, std::string> slow = {{"budget", "3"},
+                                                   {"evals", "0"}};
+  const HttpResponse first = Call("POST", "/v1/runs", DatasetCsv(), slow);
+  ASSERT_EQ(first.status, 202) << first.body;
+  const HttpResponse second = Call("POST", "/v1/runs", DatasetCsv(), slow);
+  ASSERT_EQ(second.status, 202) << second.body;
+
+  const HttpResponse shed = Call("POST", "/v1/runs", DatasetCsv(), slow);
+  EXPECT_EQ(shed.status, 429) << shed.body;
+  ASSERT_TRUE(shed.headers.count("Retry-After"));
+  EXPECT_GE(std::atoi(shed.headers.at("Retry-After").c_str()), 1);
+  EXPECT_NE(shed.body.find("\"resource_exhausted\""), std::string::npos);
+
+  // The queued (not yet running) job can be cancelled...
+  auto parsed = ParseJson(second.body);
+  ASSERT_TRUE(parsed.ok());
+  const std::string queued_id = parsed->Find("id")->string;
+  const HttpResponse cancelled = Call("DELETE", "/v1/runs/" + queued_id);
+  EXPECT_EQ(cancelled.status, 200) << cancelled.body;
+  EXPECT_NE(cancelled.body.find("\"state\":\"cancelled\""), std::string::npos);
+  // ...and stays cancelled.
+  EXPECT_NE(Call("GET", "/v1/runs/" + queued_id)
+                .body.find("\"state\":\"cancelled\""),
+            std::string::npos);
+  // Capacity freed: a new submission is accepted again.
+  EXPECT_EQ(Call("POST", "/v1/runs", DatasetCsv()).status, 202);
 }
 
 // ---------------------------------------------------------------------------
