@@ -26,8 +26,9 @@ int main(int argc, char** argv) {
       quick ? std::vector<int>{4, 12} : std::vector<int>{4, 8, 16, 32, 64};
   const size_t num_datasets = quick ? 3 : 6;
 
-  KnowledgeBase kb =
-      bench::BootstrapKb(quick ? 12 : 50, quick ? "" : "smartml_kb_cache.txt");
+  KnowledgeBase kb = bench::BootstrapKb(
+      quick ? 12 : 50,
+      quick ? "" : bench::KbCachePath("smartml_kb_cache.txt"));
 
   // Evaluation datasets: the first `num_datasets` Table 4 recipes, reseeded
   // so they are not byte-identical to anything in the KB.

@@ -64,7 +64,8 @@ int main(int argc, char** argv) {
   const size_t num_eval = quick ? 4 : 12;
 
   KnowledgeBase kb = bench::BootstrapKb(
-      quick ? 12 : 50, quick ? "" : "smartml_kb_lm_cache.txt",
+      quick ? 12 : 50,
+      quick ? "" : bench::KbCachePath("smartml_kb_lm_cache.txt"),
       /*evaluations_per_algorithm=*/6, /*landmarking=*/true);
   const auto roster = bench::BootstrapRoster();
 

@@ -70,8 +70,9 @@ int main(int argc, char** argv) {
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
 
   const size_t num_eval = quick ? 4 : 12;
-  KnowledgeBase kb =
-      bench::BootstrapKb(quick ? 12 : 50, quick ? "" : "smartml_kb_cache.txt");
+  KnowledgeBase kb = bench::BootstrapKb(
+      quick ? 12 : 50,
+      quick ? "" : bench::KbCachePath("smartml_kb_cache.txt"));
   const auto roster = bench::BootstrapRoster();
 
   // Evaluation datasets: fresh recipes near the bootstrap distribution.

@@ -4,7 +4,10 @@
 #ifndef SMARTML_BENCH_BENCH_COMMON_H_
 #define SMARTML_BENCH_BENCH_COMMON_H_
 
+#include <sys/stat.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -13,6 +16,16 @@
 
 namespace smartml {
 namespace bench {
+
+/// Resolves a KB cache filename to a path under the cache directory
+/// (`SMARTML_KB_CACHE_DIR`, default "data"), creating the directory on
+/// first use so the caches stay out of the repository root.
+inline std::string KbCachePath(const std::string& filename) {
+  const char* env = std::getenv("SMARTML_KB_CACHE_DIR");
+  const std::string dir = (env != nullptr && *env != '\0') ? env : "data";
+  ::mkdir(dir.c_str(), 0755);  // EEXIST is fine.
+  return dir + "/" + filename;
+}
 
 /// Algorithms used when seeding the knowledge base. A diverse but cheap
 /// subset keeps bootstrap time reasonable while covering linear,

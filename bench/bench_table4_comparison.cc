@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   const size_t kb_datasets = quick ? 12 : 50;
 
   KnowledgeBase kb = bench::BootstrapKb(
-      kb_datasets, quick ? "" : "smartml_kb_cache.txt");
+      kb_datasets,
+      quick ? "" : bench::KbCachePath("smartml_kb_cache.txt"));
 
   std::printf("Table 4: Performance comparison, SmartML vs Auto-Weka\n");
   std::printf("(paper columns = EDBT'19 Table 4 [10-minute budgets, real "

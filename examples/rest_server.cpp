@@ -7,7 +7,7 @@
 //               [--workers N] [--job-workers N] [--max-jobs N]
 //
 // v1 endpoints (see docs/API.md):
-//   GET    /v1/health /v1/algorithms /v1/kb
+//   GET    /v1/health /v1/metrics /v1/algorithms /v1/kb
 //   POST   /v1/metafeatures (CSV body)
 //   POST   /v1/select       (JSON body of named meta-features)
 //   POST   /v1/runs[?budget=..&evals=..] (CSV body) -> 202 + job id
@@ -93,9 +93,12 @@ int main(int argc, char** argv) {
   std::printf("SmartML REST API listening on http://127.0.0.1:%d "
               "(%d http workers, %d experiment workers)\n",
               *bound, server.num_workers(), jobs.num_workers());
-  std::printf("endpoints: GET /v1/health /v1/algorithms /v1/kb "
+  std::printf("endpoints: GET /v1/health /v1/metrics /v1/algorithms /v1/kb "
               "/v1/runs/{id}; POST /v1/metafeatures /v1/select /v1/runs; "
               "DELETE /v1/runs/{id}\n");
+  // Scripts parse the listening line from a pipe; don't sit in the stdio
+  // buffer until something else fills it.
+  std::fflush(stdout);
 
   const Status status = server.Serve();
   if (!kb_path.empty()) {

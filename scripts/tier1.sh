@@ -27,4 +27,11 @@ if [ "$SANITIZE" = "thread" ]; then
     "$BUILD_DIR"/tests/kb_concurrency_test
   TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
     "$BUILD_DIR"/tests/rest_concurrency_test
+  TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+    "$BUILD_DIR"/tests/obs_test
+else
+  # Observability smoke: a live server must serve /v1/metrics (valid
+  # Prometheus exposition, request counter advancing) and attach the span
+  # tree to a completed run.
+  python3 scripts/metrics_smoke.py "$BUILD_DIR"/examples/rest_server
 fi

@@ -42,6 +42,38 @@ JobManager::JobManager(SmartML* framework, JobManagerOptions options)
     : framework_(framework), options_(options) {
   options_.num_workers = std::max(options_.num_workers, 1);
   options_.max_pending_jobs = std::max<size_t>(options_.max_pending_jobs, 1);
+
+  MetricsRegistry& registry =
+      options_.metrics != nullptr ? *options_.metrics : GlobalMetrics();
+  metrics_.queued = registry.GetGauge("smartml_jobs_queued",
+                                      "Experiments waiting for a worker.");
+  metrics_.running = registry.GetGauge("smartml_jobs_running",
+                                       "Experiments currently executing.");
+  const std::string jobs_help = "Finished experiments by terminal state.";
+  metrics_.done =
+      registry.GetCounter("smartml_jobs_total", jobs_help, {{"state", "done"}});
+  metrics_.failed = registry.GetCounter("smartml_jobs_total", jobs_help,
+                                        {{"state", "failed"}});
+  metrics_.cancelled = registry.GetCounter("smartml_jobs_total", jobs_help,
+                                           {{"state", "cancelled"}});
+  metrics_.queue_wait_seconds = registry.GetHistogram(
+      "smartml_job_queue_wait_seconds",
+      "Seconds a job waited in the queue before starting.", PhaseBuckets());
+  const std::string phase_help =
+      "Wall-clock seconds per pipeline phase of completed jobs.";
+  metrics_.phase_preprocessing =
+      registry.GetHistogram("smartml_job_phase_seconds", phase_help,
+                            PhaseBuckets(), {{"phase", "preprocessing"}});
+  metrics_.phase_selection =
+      registry.GetHistogram("smartml_job_phase_seconds", phase_help,
+                            PhaseBuckets(), {{"phase", "selection"}});
+  metrics_.phase_tuning =
+      registry.GetHistogram("smartml_job_phase_seconds", phase_help,
+                            PhaseBuckets(), {{"phase", "tuning"}});
+  metrics_.phase_output =
+      registry.GetHistogram("smartml_job_phase_seconds", phase_help,
+                            PhaseBuckets(), {{"phase", "output"}});
+
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -80,6 +112,7 @@ StatusOr<std::string> JobManager::Submit(Dataset dataset,
                         static_cast<unsigned long long>(next_id_++));
     jobs_[job->id] = job;
     queue_.push_back(job);
+    metrics_.queued->Increment();
   }
   queue_cv_.notify_one();
   return job->id;
@@ -119,6 +152,8 @@ Status JobManager::Cancel(const std::string& id) {
     queue_.erase(std::remove(queue_.begin(), queue_.end(), it->second),
                  queue_.end());
     cancelled = it->second;
+    metrics_.queued->Decrement();
+    metrics_.cancelled->Increment();
   }
   done_cv_.notify_all();
   return Status::OK();
@@ -201,6 +236,10 @@ void JobManager::WorkerLoop() {
       job->state = JobState::kRunning;
       job->started = std::chrono::steady_clock::now();
       ++num_running_;
+      metrics_.queued->Decrement();
+      metrics_.running->Increment();
+      metrics_.queue_wait_seconds->Observe(
+          SecondsBetween(job->submitted, job->started));
     }
 
     SMARTML_LOG_INFO << "job " << job->id << ": starting experiment on '"
@@ -226,7 +265,17 @@ void JobManager::WorkerLoop() {
         job->state = JobState::kFailed;
         job->error = result.status();
       }
+      if (result.ok()) {
+        metrics_.done->Increment();
+        metrics_.phase_preprocessing->Observe(result->preprocessing_seconds);
+        metrics_.phase_selection->Observe(result->selection_seconds);
+        metrics_.phase_tuning->Observe(result->tuning_seconds);
+        metrics_.phase_output->Observe(result->output_seconds);
+      } else {
+        metrics_.failed->Increment();
+      }
       --num_running_;
+      metrics_.running->Decrement();
       // The Dataset is no longer needed; release the memory while keeping
       // the job entry pollable.
       job->dataset = Dataset();

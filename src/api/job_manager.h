@@ -29,6 +29,7 @@
 
 #include "src/common/status.h"
 #include "src/core/smartml.h"
+#include "src/obs/metrics.h"
 
 namespace smartml {
 
@@ -44,6 +45,9 @@ struct JobManagerOptions {
   size_t max_pending_jobs = 8;
   /// Hint returned with 429 responses.
   double retry_after_seconds = 5.0;
+  /// Registry receiving the manager's gauges/counters/histograms; null
+  /// means the process-global registry. Tests inject their own.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Copyable point-in-time view of one job (what GET /v1/runs/{id} reports).
@@ -130,6 +134,22 @@ class JobManager {
 
   SmartML* framework_;
   JobManagerOptions options_;
+
+  /// Stable pointers into options_.metrics (or the global registry),
+  /// resolved once in the constructor; all updates are plain atomics.
+  struct Metrics {
+    Gauge* queued = nullptr;
+    Gauge* running = nullptr;
+    Counter* done = nullptr;
+    Counter* failed = nullptr;
+    Counter* cancelled = nullptr;
+    Histogram* queue_wait_seconds = nullptr;
+    Histogram* phase_preprocessing = nullptr;
+    Histogram* phase_selection = nullptr;
+    Histogram* phase_tuning = nullptr;
+    Histogram* phase_output = nullptr;
+  };
+  Metrics metrics_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;     // Workers: work available/shutdown.

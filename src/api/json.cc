@@ -195,6 +195,33 @@ std::string NominationsToJson(const std::vector<Nomination>& nominations) {
   return std::move(w).Take();
 }
 
+namespace {
+
+/// Writes the spans whose parent is `parent` (children in pre-order), each
+/// with its own nested "children" array. The flat list is small (tens of
+/// spans), so the quadratic child scan is irrelevant.
+void WriteTraceChildren(JsonWriter* w, const std::vector<TraceSpan>& spans,
+                        int parent) {
+  w->BeginArray();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (span.parent != parent) continue;
+    w->BeginObject();
+    w->Key("name");
+    w->String(span.name);
+    w->Key("start_seconds");
+    w->Number(span.start_seconds);
+    w->Key("duration_seconds");
+    w->Number(span.duration_seconds);
+    w->Key("children");
+    WriteTraceChildren(w, spans, static_cast<int>(i));
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+}  // namespace
+
 std::string ResultToJson(const SmartMlResult& result) {
   JsonWriter w;
   w.BeginObject();
@@ -277,6 +304,8 @@ std::string ResultToJson(const SmartMlResult& result) {
     w.EndObject();
   }
   w.EndArray();
+  w.Key("trace");
+  WriteTraceChildren(&w, result.trace, /*parent=*/-1);
   w.Key("total_seconds");
   w.Number(result.total_seconds);
   w.EndObject();

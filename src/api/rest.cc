@@ -247,6 +247,7 @@ HttpResponse RestService::Handle(const HttpRequest& request) {
 HttpResponse RestService::RouteV1(const HttpRequest& request) {
   const std::string& path = request.path;
   if (path == "/health" && request.method == "GET") return HandleHealth();
+  if (path == "/metrics" && request.method == "GET") return HandleMetrics();
   if (path == "/algorithms" && request.method == "GET") {
     return HandleAlgorithms();
   }
@@ -271,8 +272,8 @@ HttpResponse RestService::RouteV1(const HttpRequest& request) {
                          "method not allowed for /v1" + path);
   }
   for (const char* known :
-       {"/health", "/algorithms", "/kb", "/metafeatures", "/select",
-        "/runs"}) {
+       {"/health", "/metrics", "/algorithms", "/kb", "/metafeatures",
+        "/select", "/runs"}) {
     if (path == known) {
       return ErrorResponse(405, "method_not_allowed",
                            "method not allowed for /v1" + path);
@@ -314,11 +315,52 @@ HttpResponse RestService::HandleHealth() {
     w.Int(jobs_->num_workers());
     w.Key("capacity");
     w.Int(static_cast<int64_t>(jobs_->max_pending_jobs()));
+    w.Key("done");
+    w.Int(static_cast<int64_t>(
+        metrics_
+            ->GetCounter("smartml_jobs_total",
+                         "Finished experiments by terminal state.",
+                         {{"state", "done"}})
+            ->Value()));
+    w.Key("failed");
+    w.Int(static_cast<int64_t>(
+        metrics_
+            ->GetCounter("smartml_jobs_total",
+                         "Finished experiments by terminal state.",
+                         {{"state", "failed"}})
+            ->Value()));
     w.EndObject();
   }
+  // Key observability gauges (from the same registry /v1/metrics exposes).
+  w.Key("kb");
+  w.BeginObject();
+  w.Key("records");
+  w.Int(static_cast<int64_t>(framework_->kb().NumRecords()));
+  w.Key("updates_total");
+  w.Int(static_cast<int64_t>(
+      metrics_
+          ->GetCounter("smartml_kb_updates_total",
+                       "Knowledge-base record inserts and merges.")
+          ->Value()));
+  w.Key("lookups_total");
+  w.Int(static_cast<int64_t>(
+      metrics_
+          ->GetHistogram("smartml_kb_lookup_seconds",
+                         "Latency of knowledge-base nearest-neighbour "
+                         "lookups.",
+                         LatencyBuckets())
+          ->TotalCount()));
+  w.EndObject();
   w.EndObject();
   HttpResponse response;
   response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse RestService::HandleMetrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = metrics_->EncodePrometheus();
   return response;
 }
 
@@ -572,6 +614,24 @@ HttpServer::HttpServer(RestService* service, HttpServerOptions options)
   options_.num_workers = std::max(options_.num_workers, 1);
   options_.max_queued_connections =
       std::max<size_t>(options_.max_queued_connections, 1);
+
+  MetricsRegistry& registry =
+      options_.metrics != nullptr ? *options_.metrics : GlobalMetrics();
+  const std::string requests_help = "HTTP responses by status class.";
+  static const char* kClasses[] = {"2xx", "3xx", "4xx", "5xx"};
+  for (int c = 0; c < 4; ++c) {
+    metrics_.requests_by_class[c] = registry.GetCounter(
+        "smartml_requests_total", requests_help, {{"code", kClasses[c]}});
+  }
+  metrics_.request_seconds = registry.GetHistogram(
+      "smartml_request_seconds",
+      "End-to-end request latency (read, handle, write).", LatencyBuckets());
+  metrics_.queue_depth = registry.GetGauge(
+      "smartml_http_queue_depth",
+      "Accepted connections waiting for a worker.");
+  metrics_.shed = registry.GetCounter(
+      "smartml_http_shed_total",
+      "Connections rejected with 503 because the queue was full.");
 }
 
 HttpServer::~HttpServer() {
@@ -669,6 +729,7 @@ Status HttpServer::Serve(int max_requests) {
         shed = true;
       } else {
         pending_.push_back(client);
+        metrics_.queue_depth->Set(static_cast<int64_t>(pending_.size()));
       }
     }
     if (shed) {
@@ -676,6 +737,8 @@ Status HttpServer::Serve(int max_requests) {
       // thanks to SO_SNDTIMEO.
       (void)!::write(client, shed_wire.data(), shed_wire.size());
       ::close(client);
+      metrics_.shed->Increment();
+      metrics_.requests_by_class[5 - 2]->Increment();
     } else {
       queue_cv_.notify_one();
     }
@@ -709,6 +772,7 @@ void HttpServer::WorkerLoop() {
       if (pending_.empty()) return;  // Draining and nothing left.
       client = pending_.front();
       pending_.pop_front();
+      metrics_.queue_depth->Set(static_cast<int64_t>(pending_.size()));
     }
     HandleConnection(client);
     served_.fetch_add(1);
@@ -716,6 +780,7 @@ void HttpServer::WorkerLoop() {
 }
 
 void HttpServer::HandleConnection(int client) {
+  ScopedTimer latency_timer(metrics_.request_seconds);
   // Read until the full header + Content-Length body has arrived (or the
   // socket times out).
   std::string data;
@@ -760,6 +825,10 @@ void HttpServer::HandleConnection(int client) {
     } else {
       response = ErrorResponseFromStatus(request.status());
     }
+  }
+  const int status_class = response.status / 100;
+  if (status_class >= 2 && status_class <= 5) {
+    metrics_.requests_by_class[status_class - 2]->Increment();
   }
   const std::string wire = SerializeHttpResponse(response);
   size_t written = 0;

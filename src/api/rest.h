@@ -46,6 +46,7 @@
 
 #include "src/common/status.h"
 #include "src/core/smartml.h"
+#include "src/obs/metrics.h"
 
 namespace smartml {
 
@@ -91,9 +92,14 @@ class RestService {
  public:
   /// `framework` must outlive the service. Without a JobManager, POST
   /// /v1/runs responds 503 (async execution disabled); everything else
-  /// works.
-  explicit RestService(SmartML* framework, JobManager* jobs = nullptr)
-      : framework_(framework), jobs_(jobs) {}
+  /// works. `metrics` is the registry GET /v1/metrics exposes (and the one
+  /// /v1/health reads its observability gauges from); null means the
+  /// process-global registry. Tests inject an isolated instance.
+  explicit RestService(SmartML* framework, JobManager* jobs = nullptr,
+                       MetricsRegistry* metrics = nullptr)
+      : framework_(framework),
+        jobs_(jobs),
+        metrics_(metrics != nullptr ? metrics : &GlobalMetrics()) {}
 
   HttpResponse Handle(const HttpRequest& request);
 
@@ -104,6 +110,7 @@ class RestService {
   HttpResponse RouteV1(const HttpRequest& request);
 
   HttpResponse HandleHealth();
+  HttpResponse HandleMetrics();
   HttpResponse HandleAlgorithms();
   HttpResponse HandleKb();
   HttpResponse HandleMetaFeatures(const HttpRequest& request);
@@ -116,6 +123,7 @@ class RestService {
 
   SmartML* framework_;
   JobManager* jobs_;
+  MetricsRegistry* metrics_;
   const HttpServer* server_ = nullptr;
 };
 
@@ -128,6 +136,9 @@ struct HttpServerOptions {
   /// Per-connection socket read/write timeout; a stalled client is dropped
   /// (408) instead of pinning a worker forever.
   double io_timeout_seconds = 10.0;
+  /// Registry receiving the transport metrics (request counts/latency,
+  /// queue depth, shed connections); null means the process-global one.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// HTTP server on 127.0.0.1:`port` (0 = ephemeral) with a fixed worker
@@ -167,6 +178,17 @@ class HttpServer {
 
   RestService* service_;
   HttpServerOptions options_;
+
+  /// Stable pointers into options_.metrics (or the global registry),
+  /// resolved once in the constructor; all updates are plain atomics.
+  struct Metrics {
+    /// Indexed by status class - 2 ("2xx" .. "5xx").
+    Counter* requests_by_class[4] = {nullptr, nullptr, nullptr, nullptr};
+    Histogram* request_seconds = nullptr;
+    Gauge* queue_depth = nullptr;
+    Counter* shed = nullptr;
+  };
+  Metrics metrics_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

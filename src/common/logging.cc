@@ -1,11 +1,15 @@
 #include "src/common/logging.h"
 
+#include <atomic>
+
 namespace smartml {
 namespace {
-LogLevel g_level = LogLevel::kQuiet;
+std::atomic<LogLevel> g_level{LogLevel::kQuiet};
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 }  // namespace smartml

@@ -1,9 +1,15 @@
 // Minimal leveled logging. Off by default so benches stay quiet; the
 // orchestrator raises the level when the user asks for a phase trace.
+//
+// Thread-safe: the level lives in a std::atomic and each message is emitted
+// with a single fwrite(3) (stdio's internal lock keeps concurrent messages
+// from interleaving), so the REST worker pool and the experiment pool can
+// log freely.
 #ifndef SMARTML_COMMON_LOGGING_H_
 #define SMARTML_COMMON_LOGGING_H_
 
-#include <iostream>
+#include <cstdio>
+#include <ostream>
 #include <sstream>
 #include <string>
 
@@ -11,8 +17,7 @@ namespace smartml {
 
 enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
 
-/// Process-wide log level. Not thread-safe by design: SmartML is
-/// single-threaded per run and benches set this once at startup.
+/// Process-wide log level (atomic; safe to read/write from any thread).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
@@ -25,7 +30,9 @@ class LogMessage {
   }
   ~LogMessage() {
     if (GetLogLevel() >= level_) {
-      std::cerr << stream_.str() << "\n";
+      stream_ << '\n';
+      const std::string text = stream_.str();
+      std::fwrite(text.data(), 1, text.size(), stderr);
     }
   }
   std::ostream& stream() { return stream_; }

@@ -10,9 +10,49 @@
 #include "src/data/metrics.h"
 #include "src/data/split.h"
 #include "src/ml/registry.h"
+#include "src/obs/metrics.h"
 #include "src/tuning/smac.h"
 
 namespace smartml {
+
+namespace {
+
+/// Pipeline metrics (process-global; see docs/OBSERVABILITY.md).
+struct PipelineMetrics {
+  Counter* runs_ok;
+  Counter* runs_failed;
+  Histogram* preprocess_seconds;
+  Histogram* selection_seconds;
+  Histogram* tuning_seconds;
+  Histogram* output_seconds;
+
+  static const PipelineMetrics& Get() {
+    static const PipelineMetrics* const metrics = [] {
+      MetricsRegistry& registry = GlobalMetrics();
+      auto phase = [&](const char* name) {
+        return registry.GetHistogram(
+            "smartml_run_phase_seconds",
+            "Wall-clock seconds per SmartML pipeline phase.", PhaseBuckets(),
+            {{"phase", name}});
+      };
+      auto* m = new PipelineMetrics();
+      m->runs_ok = registry.GetCounter(
+          "smartml_runs_total", "Completed SmartML pipeline runs by outcome.",
+          {{"outcome", "ok"}});
+      m->runs_failed = registry.GetCounter(
+          "smartml_runs_total", "Completed SmartML pipeline runs by outcome.",
+          {{"outcome", "error"}});
+      m->preprocess_seconds = phase("preprocessing");
+      m->selection_seconds = phase("selection");
+      m->tuning_seconds = phase("tuning");
+      m->output_seconds = phase("output");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 SmartML::SmartML(SmartMlOptions options) : options_(std::move(options)) {}
 
@@ -37,7 +77,7 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
     const SmartMlOptions& options, const std::string& algorithm,
     const Dataset& train, const Dataset& validation, double budget_seconds,
     int max_evaluations, const std::vector<ParamConfig>& warm_starts,
-    uint64_t seed) const {
+    uint64_t seed, Tracer* tracer) const {
   Stopwatch watch;
   AlgorithmRunResult run;
   run.algorithm = algorithm;
@@ -56,8 +96,12 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
       max_evaluations > 0 ? max_evaluations : 1000000;
   smac_options.seed = seed;
   smac_options.initial_configs = warm_starts;
-  SMARTML_ASSIGN_OR_RETURN(TunedResult tuned,
-                           Smac(space, objective.get(), smac_options));
+  TunedResult tuned;
+  {
+    Span span(tracer, "tune/smac");
+    SMARTML_ASSIGN_OR_RETURN(tuned, Smac(space, objective.get(),
+                                         smac_options));
+  }
 
   run.best_config = tuned.best_config;
   run.tuning_cost = tuned.best_cost;
@@ -66,6 +110,7 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
 
   // Refit the best configuration on the full training partition and score
   // it on the held-out validation partition.
+  Span refit_span(tracer, "tune/refit");
   std::unique_ptr<Classifier> model = prototype->Clone();
   const Status fit_status = model->Fit(train, run.best_config);
   if (fit_status.ok()) {
@@ -74,6 +119,7 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
       run.validation_accuracy = Accuracy(validation.labels(), *predictions);
     }
   }
+  refit_span.End();
   run.seconds = watch.ElapsedSeconds();
   return run;
 }
@@ -84,6 +130,16 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
 
 StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
                                      const SmartMlOptions& options) {
+  Tracer tracer;
+  auto result = RunTraced(dataset, options, &tracer);
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  (result.ok() ? metrics.runs_ok : metrics.runs_failed)->Increment();
+  return result;
+}
+
+StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
+                                           const SmartMlOptions& options,
+                                           Tracer* tracer) {
   Stopwatch total_watch;
   SMARTML_RETURN_NOT_OK(dataset.Validate());
   if (dataset.NumRows() < 10) {
@@ -103,6 +159,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
   // -------------------------------------------------------------------
   SMARTML_LOG_INFO << "phase: preprocessing (" << dataset.NumRows()
                    << " rows, " << dataset.NumFeatures() << " features)";
+  Span preprocess_span(tracer, "preprocess");
   SMARTML_ASSIGN_OR_RETURN(
       TrainValidationSplit split,
       StratifiedSplit(dataset, options.validation_fraction, options.seed));
@@ -113,6 +170,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
   // Feature selection (fitted on the training partition only).
   if (options.feature_selection.kind != FeatureSelectorKind::kNone ||
       !options.feature_selection.include_features.empty()) {
+    Span span(tracer, "feature_selection");
     FeatureSelector selector(options.feature_selection);
     SMARTML_RETURN_NOT_OK(selector.Fit(train));
     SMARTML_ASSIGN_OR_RETURN(train, selector.Transform(train));
@@ -133,6 +191,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
   }
   for (PreprocessOp op : options.preprocessing) ops.push_back(op);
   if (!ops.empty()) {
+    Span span(tracer, "transform");
     PreprocessPipeline pipeline(ops, options.seed);
     SMARTML_RETURN_NOT_OK(pipeline.Fit(train));
     SMARTML_ASSIGN_OR_RETURN(train, pipeline.Transform(train));
@@ -142,21 +201,29 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
   // -------------------------------------------------------------------
   // Phase 2b: meta-features from the training split.
   // -------------------------------------------------------------------
-  SMARTML_ASSIGN_OR_RETURN(result.meta_features, ExtractMetaFeatures(train));
-  if (options.use_landmarking) {
-    auto landmarks = ExtractLandmarkers(train, options.seed);
-    if (landmarks.ok()) {
-      result.has_landmarks = true;
-      result.landmarks = *landmarks;
+  {
+    Span span(tracer, "metafeatures");
+    SMARTML_ASSIGN_OR_RETURN(result.meta_features,
+                             ExtractMetaFeatures(train));
+    if (options.use_landmarking) {
+      auto landmarks = ExtractLandmarkers(train, options.seed);
+      if (landmarks.ok()) {
+        result.has_landmarks = true;
+        result.landmarks = *landmarks;
+      }
     }
   }
+  preprocess_span.End();
 
   result.preprocessing_seconds = phase_watch.ElapsedSeconds();
+  PipelineMetrics::Get().preprocess_seconds->Observe(
+      result.preprocessing_seconds);
   phase_watch.Restart();
 
   // -------------------------------------------------------------------
   // Phase 3: algorithm selection via the knowledge base.
   // -------------------------------------------------------------------
+  Span select_span(tracer, "select");
   if (result.has_landmarks) {
     NominationOptions nomination = options.nomination;
     nomination.max_algorithms = options.max_nominations;
@@ -199,11 +266,14 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
                                                  : "cold start")
                    << ")";
 
+  select_span.End();
   result.selection_seconds = phase_watch.ElapsedSeconds();
+  PipelineMetrics::Get().selection_seconds->Observe(result.selection_seconds);
   phase_watch.Restart();
 
   if (options.selection_only) {
     result.total_seconds = total_watch.ElapsedSeconds();
+    result.trace = tracer->TakeSpans();
     return result;
   }
 
@@ -221,6 +291,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
   }
 
   uint64_t seed = options.seed * 2654435761ULL + 17;
+  Span tune_span(tracer, "tune");
   for (size_t i = 0; i < algorithms.size(); ++i) {
     const double share =
         static_cast<double>(param_counts[i]) /
@@ -234,19 +305,23 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
     SMARTML_LOG_INFO << "phase: tuning " << algorithms[i] << " (budget "
                      << budget << "s, " << warm_starts[i].size()
                      << " warm starts)";
+    Span algorithm_span(tracer, "tune/" + algorithms[i]);
     SMARTML_ASSIGN_OR_RETURN(
         AlgorithmRunResult run,
         TuneAlgorithm(options, algorithms[i], train, validation, budget,
-                      eval_budget, warm_starts[i], seed + i * 7919));
+                      eval_budget, warm_starts[i], seed + i * 7919, tracer));
     result.per_algorithm.push_back(std::move(run));
   }
+  tune_span.End();
 
   result.tuning_seconds = phase_watch.ElapsedSeconds();
+  PipelineMetrics::Get().tuning_seconds->Observe(result.tuning_seconds);
   phase_watch.Restart();
 
   // -------------------------------------------------------------------
   // Phase 5: computing output + updating the knowledge base.
   // -------------------------------------------------------------------
+  Span output_span(tracer, "output");
   std::vector<size_t> order(result.per_algorithm.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -268,6 +343,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
 
   // Optional weighted ensemble of the top performers.
   if (options.enable_ensembling && result.per_algorithm.size() >= 2) {
+    Span span(tracer, "ensemble");
     // Candidate pool: the top `ensemble_size` tuned models, refitted.
     std::vector<std::unique_ptr<Classifier>> pool;
     std::vector<double> pool_accuracy;
@@ -380,6 +456,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
 
   // Optional interpretability (permutation importance on validation data).
   if (options.enable_interpretability && result.best_model != nullptr) {
+    Span span(tracer, "interpret");
     auto importances = PermutationImportance(*result.best_model, validation,
                                              /*repeats=*/2, options.seed);
     if (importances.ok()) result.importances = std::move(*importances);
@@ -388,6 +465,7 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
   // KB update: store this dataset's meta-features and every algorithm's
   // best outcome so future runs benefit.
   if (options.update_kb) {
+    Span span(tracer, "kb_update");
     KbRecord record;
     record.dataset_name =
         dataset.name().empty() ? "unnamed" : dataset.name();
@@ -404,8 +482,11 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
     kb_.AddRecord(record);
   }
 
+  output_span.End();
   result.output_seconds = phase_watch.ElapsedSeconds();
+  PipelineMetrics::Get().output_seconds->Observe(result.output_seconds);
   result.total_seconds = total_watch.ElapsedSeconds();
+  result.trace = tracer->TakeSpans();
   SMARTML_LOG_INFO << "phase: output — best " << result.best_algorithm
                    << " acc " << result.best_validation_accuracy;
   return result;
@@ -478,6 +559,9 @@ std::string SmartMlResult::Report() const {
       "output %.3fs\n",
       preprocessing_seconds, selection_seconds, tuning_seconds,
       output_seconds);
+  if (!trace.empty()) {
+    out << "trace:\n" << RenderTrace(trace);
+  }
   out << StrFormat("total time: %.2fs\n", total_seconds);
   return out.str();
 }

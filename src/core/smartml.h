@@ -26,6 +26,7 @@
 #include "src/interpret/interpret.h"
 #include "src/kb/knowledge_base.h"
 #include "src/metafeatures/metafeatures.h"
+#include "src/obs/trace.h"
 #include "src/preprocess/feature_selection.h"
 #include "src/preprocess/preprocess.h"
 #include "src/tuning/objective.h"
@@ -125,6 +126,10 @@ struct SmartMlResult {
 
   std::vector<FeatureImportance> importances;
 
+  /// Nested wall-clock trace of the run (pre-order; see src/obs/trace.h).
+  /// Serialized as a span tree by ResultToJson and rendered by Report().
+  std::vector<TraceSpan> trace;
+
   /// Wall-clock seconds per pipeline phase (Figure 1).
   double preprocessing_seconds = 0.0;
   double selection_seconds = 0.0;
@@ -173,11 +178,15 @@ class SmartML {
                               int evaluations_per_algorithm = 8);
 
  private:
+  StatusOr<SmartMlResult> RunTraced(const Dataset& dataset,
+                                    const SmartMlOptions& options,
+                                    Tracer* tracer);
+
   StatusOr<AlgorithmRunResult> TuneAlgorithm(
       const SmartMlOptions& options, const std::string& algorithm,
       const Dataset& train, const Dataset& validation, double budget_seconds,
       int max_evaluations, const std::vector<ParamConfig>& warm_starts,
-      uint64_t seed) const;
+      uint64_t seed, Tracer* tracer) const;
 
   SmartMlOptions options_;
   KnowledgeBase kb_;

@@ -8,12 +8,49 @@
 #include <sstream>
 
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
 
 namespace smartml {
 
 namespace {
 constexpr char kHeader[] = "smartml-kb v1";
-}
+
+// Resolved once against the global registry; every member is a stable
+// pointer whose updates are pure atomics (safe under the KB's shared lock).
+struct KbMetrics {
+  Histogram* lookup_seconds = nullptr;
+  Histogram* lookup_neighbors = nullptr;
+  Counter* warm_start_hits = nullptr;
+  Counter* warm_start_misses = nullptr;
+  Counter* updates = nullptr;
+
+  static const KbMetrics& Get() {
+    static const KbMetrics metrics = [] {
+      MetricsRegistry& registry = GlobalMetrics();
+      KbMetrics m;
+      m.lookup_seconds = registry.GetHistogram(
+          "smartml_kb_lookup_seconds",
+          "Latency of knowledge-base nearest-neighbour lookups.",
+          LatencyBuckets());
+      m.lookup_neighbors = registry.GetHistogram(
+          "smartml_kb_lookup_neighbors",
+          "Neighbours returned per knowledge-base lookup.",
+          {0.0, 1.0, 2.0, 4.0, 8.0, 16.0});
+      m.warm_start_hits = registry.GetCounter(
+          "smartml_kb_warm_start_hits_total",
+          "Nominations that carried warm-start configurations.");
+      m.warm_start_misses = registry.GetCounter(
+          "smartml_kb_warm_start_misses_total",
+          "Nominations without any warm-start configuration.");
+      m.updates = registry.GetCounter(
+          "smartml_kb_updates_total",
+          "Knowledge-base record inserts and merges.");
+      return m;
+    }();
+    return metrics;
+  }
+};
+}  // namespace
 
 KnowledgeBase::KnowledgeBase(const KnowledgeBase& other) {
   std::shared_lock lock(other.mutex_);
@@ -58,6 +95,7 @@ KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
 }
 
 void KnowledgeBase::AddRecord(const KbRecord& record) {
+  KbMetrics::Get().updates->Increment();
   std::unique_lock lock(mutex_);
   for (auto& existing : records_) {
     if (existing.dataset_name != record.dataset_name) continue;
@@ -126,8 +164,13 @@ std::vector<std::pair<const KbRecord*, double>>
 KnowledgeBase::NearestRecordsLocked(const MetaFeatureVector& mf,
                                     const LandmarkVector* landmarks,
                                     double landmark_weight, size_t k) const {
+  const KbMetrics& metrics = KbMetrics::Get();
+  ScopedTimer timer(metrics.lookup_seconds);
   std::vector<std::pair<const KbRecord*, double>> out;
-  if (records_.empty()) return out;
+  if (records_.empty()) {
+    metrics.lookup_neighbors->Observe(0.0);
+    return out;
+  }
   const MetaFeatureVector query = normalizer_.Apply(mf);
   out.reserve(records_.size());
   for (const auto& r : records_) {
@@ -141,6 +184,7 @@ KnowledgeBase::NearestRecordsLocked(const MetaFeatureVector& mf,
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
   if (out.size() > k) out.resize(k);
+  metrics.lookup_neighbors->Observe(static_cast<double>(out.size()));
   return out;
 }
 
@@ -209,6 +253,12 @@ std::vector<Nomination> KnowledgeBase::NominateImpl(
     return a.score > b.score;
   });
   if (out.size() > options.max_algorithms) out.resize(options.max_algorithms);
+  const KbMetrics& metrics = KbMetrics::Get();
+  for (const Nomination& nomination : out) {
+    (nomination.warm_start_configs.empty() ? metrics.warm_start_misses
+                                           : metrics.warm_start_hits)
+        ->Increment();
+  }
   return out;
 }
 

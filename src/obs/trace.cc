@@ -1,0 +1,72 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace smartml {
+
+bool ObsVerboseEnabled() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("SMARTML_OBS_VERBOSE");
+    return value != nullptr && *value != '\0' &&
+           std::strcmp(value, "0") != 0;
+  }();
+  return enabled;
+}
+
+int Tracer::BeginSpan(std::string name) {
+  const int id = static_cast<int>(spans_.size());
+  TraceSpan span;
+  span.name = std::move(name);
+  span.start_seconds = watch_.ElapsedSeconds();
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = static_cast<int>(open_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(id);
+  return id;
+}
+
+void Tracer::EndSpan(int id) {
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return;
+  if (std::find(open_.begin(), open_.end(), id) == open_.end()) {
+    return;  // Already closed (e.g. explicit End() before the guard died).
+  }
+  const double now = watch_.ElapsedSeconds();
+  // Close any spans still open inside `id` (a guard destroyed out of order
+  // or a span ended while children were open), then `id` itself.
+  while (!open_.empty()) {
+    const int top = open_.back();
+    open_.pop_back();
+    TraceSpan& span = spans_[static_cast<size_t>(top)];
+    if (span.duration_seconds == 0.0) {
+      span.duration_seconds = now - span.start_seconds;
+      if (ObsVerboseEnabled()) {
+        // One fprintf call per line: stdio's internal lock keeps messages
+        // from interleaving across threads.
+        std::fprintf(stderr, "[obs] %*s%s %.6fs\n", span.depth * 2, "",
+                     span.name.c_str(), span.duration_seconds);
+      }
+    }
+    if (top == id) break;
+  }
+}
+
+std::vector<TraceSpan> Tracer::TakeSpans() {
+  open_.clear();
+  return std::move(spans_);
+}
+
+std::string RenderTrace(const std::vector<TraceSpan>& spans) {
+  std::string out;
+  for (const TraceSpan& span : spans) {
+    out += StrFormat("%*s%s %.3fs\n", span.depth * 2, "", span.name.c_str(),
+                     span.duration_seconds);
+  }
+  return out;
+}
+
+}  // namespace smartml

@@ -1,0 +1,98 @@
+// Lightweight wall-clock trace spans for one SmartML run.
+//
+// A Tracer collects nested spans (preprocess → tune → tune/random_forest →
+// tune/smac, ...) as a flat list with parent indices, cheap enough to leave
+// on for every run. The RAII Span guard is the only producer API:
+//
+//   Tracer tracer;
+//   {
+//     Span tune(&tracer, "tune");
+//     Span smac(&tracer, "tune/smac");   // Nested under "tune".
+//   }                                    // Both closed, durations recorded.
+//   result.trace = tracer.TakeSpans();
+//
+// A null Tracer* disables tracing at zero cost, so library code can always
+// take the guard. Tracers are intentionally NOT thread-safe: one run
+// executes on one thread, and each run owns its own Tracer (unlike the
+// process-global MetricsRegistry).
+//
+// Setting the SMARTML_OBS_VERBOSE environment variable (to anything but
+// "0") logs every completed span to stderr; it is off by default so benches
+// and tests stay quiet.
+#ifndef SMARTML_OBS_TRACE_H_
+#define SMARTML_OBS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+
+namespace smartml {
+
+/// One completed (or still-open) span. `parent` indexes into the tracer's
+/// flat span list; -1 marks a root span. Children always appear after
+/// their parent, so the list is a valid pre-order of the span tree.
+struct TraceSpan {
+  std::string name;
+  double start_seconds = 0.0;     ///< Offset from the tracer's epoch.
+  double duration_seconds = 0.0;  ///< 0 while the span is open.
+  int parent = -1;
+  int depth = 0;
+};
+
+/// Collects the spans of one run. Epoch = construction time.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span nested under the innermost still-open span; returns its
+  /// id. Prefer the RAII Span guard over calling this directly.
+  int BeginSpan(std::string name);
+
+  /// Closes span `id` (and any still-open spans nested inside it).
+  void EndSpan(int id);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// Moves the collected spans out (the tracer is then empty).
+  std::vector<TraceSpan> TakeSpans();
+
+ private:
+  Stopwatch watch_;
+  std::vector<TraceSpan> spans_;
+  std::vector<int> open_;  // Stack of open span ids.
+};
+
+/// RAII span guard. Null tracer => no-op.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name)
+      : tracer_(tracer),
+        id_(tracer == nullptr ? -1 : tracer->BeginSpan(std::move(name))) {}
+  ~Span() { End(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span early (idempotent).
+  void End() {
+    if (tracer_ != nullptr && id_ >= 0) tracer_->EndSpan(id_);
+    id_ = -1;
+  }
+
+ private:
+  Tracer* tracer_;
+  int id_;
+};
+
+/// True when SMARTML_OBS_VERBOSE is set (and not "0"). Read once.
+bool ObsVerboseEnabled();
+
+/// Indented text rendering of a span tree (one span per line), used by
+/// SmartMlResult::Report().
+std::string RenderTrace(const std::vector<TraceSpan>& spans);
+
+}  // namespace smartml
+
+#endif  // SMARTML_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 
 namespace smartml {
 
@@ -161,6 +162,10 @@ StatusOr<TunedResult> GeneticSearch(const ParamSpace& space,
   }
 
   if (result.best_cost > 1.0) result.best_cost = 1.0;
+  static Counter* evaluations = GlobalMetrics().GetCounter(
+      "smartml_tuner_evaluations_total", "Fold evaluations spent per tuner.",
+      {{"tuner", "genetic"}});
+  evaluations->Increment(result.num_evaluations);
   return result;
 }
 

@@ -4,10 +4,17 @@
 #include <cmath>
 
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 
 namespace smartml {
 
 namespace {
+
+Counter* TunerEvaluationsCounter(const char* tuner) {
+  return GlobalMetrics().GetCounter("smartml_tuner_evaluations_total",
+                                    "Fold evaluations spent per tuner.",
+                                    {{"tuner", tuner}});
+}
 
 // Evaluates a config on every fold, tracking the running result. Returns
 // false when the budget is exhausted mid-config.
@@ -68,6 +75,8 @@ StatusOr<TunedResult> RandomSearch(const ParamSpace& space,
     (void)done;
   }
   if (result.best_cost > 1.0) result.best_cost = 1.0;
+  static Counter* evaluations = TunerEvaluationsCounter("random");
+  evaluations->Increment(result.num_evaluations);
   return result;
 }
 
@@ -135,6 +144,8 @@ StatusOr<TunedResult> GridSearch(const ParamSpace& space,
     (void)done;
   }
   if (result.best_cost > 1.0) result.best_cost = 1.0;
+  static Counter* evaluations = TunerEvaluationsCounter("grid");
+  evaluations->Increment(result.num_evaluations);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/common/distributions.h"
+#include "src/obs/metrics.h"
 
 namespace smartml {
 
@@ -151,6 +152,32 @@ RegressionForest::Prediction RegressionForest::Predict(
 
 namespace {
 
+// Resolved once against the global registry (stable pointers, atomic
+// updates), so concurrent SMAC runs in the job-manager pool never contend.
+struct SmacMetrics {
+  Counter* evaluations = nullptr;
+  Counter* incumbent_improvements = nullptr;
+  Histogram* surrogate_fit_seconds = nullptr;
+
+  static const SmacMetrics& Get() {
+    static const SmacMetrics metrics = [] {
+      MetricsRegistry& registry = GlobalMetrics();
+      SmacMetrics m;
+      m.evaluations = registry.GetCounter(
+          "smartml_tuner_evaluations_total",
+          "Fold evaluations spent per tuner.", {{"tuner", "smac"}});
+      m.incumbent_improvements = registry.GetCounter(
+          "smartml_tuner_incumbent_improvements_total",
+          "Times a challenger displaced the incumbent.", {{"tuner", "smac"}});
+      m.surrogate_fit_seconds = registry.GetHistogram(
+          "smartml_smac_surrogate_fit_seconds",
+          "Latency of random-forest surrogate fits.", LatencyBuckets());
+      return m;
+    }();
+    return metrics;
+  }
+};
+
 /// Expected improvement for minimization.
 double ExpectedImprovement(double mean, double variance, double f_best) {
   const double sigma = std::sqrt(variance);
@@ -260,6 +287,7 @@ class SmacRun {
     record.cost_sum += cost;
     ++record.folds_evaluated;
     --evaluations_left_;
+    SmacMetrics::Get().evaluations->Increment();
     trajectory_.push_back(incumbent_ == kNone
                               ? 1.0
                               : records_[incumbent_].MeanCost());
@@ -274,6 +302,7 @@ class SmacRun {
                    records_[incumbent_].folds_evaluated &&
                records_[id].MeanCost() < records_[incumbent_].MeanCost()) {
       incumbent_ = id;
+      SmacMetrics::Get().incumbent_improvements->Increment();
     }
     if (!trajectory_.empty()) {
       trajectory_.back() = records_[incumbent_].MeanCost();
@@ -338,6 +367,7 @@ class SmacRun {
       }
       RegressionForest::Options fo = options_.forest;
       fo.seed = rng_.NextU64();
+      ScopedTimer fit_timer(SmacMetrics::Get().surrogate_fit_seconds);
       have_model = forest.Fit(x, y, fo).ok();
     }
 

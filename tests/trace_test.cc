@@ -1,0 +1,167 @@
+// Tests for the per-run trace spans: nesting/parenting, RAII guard
+// behaviour, and the trace attached to SmartML results (struct field, JSON
+// serialization, Report() rendering).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/api/json.h"
+#include "src/core/smartml.h"
+#include "src/data/synthetic.h"
+#include "src/obs/trace.h"
+
+namespace smartml {
+namespace {
+
+TEST(TracerTest, NestingRecordsParentAndDepth) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "tune");
+    {
+      Span inner(&tracer, "tune/smac");
+    }
+    Span sibling(&tracer, "tune/refit");
+  }
+  const std::vector<TraceSpan> spans = tracer.TakeSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "tune");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "tune/smac");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "tune/refit");
+  EXPECT_EQ(spans[2].parent, 0);
+  EXPECT_EQ(spans[2].depth, 1);
+  for (const TraceSpan& span : spans) {
+    EXPECT_GE(span.duration_seconds, 0.0);
+    EXPECT_GE(span.start_seconds, 0.0);
+  }
+  // Parent spans contain their children.
+  EXPECT_GE(spans[0].start_seconds + spans[0].duration_seconds,
+            spans[2].start_seconds + spans[2].duration_seconds);
+}
+
+TEST(TracerTest, ExplicitEndIsIdempotent) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "phase");
+    span.End();
+    span.End();  // Second End() and the destructor must both be no-ops.
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_GT(tracer.spans()[0].duration_seconds, 0.0);
+}
+
+TEST(TracerTest, EndingParentClosesOpenChildren) {
+  Tracer tracer;
+  const int outer = tracer.BeginSpan("outer");
+  tracer.BeginSpan("inner");
+  tracer.EndSpan(outer);
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_GT(tracer.spans()[0].duration_seconds, 0.0);
+  EXPECT_GT(tracer.spans()[1].duration_seconds, 0.0);
+}
+
+TEST(TracerTest, EndingClosedSpanLeavesSiblingsOpen) {
+  // Regression: EndSpan on an already-closed id must not drain the stack.
+  Tracer tracer;
+  const int root = tracer.BeginSpan("root");
+  const int first = tracer.BeginSpan("first");
+  tracer.EndSpan(first);
+  tracer.BeginSpan("second");
+  tracer.EndSpan(first);  // Stale id: "root" and "second" stay open.
+  EXPECT_EQ(tracer.spans()[0].duration_seconds, 0.0);
+  EXPECT_EQ(tracer.spans()[2].duration_seconds, 0.0);
+  tracer.EndSpan(root);
+  EXPECT_GT(tracer.spans()[2].duration_seconds, 0.0);
+}
+
+TEST(TracerTest, NullTracerSpanIsNoOp) {
+  Span span(nullptr, "ignored");
+  span.End();  // Must not crash.
+}
+
+TEST(TracerTest, RenderTraceIndentsByDepth) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "a");
+    Span inner(&tracer, "a/b");
+  }
+  const std::string text = RenderTrace(tracer.spans());
+  EXPECT_NE(text.find("a "), std::string::npos);
+  EXPECT_NE(text.find("  a/b "), std::string::npos);
+}
+
+Dataset MakeData() {
+  SyntheticSpec spec;
+  spec.num_instances = 120;
+  spec.num_informative = 4;
+  spec.num_classes = 2;
+  spec.class_sep = 2.5;
+  spec.seed = 91;
+  spec.name = "trace_test";
+  return GenerateSynthetic(spec);
+}
+
+SmartMlOptions FastOptions() {
+  SmartMlOptions options;
+  options.max_evaluations = 12;
+  options.time_budget_seconds = 60;
+  options.cv_folds = 2;
+  options.cold_start_algorithms = {"knn", "naive_bayes"};
+  options.enable_interpretability = false;
+  options.seed = 11;
+  return options;
+}
+
+TEST(TraceResultTest, RunAttachesSpanTree) {
+  SmartML framework(FastOptions());
+  auto result = framework.Run(MakeData());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->trace.empty());
+
+  auto find = [&](const std::string& name) -> const TraceSpan* {
+    for (const TraceSpan& span : result->trace) {
+      if (span.name == name) return &span;
+    }
+    return nullptr;
+  };
+  for (const char* phase : {"preprocess", "select", "tune", "output"}) {
+    const TraceSpan* span = find(phase);
+    ASSERT_NE(span, nullptr) << "missing span " << phase;
+    EXPECT_EQ(span->parent, -1);
+    EXPECT_GT(span->duration_seconds, 0.0);
+  }
+  const TraceSpan* algorithm = find("tune/knn");
+  ASSERT_NE(algorithm, nullptr);
+  EXPECT_EQ(result->trace[static_cast<size_t>(algorithm->parent)].name,
+            "tune");
+  ASSERT_NE(find("tune/smac"), nullptr);
+  ASSERT_NE(find("kb_update"), nullptr);
+
+  // The span tree reaches the serialized result and the text report.
+  const std::string json = ResultToJson(*result);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"tune/smac\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+  EXPECT_NE(result->Report().find("trace:"), std::string::npos);
+}
+
+TEST(TraceResultTest, SelectionOnlyRunStillTraces) {
+  SmartMlOptions options = FastOptions();
+  options.selection_only = true;
+  options.update_kb = false;
+  SmartML framework(options);
+  auto result = framework.Run(MakeData());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->trace.empty());
+  bool found = false;
+  for (const TraceSpan& span : result->trace) {
+    if (span.name == "preprocess") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace smartml
