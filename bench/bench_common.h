@@ -37,7 +37,11 @@ inline std::vector<std::string> BootstrapRoster() {
 
 /// Builds (or loads from `cache_path`, if present) a knowledge base seeded
 /// with `num_datasets` bootstrap recipes. Saves to the cache afterwards so
-/// sibling benches reuse the work.
+/// sibling benches reuse the work. The save goes through the crash-safe
+/// atomic path (tmp + fsync + rename, trailing checksum), so a bench killed
+/// mid-save never leaves a torn cache for its siblings; the load side
+/// salvages or falls back to `.bak` on a damaged cache instead of silently
+/// re-bootstrapping from scratch.
 inline KnowledgeBase BootstrapKb(size_t num_datasets,
                                  const std::string& cache_path,
                                  int evaluations_per_algorithm = 6,

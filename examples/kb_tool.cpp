@@ -8,6 +8,8 @@
 //   kb_tool query  kb.txt mf.txt [K]       nominate algorithms for the
 //                                          25 meta-features in mf.txt
 //   kb_tool json   kb.txt                  dump as JSON
+//   kb_tool seed   kb.txt [N]              write a synthetic N-record KB
+//                                          (scripted durability smoke tests)
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -67,10 +69,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: kb_tool {stats|list|json} KB\n"
                  "       kb_tool merge OUT IN1 [IN2 ...]\n"
-                 "       kb_tool query KB METAFEATURES_FILE [K]\n");
+                 "       kb_tool query KB METAFEATURES_FILE [K]\n"
+                 "       kb_tool seed OUT [N]\n");
     return 2;
   }
   const std::string command = argv[1];
+
+  if (command == "seed") {
+    const int n = argc > 3 ? atoi(argv[3]) : 8;
+    KnowledgeBase kb;
+    for (int i = 0; i < n; ++i) {
+      KbRecord record;
+      record.dataset_name = "seed_" + std::to_string(i);
+      record.meta_features[0] = 100.0 + 10.0 * i;  // num_instances
+      record.meta_features[2] = 4.0 + i;           // num_features
+      KbAlgorithmResult result;
+      result.algorithm = i % 2 == 0 ? "random_forest" : "svm";
+      result.accuracy = 0.6 + 0.03 * i;
+      result.best_config.SetDouble("C", 1.0 + i);
+      record.results.push_back(result);
+      kb.AddRecord(record);
+    }
+    const Status status = kb.SaveToFile(argv[2]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s with %zu records\n", argv[2], kb.NumRecords());
+    return 0;
+  }
 
   if (command == "merge") {
     if (argc < 4) {

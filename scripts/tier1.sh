@@ -6,6 +6,11 @@
 #       ThreadSanitizer build; additionally re-runs the concurrency tests
 #       (rest_concurrency_test, kb_concurrency_test) under TSan so data
 #       races in the serving core fail loudly.
+#   SMARTML_SANITIZE=thread,undefined scripts/tier1.sh
+#       TSan + UBSan combined (the value is passed to -fsanitize= verbatim).
+#
+# Both flavours finish with the fault-injection leg: the fault-tolerance
+# suite plus the process-level KB crash-recovery smoke test.
 #
 # The sanitizer build lands in build-<sanitizer>/ so it never invalidates
 # the primary build/ tree.
@@ -14,24 +19,33 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SANITIZE="${SMARTML_SANITIZE:-}"
-BUILD_DIR="build${SANITIZE:+-$SANITIZE}"
+BUILD_DIR="build${SANITIZE:+-$(echo "$SANITIZE" | tr ',' '-')}"
 
 cmake -B "$BUILD_DIR" -S . ${SANITIZE:+-DSMARTML_SANITIZE="$SANITIZE"}
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
-if [ "$SANITIZE" = "thread" ]; then
-  # Surface the concurrency suites explicitly; TSAN_OPTIONS makes any
-  # report fatal instead of a warning.
-  TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+# Make every sanitizer report fatal rather than a warning.
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}"
+export TSAN_OPTIONS UBSAN_OPTIONS
+
+case "$SANITIZE" in
+  *thread*)
+    # Surface the concurrency suites explicitly under the sanitizer.
     "$BUILD_DIR"/tests/kb_concurrency_test
-  TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
     "$BUILD_DIR"/tests/rest_concurrency_test
-  TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
     "$BUILD_DIR"/tests/obs_test
-else
-  # Observability smoke: a live server must serve /v1/metrics (valid
-  # Prometheus exposition, request counter advancing) and attach the span
-  # tree to a completed run.
-  python3 scripts/metrics_smoke.py "$BUILD_DIR"/examples/rest_server
-fi
+    ;;
+  *)
+    # Observability smoke: a live server must serve /v1/metrics (valid
+    # Prometheus exposition, request counter advancing) and attach the span
+    # tree to a completed run.
+    python3 scripts/metrics_smoke.py "$BUILD_DIR"/examples/rest_server
+    ;;
+esac
+
+# Fault-injection leg (both flavours): deterministic failure handling plus
+# the kill-mid-save KB recovery path driven through SMARTML_FAULT.
+"$BUILD_DIR"/tests/fault_tolerance_test
+scripts/kb_recovery_smoke.sh "$BUILD_DIR"

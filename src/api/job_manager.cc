@@ -28,6 +28,8 @@ const char* JobStateName(JobState state) {
       return "queued";
     case JobState::kRunning:
       return "running";
+    case JobState::kCancelling:
+      return "cancelling";
     case JobState::kDone:
       return "done";
     case JobState::kFailed:
@@ -49,6 +51,9 @@ JobManager::JobManager(SmartML* framework, JobManagerOptions options)
                                       "Experiments waiting for a worker.");
   metrics_.running = registry.GetGauge("smartml_jobs_running",
                                        "Experiments currently executing.");
+  metrics_.cancelling = registry.GetGauge(
+      "smartml_jobs_cancelling",
+      "Running experiments with a pending cancel request.");
   const std::string jobs_help = "Finished experiments by terminal state.";
   metrics_.done =
       registry.GetCounter("smartml_jobs_total", jobs_help, {{"state", "done"}});
@@ -56,6 +61,14 @@ JobManager::JobManager(SmartML* framework, JobManagerOptions options)
                                         {{"state", "failed"}});
   metrics_.cancelled = registry.GetCounter("smartml_jobs_total", jobs_help,
                                            {{"state", "cancelled"}});
+  metrics_.runs_cancelled = registry.GetCounter(
+      "smartml_runs_cancelled_total",
+      "Runs cancelled via DELETE /v1/runs/{id} (queued or running).");
+  metrics_.cancel_latency_seconds = registry.GetHistogram(
+      "smartml_cancel_latency_seconds",
+      "Seconds between a cancel request on a running job and the job "
+      "reaching its terminal state.",
+      LatencyBuckets());
   metrics_.queue_wait_seconds = registry.GetHistogram(
       "smartml_job_queue_wait_seconds",
       "Seconds a job waited in the queue before starting.", PhaseBuckets());
@@ -127,8 +140,8 @@ StatusOr<JobSnapshot> JobManager::Get(const std::string& id) const {
   return SnapshotLocked(*it->second);
 }
 
-Status JobManager::Cancel(const std::string& id) {
-  std::shared_ptr<Job> cancelled;
+StatusOr<JobSnapshot> JobManager::Cancel(const std::string& id) {
+  JobSnapshot snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = jobs_.find(id);
@@ -138,25 +151,35 @@ Status JobManager::Cancel(const std::string& id) {
     Job& job = *it->second;
     switch (job.state) {
       case JobState::kQueued:
+        // Never started: terminal immediately.
+        job.state = JobState::kCancelled;
+        job.finished = std::chrono::steady_clock::now();
+        queue_.erase(std::remove(queue_.begin(), queue_.end(), it->second),
+                     queue_.end());
+        metrics_.queued->Decrement();
+        metrics_.cancelled->Increment();
+        metrics_.runs_cancelled->Increment();
         break;
       case JobState::kRunning:
-        return Status::FailedPrecondition(
-            "job '" + id + "' is already running and cannot be cancelled");
+        // Cooperative: flip the token; the experiment thread finalizes the
+        // job as cancelled when it observes it.
+        job.cancel->Cancel();
+        job.cancel_requested = true;
+        job.cancel_requested_at = std::chrono::steady_clock::now();
+        job.state = JobState::kCancelling;
+        metrics_.cancelling->Increment();
+        break;
+      case JobState::kCancelling:
+        break;  // Idempotent repeat; report the current state.
       default:
         return Status::FailedPrecondition(
             "job '" + id + "' already finished (" +
             std::string(JobStateName(job.state)) + ")");
     }
-    job.state = JobState::kCancelled;
-    job.finished = std::chrono::steady_clock::now();
-    queue_.erase(std::remove(queue_.begin(), queue_.end(), it->second),
-                 queue_.end());
-    cancelled = it->second;
-    metrics_.queued->Decrement();
-    metrics_.cancelled->Increment();
+    snapshot = SnapshotLocked(job);
   }
   done_cv_.notify_all();
-  return Status::OK();
+  return snapshot;
 }
 
 StatusOr<JobSnapshot> JobManager::Wait(const std::string& id,
@@ -202,6 +225,8 @@ JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
   snapshot.total_seconds = job.total_seconds;
   snapshot.best_algorithm = job.best_algorithm;
   snapshot.best_validation_accuracy = job.best_validation_accuracy;
+  snapshot.degraded = job.degraded;
+  snapshot.failed_candidates = job.failed_candidates;
 
   const auto now = std::chrono::steady_clock::now();
   switch (job.state) {
@@ -209,11 +234,19 @@ JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
       snapshot.queue_seconds = SecondsBetween(job.submitted, now);
       break;
     case JobState::kRunning:
+    case JobState::kCancelling:
       snapshot.queue_seconds = SecondsBetween(job.submitted, job.started);
       snapshot.run_seconds = SecondsBetween(job.started, now);
       break;
     case JobState::kCancelled:
-      snapshot.queue_seconds = SecondsBetween(job.submitted, job.finished);
+      // A job cancelled while queued never started; one cancelled while
+      // running has real queue/run spans.
+      if (job.started == std::chrono::steady_clock::time_point()) {
+        snapshot.queue_seconds = SecondsBetween(job.submitted, job.finished);
+      } else {
+        snapshot.queue_seconds = SecondsBetween(job.submitted, job.started);
+        snapshot.run_seconds = SecondsBetween(job.started, job.finished);
+      }
       break;
     case JobState::kDone:
     case JobState::kFailed:
@@ -245,13 +278,30 @@ void JobManager::WorkerLoop() {
     SMARTML_LOG_INFO << "job " << job->id << ": starting experiment on '"
                      << job->dataset_name << "'";
     // The long part — no locks held. SmartML::Run with explicit options is
-    // safe to execute concurrently (the KB is internally synchronized).
-    auto result = framework_->Run(job->dataset, job->run_options);
+    // safe to execute concurrently (the KB is internally synchronized). The
+    // budget carries the job's cancel token so DELETE /v1/runs/{id} can
+    // interrupt the run cooperatively.
+    RunBudget budget;
+    budget.token = job->cancel;
+    auto result = framework_->Run(job->dataset, job->run_options, budget);
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job->finished = std::chrono::steady_clock::now();
-      if (result.ok()) {
+      if (job->state == JobState::kCancelling) {
+        metrics_.cancelling->Decrement();
+      }
+      if (job->cancel_requested) {
+        // The caller disowned this run; its outcome (even a completed
+        // result) is discarded and the job lands terminal "cancelled".
+        job->state = JobState::kCancelled;
+        job->error = result.ok() ? Status::Cancelled("run cancelled")
+                                 : result.status();
+        metrics_.cancelled->Increment();
+        metrics_.runs_cancelled->Increment();
+        metrics_.cancel_latency_seconds->Observe(
+            SecondsBetween(job->cancel_requested_at, job->finished));
+      } else if (result.ok()) {
         job->state = JobState::kDone;
         job->result_json = ResultToJson(*result);
         job->preprocessing_seconds = result->preprocessing_seconds;
@@ -261,17 +311,16 @@ void JobManager::WorkerLoop() {
         job->total_seconds = result->total_seconds;
         job->best_algorithm = result->best_algorithm;
         job->best_validation_accuracy = result->best_validation_accuracy;
-      } else {
-        job->state = JobState::kFailed;
-        job->error = result.status();
-      }
-      if (result.ok()) {
+        job->degraded = result->degraded;
+        job->failed_candidates = result->failed_candidates.size();
         metrics_.done->Increment();
         metrics_.phase_preprocessing->Observe(result->preprocessing_seconds);
         metrics_.phase_selection->Observe(result->selection_seconds);
         metrics_.phase_tuning->Observe(result->tuning_seconds);
         metrics_.phase_output->Observe(result->output_seconds);
       } else {
+        job->state = JobState::kFailed;
+        job->error = result.status();
         metrics_.failed->Increment();
       }
       --num_running_;
@@ -282,7 +331,7 @@ void JobManager::WorkerLoop() {
     }
     done_cv_.notify_all();
     SMARTML_LOG_INFO << "job " << job->id << ": "
-                     << (result.ok() ? "done" : result.status().ToString());
+                     << JobStateName(job->state);
   }
 }
 

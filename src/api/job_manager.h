@@ -10,7 +10,14 @@
 // serialized outcome is retained for polling via GET /v1/runs/{id}.
 //
 // Lifecycle:  queued -> running -> done | failed
-//             queued -> cancelled        (DELETE /v1/runs/{id})
+//             queued -> cancelled                  (DELETE while queued)
+//             running -> cancelling -> cancelled   (DELETE while running)
+//
+// Cancelling a *running* job is cooperative: DELETE flips the job's
+// CancelToken and reports state "cancelling"; the experiment thread polls
+// the token (between phases, between tuner fold evaluations, and inside
+// training loops) and the job reaches the terminal "cancelled" state within
+// a bounded latency, observed into smartml_cancel_latency_seconds.
 //
 // Load shedding: Submit() fails with ResourceExhausted once the number of
 // not-yet-finished jobs reaches `max_pending_jobs`; the REST layer maps
@@ -27,13 +34,21 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/status.h"
 #include "src/core/smartml.h"
 #include "src/obs/metrics.h"
 
 namespace smartml {
 
-enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+enum class JobState {
+  kQueued,
+  kRunning,
+  kCancelling,  ///< Cancel requested on a running job; not yet terminal.
+  kDone,
+  kFailed,
+  kCancelled
+};
 
 /// Stable lower-case name ("queued", "running", ...).
 const char* JobStateName(JobState state);
@@ -71,6 +86,11 @@ struct JobSnapshot {
   double run_seconds = 0.0;
   std::string best_algorithm;
   double best_validation_accuracy = 0.0;
+  /// Copied from SmartMlResult: the run completed on a reduced path (failed
+  /// candidates or KB-lookup fallback). Done jobs only.
+  bool degraded = false;
+  /// Candidates that failed to tune (done jobs only).
+  size_t failed_candidates = 0;
 };
 
 class JobManager {
@@ -93,9 +113,13 @@ class JobManager {
   /// Point-in-time view of a job; NotFound for unknown ids.
   StatusOr<JobSnapshot> Get(const std::string& id) const;
 
-  /// Cancels a queued job. FailedPrecondition when the job already started
-  /// (running experiments are not interrupted); NotFound for unknown ids.
-  Status Cancel(const std::string& id);
+  /// Cancels a job. A queued job is removed immediately (snapshot state
+  /// "cancelled"); a running job has its CancelToken flipped and moves to
+  /// "cancelling" until the experiment thread observes the token (repeat
+  /// calls are idempotent and return the current snapshot).
+  /// FailedPrecondition when the job is already terminal; NotFound for
+  /// unknown ids.
+  StatusOr<JobSnapshot> Cancel(const std::string& id);
 
   /// Blocks until the job reaches a terminal state (done/failed/cancelled)
   /// or `timeout_seconds` elapses; returns the final snapshot or
@@ -127,6 +151,12 @@ class JobManager {
     std::chrono::steady_clock::time_point finished;
     std::string best_algorithm;
     double best_validation_accuracy = 0.0;
+    bool degraded = false;
+    size_t failed_candidates = 0;
+    /// Shared with the experiment thread through the RunBudget.
+    std::shared_ptr<CancelToken> cancel = std::make_shared<CancelToken>();
+    bool cancel_requested = false;
+    std::chrono::steady_clock::time_point cancel_requested_at;
   };
 
   void WorkerLoop();
@@ -140,9 +170,12 @@ class JobManager {
   struct Metrics {
     Gauge* queued = nullptr;
     Gauge* running = nullptr;
+    Gauge* cancelling = nullptr;
     Counter* done = nullptr;
     Counter* failed = nullptr;
     Counter* cancelled = nullptr;
+    Counter* runs_cancelled = nullptr;
+    Histogram* cancel_latency_seconds = nullptr;
     Histogram* queue_wait_seconds = nullptr;
     Histogram* phase_preprocessing = nullptr;
     Histogram* phase_selection = nullptr;

@@ -276,6 +276,19 @@ std::string ResultToJson(const SmartMlResult& result) {
     w.EndObject();
   }
   w.EndArray();
+  w.Key("degraded");
+  w.Bool(result.degraded);
+  w.Key("failed_candidates");
+  w.BeginArray();
+  for (const auto& failure : result.failed_candidates) {
+    w.BeginObject();
+    w.Key("algorithm");
+    w.String(failure.algorithm);
+    w.Key("error");
+    w.String(failure.error);
+    w.EndObject();
+  }
+  w.EndArray();
   w.Key("best_algorithm");
   w.String(result.best_algorithm);
   w.Key("best_config");

@@ -80,6 +80,7 @@ int HttpStatusFor(const Status& status) {
     case StatusCode::kNotFound:
       return 404;
     case StatusCode::kFailedPrecondition:
+    case StatusCode::kCancelled:
       return 409;
     case StatusCode::kResourceExhausted:
       return 429;
@@ -102,6 +103,9 @@ SmartMlOptions OptionsFromQuery(const SmartMlOptions& base,
   }
   if (const std::string* v = get("evals")) {
     options.max_evaluations = std::atoi(v->c_str());
+  }
+  if (const std::string* v = get("deadline")) {
+    options.run_deadline_seconds = std::atof(v->c_str());
   }
   if (const std::string* v = get("selection_only")) {
     options.selection_only = *v == "1" || *v == "true";
@@ -283,10 +287,25 @@ HttpResponse RestService::RouteV1(const HttpRequest& request) {
 }
 
 HttpResponse RestService::HandleHealth() {
+  // Degraded = the process has run on a reduced path: the KB needed crash
+  // recovery at load, or candidate algorithms have been failing.
+  const bool degraded =
+      metrics_
+              ->GetCounter("smartml_kb_recoveries_total",
+                           "Knowledge-base loads that required salvage or "
+                           ".bak fallback.")
+              ->Value() > 0 ||
+      metrics_
+              ->GetCounter("smartml_candidates_failed_total",
+                           "Nominated algorithms whose tuning failed; the "
+                           "run degrades to the surviving candidates.")
+              ->Value() > 0;
   JsonWriter w;
   w.BeginObject();
   w.Key("status");
-  w.String("ok");
+  w.String(degraded ? "degraded" : "ok");
+  w.Key("degraded");
+  w.Bool(degraded);
   w.Key("api_version");
   w.String("v1");
   w.Key("kb_records");
@@ -328,6 +347,19 @@ HttpResponse RestService::HandleHealth() {
             ->GetCounter("smartml_jobs_total",
                          "Finished experiments by terminal state.",
                          {{"state", "failed"}})
+            ->Value()));
+    w.Key("cancelling");
+    w.Int(static_cast<int64_t>(
+        metrics_
+            ->GetGauge("smartml_jobs_cancelling",
+                       "Running experiments with a pending cancel request.")
+            ->Value()));
+    w.Key("cancelled");
+    w.Int(static_cast<int64_t>(
+        metrics_
+            ->GetCounter("smartml_runs_cancelled_total",
+                         "Runs cancelled via DELETE /v1/runs/{id} (queued "
+                         "or running).")
             ->Value()));
     w.EndObject();
   }
@@ -554,6 +586,10 @@ HttpResponse RestService::HandleGetRun(const std::string& id) {
     w.String(snapshot->best_algorithm);
     w.Key("best_validation_accuracy");
     w.Number(snapshot->best_validation_accuracy);
+    w.Key("degraded");
+    w.Bool(snapshot->degraded);
+    w.Key("failed_candidates");
+    w.Int(static_cast<int64_t>(snapshot->failed_candidates));
     w.Key("phase_seconds");
     w.BeginObject();
     w.Key("preprocessing");
@@ -569,7 +605,9 @@ HttpResponse RestService::HandleGetRun(const std::string& id) {
     w.EndObject();
     w.Key("result");
     w.Raw(snapshot->result_json);
-  } else if (snapshot->state == JobState::kFailed) {
+  } else if (snapshot->state == JobState::kFailed ||
+             (snapshot->state == JobState::kCancelled &&
+              !snapshot->error.ok())) {
     w.Key("error");
     w.BeginObject();
     w.Key("code");
@@ -589,18 +627,22 @@ HttpResponse RestService::HandleCancelRun(const std::string& id) {
     return ErrorResponse(503, "unavailable",
                          "async runs are disabled (no job manager)");
   }
-  const Status status = jobs_->Cancel(id);
-  if (!status.ok()) {
-    return ErrorResponseFromStatus(status);
+  auto snapshot = jobs_->Cancel(id);
+  if (!snapshot.ok()) {
+    return ErrorResponseFromStatus(snapshot.status());
   }
+  // Queued jobs cancel synchronously (200, terminal "cancelled"); running
+  // jobs cancel cooperatively (202, "cancelling" until the experiment
+  // thread observes the token). Repeating the DELETE is idempotent.
   JsonWriter w;
   w.BeginObject();
   w.Key("id");
   w.String(id);
   w.Key("state");
-  w.String("cancelled");
+  w.String(JobStateName(snapshot->state));
   w.EndObject();
   HttpResponse response;
+  response.status = snapshot->state == JobState::kCancelling ? 202 : 200;
   response.body = std::move(w).Take();
   return response;
 }

@@ -1,0 +1,33 @@
+#include "src/common/cancellation.h"
+
+namespace smartml {
+
+namespace {
+/// The innermost ScopedCancelScope token of this thread (null outside any
+/// scope). Thread-local so concurrent JobManager workers never interfere.
+thread_local const CancelToken* current_token = nullptr;
+}  // namespace
+
+Status RunBudget::Check(const char* what) const {
+  if (Cancelled()) {
+    return Status::Cancelled(std::string(what) + ": run cancelled");
+  }
+  if (DeadlineExpired()) {
+    return Status::DeadlineExceeded(std::string(what) +
+                                    ": run budget exhausted");
+  }
+  return Status::OK();
+}
+
+ScopedCancelScope::ScopedCancelScope(const CancelToken* token)
+    : previous_(current_token) {
+  current_token = token;
+}
+
+ScopedCancelScope::~ScopedCancelScope() { current_token = previous_; }
+
+bool CancellationRequested() {
+  return current_token != nullptr && current_token->IsCancelled();
+}
+
+}  // namespace smartml

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, the zlib/gzip polynomial) over byte strings.
+//
+// Used by the knowledge-base persistence layer: SaveToFile appends a
+// trailing "crc32 <8 hex digits>" line so LoadFromFile can tell a complete
+// cache apart from one torn by a crash mid-write.
+#ifndef SMARTML_COMMON_CRC32_H_
+#define SMARTML_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace smartml {
+
+/// CRC-32 of `data` (initial value 0, i.e. the common crc32(0, ...) form).
+uint32_t Crc32(std::string_view data);
+
+}  // namespace smartml
+
+#endif  // SMARTML_COMMON_CRC32_H_

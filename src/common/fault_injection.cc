@@ -1,0 +1,152 @@
+#include "src/common/fault_injection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/cancellation.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace smartml {
+
+struct FaultInjection::Impl {
+  struct Fault {
+    double probability = 1.0;
+    double delay_seconds = 0.0;
+    int64_t fires_remaining = -1;  ///< -1 = unlimited; N from "name:<N>x".
+    Rng rng{0x5EEDFA17u};  // Fixed seed: firing sequences are reproducible.
+  };
+
+  std::atomic<bool> any_armed{false};
+  mutable std::mutex mutex;
+  std::map<std::string, Fault> faults;
+};
+
+namespace {
+
+// "50ms" / "1.5s" -> seconds; returns false when `arg` is not a duration.
+bool ParseDuration(std::string_view arg, double* seconds) {
+  double scale = 0.0;
+  if (arg.size() > 2 && arg.substr(arg.size() - 2) == "ms") {
+    scale = 1e-3;
+    arg.remove_suffix(2);
+  } else if (arg.size() > 1 && arg.back() == 's') {
+    scale = 1.0;
+    arg.remove_suffix(1);
+  } else {
+    return false;
+  }
+  double value = 0.0;
+  if (!ParseDouble(arg, &value) || value < 0.0) return false;
+  *seconds = value * scale;
+  return true;
+}
+
+}  // namespace
+
+FaultInjection::FaultInjection() : impl_(new Impl()) {
+  const char* env = std::getenv("SMARTML_FAULT");
+  if (env != nullptr && *env != '\0') (void)SetSpec(env);
+}
+
+FaultInjection& FaultInjection::Instance() {
+  static FaultInjection* const instance = new FaultInjection();
+  return *instance;
+}
+
+Status FaultInjection::SetSpec(const std::string& spec) {
+  std::map<std::string, Impl::Fault> parsed;
+  for (const std::string& entry : Split(spec, ',')) {
+    const std::string_view sv = StripAsciiWhitespace(entry);
+    if (sv.empty()) continue;
+    Impl::Fault fault;
+    std::string name;
+    const size_t colon = sv.find(':');
+    if (colon == std::string_view::npos) {
+      name = std::string(sv);
+    } else {
+      name = std::string(sv.substr(0, colon));
+      const std::string_view arg = sv.substr(colon + 1);
+      double probability = 0.0;
+      double count = 0.0;
+      if (ParseDuration(arg, &fault.delay_seconds)) {
+        // Delay-only entry; always fires.
+      } else if (arg.size() > 1 && arg.back() == 'x' &&
+                 ParseDouble(arg.substr(0, arg.size() - 1), &count) &&
+                 count >= 0.0 && count == static_cast<int64_t>(count)) {
+        // Count-limited entry: fire on exactly the first N calls, then stop
+        // (deterministic "fail one candidate, spare the rest").
+        fault.fires_remaining = static_cast<int64_t>(count);
+      } else if (ParseDouble(arg, &probability) && probability >= 0.0 &&
+                 probability <= 1.0) {
+        fault.probability = probability;
+      } else {
+        return Status::InvalidArgument(
+            "SMARTML_FAULT: bad argument in entry '" + entry +
+            "' (want a probability in [0,1], a count like 1x, or a duration "
+            "like 50ms)");
+      }
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("SMARTML_FAULT: empty fault name in '" +
+                                     entry + "'");
+    }
+    parsed.emplace(std::move(name), fault);
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->faults = std::move(parsed);
+  impl_->any_armed.store(!impl_->faults.empty(), std::memory_order_release);
+  return Status::OK();
+}
+
+bool FaultInjection::AnyArmed() const {
+  return impl_->any_armed.load(std::memory_order_acquire);
+}
+
+bool FaultInjection::ShouldFire(const char* point) {
+  if (!AnyArmed()) return false;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->faults.find(point);
+  if (it == impl_->faults.end()) return false;
+  Impl::Fault& fault = it->second;
+  if (fault.fires_remaining == 0) return false;
+  const bool fire = fault.probability >= 1.0 ||
+                    fault.rng.Uniform() < fault.probability;
+  if (fire && fault.fires_remaining > 0) --fault.fires_remaining;
+  return fire;
+}
+
+double FaultInjection::DelaySeconds(const char* point) const {
+  if (!AnyArmed()) return 0.0;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->faults.find(point);
+  return it == impl_->faults.end() ? 0.0 : it->second.delay_seconds;
+}
+
+void FaultInjection::MaybeDelay(const char* point) {
+  const double seconds = DelaySeconds(point);
+  if (seconds <= 0.0) return;
+  // Chunked sleep: honour cancellation within ~10ms even for long delays.
+  Deadline until = Deadline::After(seconds);
+  while (!until.Expired() && !CancellationRequested()) {
+    const double chunk = std::min(0.01, until.Remaining());
+    if (chunk <= 0.0) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(chunk));
+  }
+}
+
+bool FaultShouldFire(const char* point) {
+  return FaultInjection::Instance().ShouldFire(point);
+}
+
+void FaultMaybeDelay(const char* point) {
+  FaultInjection::Instance().MaybeDelay(point);
+}
+
+}  // namespace smartml

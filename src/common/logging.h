@@ -15,7 +15,7 @@
 
 namespace smartml {
 
-enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+enum class LogLevel { kQuiet = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
 /// Process-wide log level (atomic; safe to read/write from any thread).
 LogLevel GetLogLevel();
@@ -44,6 +44,9 @@ class LogMessage {
 
 }  // namespace internal
 
+#define SMARTML_LOG_WARN                                              \
+  ::smartml::internal::LogMessage(::smartml::LogLevel::kWarn, "warn") \
+      .stream()
 #define SMARTML_LOG_INFO                                              \
   ::smartml::internal::LogMessage(::smartml::LogLevel::kInfo, "info") \
       .stream()

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
@@ -46,6 +48,8 @@ const char* StatusCodeSlug(StatusCode code) {
       return "unimplemented";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kUnimplemented,
   kResourceExhausted,
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -66,6 +67,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/common/strings.h"
@@ -21,6 +23,8 @@ namespace {
 struct PipelineMetrics {
   Counter* runs_ok;
   Counter* runs_failed;
+  Counter* runs_cancelled;
+  Counter* candidates_failed;
   Histogram* preprocess_seconds;
   Histogram* selection_seconds;
   Histogram* tuning_seconds;
@@ -42,6 +46,13 @@ struct PipelineMetrics {
       m->runs_failed = registry.GetCounter(
           "smartml_runs_total", "Completed SmartML pipeline runs by outcome.",
           {{"outcome", "error"}});
+      m->runs_cancelled = registry.GetCounter(
+          "smartml_runs_total", "Completed SmartML pipeline runs by outcome.",
+          {{"outcome", "cancelled"}});
+      m->candidates_failed = registry.GetCounter(
+          "smartml_candidates_failed_total",
+          "Nominated algorithms whose tuning failed; the run degrades to "
+          "the surviving candidates.");
       m->preprocess_seconds = phase("preprocessing");
       m->selection_seconds = phase("selection");
       m->tuning_seconds = phase("tuning");
@@ -77,11 +88,14 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
     const SmartMlOptions& options, const std::string& algorithm,
     const Dataset& train, const Dataset& validation, double budget_seconds,
     int max_evaluations, const std::vector<ParamConfig>& warm_starts,
-    uint64_t seed, Tracer* tracer) const {
+    uint64_t seed, const RunBudget& budget, Tracer* tracer) const {
   Stopwatch watch;
   AlgorithmRunResult run;
   run.algorithm = algorithm;
 
+  if (FaultShouldFire("tuner_throw")) {
+    throw std::runtime_error("fault injection: tuner_throw on " + algorithm);
+  }
   SMARTML_ASSIGN_OR_RETURN(std::unique_ptr<Classifier> prototype,
                            CreateClassifier(algorithm));
   SMARTML_ASSIGN_OR_RETURN(ParamSpace space, SpaceFor(algorithm));
@@ -91,7 +105,11 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
                                   options.metric));
 
   SmacOptions smac_options;
-  smac_options.deadline = Deadline::After(budget_seconds);
+  // The candidate's share of the tuning budget, capped by what remains of
+  // the whole-run deadline.
+  smac_options.deadline = Deadline::After(std::max(
+      0.0, std::min(budget_seconds, budget.deadline.Remaining())));
+  smac_options.cancel = budget.token;
   smac_options.max_evaluations =
       max_evaluations > 0 ? max_evaluations : 1000000;
   smac_options.seed = seed;
@@ -130,17 +148,40 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset) {
 
 StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
                                      const SmartMlOptions& options) {
+  return Run(dataset, options, RunBudget::Unbounded());
+}
+
+StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
+                                     const SmartMlOptions& options,
+                                     const RunBudget& budget) {
+  RunBudget effective = budget;
+  // An options-level whole-run cap tightens (never loosens) the caller's.
+  if (options.run_deadline_seconds > 0.0 &&
+      options.run_deadline_seconds < effective.deadline.Remaining()) {
+    effective.deadline = Deadline::After(options.run_deadline_seconds);
+  }
+  // Make cancellation visible to the deep training loops (which cannot take
+  // a budget parameter) for the duration of this run.
+  ScopedCancelScope cancel_scope(effective.token.get());
   Tracer tracer;
-  auto result = RunTraced(dataset, options, &tracer);
+  auto result = RunTraced(dataset, options, effective, &tracer);
   const PipelineMetrics& metrics = PipelineMetrics::Get();
-  (result.ok() ? metrics.runs_ok : metrics.runs_failed)->Increment();
+  if (result.ok()) {
+    metrics.runs_ok->Increment();
+  } else if (result.status().code() == StatusCode::kCancelled) {
+    metrics.runs_cancelled->Increment();
+  } else {
+    metrics.runs_failed->Increment();
+  }
   return result;
 }
 
 StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
                                            const SmartMlOptions& options,
+                                           const RunBudget& budget,
                                            Tracer* tracer) {
   Stopwatch total_watch;
+  SMARTML_RETURN_NOT_OK(budget.Check("input"));
   SMARTML_RETURN_NOT_OK(dataset.Validate());
   if (dataset.NumRows() < 10) {
     return Status::InvalidArgument("SmartML: need at least 10 rows");
@@ -220,22 +261,35 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
       result.preprocessing_seconds);
   phase_watch.Restart();
 
+  SMARTML_RETURN_NOT_OK(budget.Check("selection"));
+
   // -------------------------------------------------------------------
-  // Phase 3: algorithm selection via the knowledge base.
+  // Phase 3: algorithm selection via the knowledge base. A lookup failure
+  // is a degradation, not a run failure: selection falls back to the
+  // cold-start roster (the no-meta-learning path).
   // -------------------------------------------------------------------
   Span select_span(tracer, "select");
-  if (result.has_landmarks) {
+  try {
+    if (FaultShouldFire("kb_lookup_throw")) {
+      throw std::runtime_error("fault injection: kb_lookup_throw");
+    }
     NominationOptions nomination = options.nomination;
     nomination.max_algorithms = options.max_nominations;
     nomination.max_neighbors = options.kb_neighbors;
-    if (nomination.landmark_weight <= 0.0) nomination.landmark_weight = 2.0;
-    result.nominations =
-        kb_.Nominate(result.meta_features, result.landmarks, nomination);
-  } else {
-    NominationOptions nomination = options.nomination;
-    nomination.max_algorithms = options.max_nominations;
-    nomination.max_neighbors = options.kb_neighbors;
-    result.nominations = kb_.Nominate(result.meta_features, nomination);
+    if (result.has_landmarks) {
+      if (nomination.landmark_weight <= 0.0) nomination.landmark_weight = 2.0;
+      result.nominations =
+          kb_.Nominate(result.meta_features, result.landmarks, nomination);
+    } else {
+      result.nominations = kb_.Nominate(result.meta_features, nomination);
+    }
+  } catch (const std::exception& e) {
+    SMARTML_LOG_WARN << "KB lookup failed (" << e.what()
+                     << "); degrading to the cold-start roster";
+    Span failure_span(tracer, std::string("select/kb_failed: ") + e.what());
+    failure_span.End();
+    result.nominations.clear();
+    result.degraded = true;
   }
   result.used_meta_learning = !result.nominations.empty();
   std::vector<std::string> algorithms;
@@ -285,34 +339,82 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
   std::vector<size_t> param_counts;
   size_t param_total = 0;
   for (const std::string& name : algorithms) {
-    SMARTML_ASSIGN_OR_RETURN(ParamSpace space, SpaceFor(name));
-    param_counts.push_back(std::max<size_t>(space.NumParams(), 1));
+    // An unknown algorithm must not sink the whole run here: give it a
+    // nominal share and let TuneAlgorithm fail it as one isolated candidate.
+    auto space = SpaceFor(name);
+    param_counts.push_back(
+        space.ok() ? std::max<size_t>(space->NumParams(), 1) : 1);
     param_total += param_counts.back();
   }
 
   uint64_t seed = options.seed * 2654435761ULL + 17;
   Span tune_span(tracer, "tune");
+  Status first_failure = Status::OK();
   for (size_t i = 0; i < algorithms.size(); ++i) {
+    if (budget.Cancelled()) {
+      return Status::Cancelled("SmartML: run cancelled during tuning");
+    }
+    if (budget.DeadlineExpired()) {
+      // Graceful: stop starting candidates, keep what was tuned so far.
+      SMARTML_LOG_WARN << "run budget exhausted after " << i << " of "
+                       << algorithms.size() << " candidates";
+      break;
+    }
     const double share =
         static_cast<double>(param_counts[i]) /
         static_cast<double>(std::max<size_t>(param_total, 1));
-    const double budget = options.time_budget_seconds * share;
+    const double time_share = options.time_budget_seconds * share;
     const int eval_budget =
         options.max_evaluations > 0
             ? std::max(1, static_cast<int>(std::lround(
                               options.max_evaluations * share)))
             : 0;
     SMARTML_LOG_INFO << "phase: tuning " << algorithms[i] << " (budget "
-                     << budget << "s, " << warm_starts[i].size()
+                     << time_share << "s, " << warm_starts[i].size()
                      << " warm starts)";
     Span algorithm_span(tracer, "tune/" + algorithms[i]);
-    SMARTML_ASSIGN_OR_RETURN(
-        AlgorithmRunResult run,
-        TuneAlgorithm(options, algorithms[i], train, validation, budget,
-                      eval_budget, warm_starts[i], seed + i * 7919, tracer));
-    result.per_algorithm.push_back(std::move(run));
+    // Per-candidate failure isolation: an exception or error status marks
+    // this candidate failed and the run degrades to the remaining ones.
+    StatusOr<AlgorithmRunResult> run = [&]() -> StatusOr<AlgorithmRunResult> {
+      try {
+        return TuneAlgorithm(options, algorithms[i], train, validation,
+                             time_share, eval_budget, warm_starts[i],
+                             seed + i * 7919, budget, tracer);
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("candidate threw: ") + e.what());
+      }
+    }();
+    if (!run.ok()) {
+      if (run.status().code() == StatusCode::kCancelled) return run.status();
+      SMARTML_LOG_WARN << "candidate " << algorithms[i]
+                       << " failed: " << run.status().ToString();
+      Span failure_span(
+          tracer, "tune/" + algorithms[i] +
+                      "/failed: " + run.status().ToString());
+      failure_span.End();
+      PipelineMetrics::Get().candidates_failed->Increment();
+      result.failed_candidates.push_back(
+          {algorithms[i], run.status().ToString()});
+      result.degraded = true;
+      if (first_failure.ok()) first_failure = run.status();
+      continue;
+    }
+    result.per_algorithm.push_back(std::move(*run));
   }
   tune_span.End();
+
+  if (result.per_algorithm.empty()) {
+    if (!first_failure.ok()) {
+      return Status::Internal(StrFormat(
+          "SmartML: all %zu candidate algorithms failed; first error: %s",
+          result.failed_candidates.size(),
+          first_failure.ToString().c_str()));
+    }
+    // Deadline expired before any candidate could be tuned: there is no
+    // best-so-far to return.
+    return Status::DeadlineExceeded(
+        "SmartML: run budget exhausted before any candidate was tuned");
+  }
 
   result.tuning_seconds = phase_watch.ElapsedSeconds();
   PipelineMetrics::Get().tuning_seconds->Observe(result.tuning_seconds);
@@ -341,8 +443,11 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
     result.best_model = std::move(model);
   }
 
-  // Optional weighted ensemble of the top performers.
-  if (options.enable_ensembling && result.per_algorithm.size() >= 2) {
+  // Optional weighted ensemble of the top performers. Skipped once the
+  // budget is exhausted (the winner is the best-so-far contract; the
+  // ensemble is optional extra work).
+  if (options.enable_ensembling && result.per_algorithm.size() >= 2 &&
+      !budget.Stop()) {
     Span span(tracer, "ensemble");
     // Candidate pool: the top `ensemble_size` tuned models, refitted.
     std::vector<std::unique_ptr<Classifier>> pool;
@@ -455,7 +560,8 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
   }
 
   // Optional interpretability (permutation importance on validation data).
-  if (options.enable_interpretability && result.best_model != nullptr) {
+  if (options.enable_interpretability && result.best_model != nullptr &&
+      !budget.Stop()) {
     Span span(tracer, "interpret");
     auto importances = PermutationImportance(*result.best_model, validation,
                                              /*repeats=*/2, options.seed);
@@ -540,6 +646,12 @@ std::string SmartMlResult::Report() const {
     out << "best configuration: " << best_config.ToString() << "\n";
     out << StrFormat("best validation accuracy: %.4f\n",
                      best_validation_accuracy);
+  }
+  if (!failed_candidates.empty()) {
+    out << "failed candidates (run degraded):\n";
+    for (const auto& failure : failed_candidates) {
+      out << "  - " << failure.algorithm << ": " << failure.error << "\n";
+    }
   }
   if (ensemble != nullptr) {
     out << StrFormat(

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/status.h"
 #include "src/core/ensemble.h"
 #include "src/data/dataset.h"
@@ -57,6 +58,11 @@ struct SmartMlOptions {
   /// Optional deterministic cap on fold-evaluations (0 = derive from time
   /// budget only). Also divided among algorithms.
   int max_evaluations = 0;
+  /// Whole-run wall-clock cap covering every phase (0 = unbounded). Unlike
+  /// `time_budget_seconds` (a tuning-phase allocation), expiry of this
+  /// deadline stops the run from starting new work and returns the
+  /// best-so-far result.
+  double run_deadline_seconds = 0.0;
   /// How many algorithms the selection phase nominates.
   size_t max_nominations = 3;
   /// Nearest neighbours consulted in the KB.
@@ -100,6 +106,13 @@ struct AlgorithmRunResult {
   std::vector<double> trajectory;    ///< Incumbent error per evaluation.
 };
 
+/// One nominated algorithm that could not be tuned. The run degrades to the
+/// surviving candidates instead of failing (unless every candidate fails).
+struct CandidateFailure {
+  std::string algorithm;
+  std::string error;  ///< Human-readable status, e.g. "Internal: ...".
+};
+
 /// Full outcome of a SmartML run (the Figure 3 output screen).
 struct SmartMlResult {
   std::string dataset_name;
@@ -116,6 +129,15 @@ struct SmartMlResult {
   ParamConfig best_config;
   double best_validation_accuracy = 0.0;
   std::vector<AlgorithmRunResult> per_algorithm;
+
+  /// True when the run completed on a reduced path: one or more candidates
+  /// failed, or the KB lookup failed and selection fell back to the
+  /// cold-start roster. Pure budget exhaustion does NOT set this — a
+  /// best-so-far result inside the budget contract is not degraded.
+  bool degraded = false;
+  /// Candidates that failed to tune (exception, error status, or a
+  /// per-candidate budget that expired before a single evaluation).
+  std::vector<CandidateFailure> failed_candidates;
 
   /// Trained winner (on the training partition). Null in selection-only
   /// mode.
@@ -166,6 +188,16 @@ class SmartML {
   StatusOr<SmartMlResult> Run(const Dataset& dataset,
                               const SmartMlOptions& options);
 
+  /// Runs the full pipeline under an explicit budget (cancellation token +
+  /// whole-run deadline). The JobManager uses this so DELETE /v1/runs/{id}
+  /// can cancel a *running* job: the token is polled between phases, between
+  /// tuner fold evaluations, and inside iterative training loops, and
+  /// cancellation surfaces as StatusCode::kCancelled. Deadline expiry
+  /// instead returns the best result found so far.
+  StatusOr<SmartMlResult> Run(const Dataset& dataset,
+                              const SmartMlOptions& options,
+                              const RunBudget& budget);
+
   /// Algorithm selection only, from a meta-feature vector (paper: "it is
   /// possible to upload only the dataset meta-features file").
   std::vector<Nomination> SelectAlgorithms(const MetaFeatureVector& mf) const;
@@ -180,13 +212,13 @@ class SmartML {
  private:
   StatusOr<SmartMlResult> RunTraced(const Dataset& dataset,
                                     const SmartMlOptions& options,
-                                    Tracer* tracer);
+                                    const RunBudget& budget, Tracer* tracer);
 
   StatusOr<AlgorithmRunResult> TuneAlgorithm(
       const SmartMlOptions& options, const std::string& algorithm,
       const Dataset& train, const Dataset& validation, double budget_seconds,
       int max_evaluations, const std::vector<ParamConfig>& warm_starts,
-      uint64_t seed, Tracer* tracer) const;
+      uint64_t seed, const RunBudget& budget, Tracer* tracer) const;
 
   SmartMlOptions options_;
   KnowledgeBase kb_;

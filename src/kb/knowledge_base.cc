@@ -1,12 +1,20 @@
 #include "src/kb/knowledge_base.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
 
+#include "src/common/crc32.h"
+#include "src/common/fault_injection.h"
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/obs/metrics.h"
 
@@ -14,6 +22,7 @@ namespace smartml {
 
 namespace {
 constexpr char kHeader[] = "smartml-kb v1";
+constexpr char kCrcPrefix[] = "crc32 ";
 
 // Resolved once against the global registry; every member is a stable
 // pointer whose updates are pure atomics (safe under the KB's shared lock).
@@ -23,6 +32,7 @@ struct KbMetrics {
   Counter* warm_start_hits = nullptr;
   Counter* warm_start_misses = nullptr;
   Counter* updates = nullptr;
+  Counter* recoveries = nullptr;
 
   static const KbMetrics& Get() {
     static const KbMetrics metrics = [] {
@@ -45,6 +55,9 @@ struct KbMetrics {
       m.updates = registry.GetCounter(
           "smartml_kb_updates_total",
           "Knowledge-base record inserts and merges.");
+      m.recoveries = registry.GetCounter(
+          "smartml_kb_recoveries_total",
+          "Knowledge-base loads that required salvage or .bak fallback.");
       return m;
     }();
     return metrics;
@@ -263,8 +276,14 @@ std::vector<Nomination> KnowledgeBase::NominateImpl(
 }
 
 std::string KnowledgeBase::Serialize() const {
-  std::shared_lock lock(mutex_);
-  return SerializeLocked();
+  std::string body;
+  {
+    std::shared_lock lock(mutex_);
+    body = SerializeLocked();
+  }
+  // Checksum outside the lock: it is O(body) work that needs no KB state.
+  body += StrFormat("%s%08x\n", kCrcPrefix, Crc32(body));
+  return body;
 }
 
 std::string KnowledgeBase::SerializeLocked() const {
@@ -286,8 +305,47 @@ std::string KnowledgeBase::SerializeLocked() const {
   return out.str();
 }
 
-StatusOr<KnowledgeBase> KnowledgeBase::Deserialize(const std::string& text) {
-  std::istringstream in(text);
+namespace {
+
+/// Splits off a trailing "crc32 <hex>" line. Returns the body (everything
+/// before the crc line; the whole text when no crc line exists) and whether
+/// the checksum, if present, matches.
+struct CrcSplit {
+  std::string_view body;
+  bool has_crc = false;
+  bool crc_ok = true;
+};
+
+CrcSplit SplitTrailingCrc(const std::string& text) {
+  CrcSplit out;
+  out.body = text;
+  // Locate the start of the last non-empty line.
+  size_t end = text.find_last_not_of("\r\n \t");
+  if (end == std::string::npos) return out;
+  size_t line_start = text.rfind('\n', end);
+  line_start = line_start == std::string::npos ? 0 : line_start + 1;
+  const std::string_view last =
+      StripAsciiWhitespace(std::string_view(text).substr(line_start));
+  if (last.rfind(kCrcPrefix, 0) != 0) return out;
+  out.has_crc = true;
+  out.body = std::string_view(text).substr(0, line_start);
+  uint32_t stored = 0;
+  const std::string hex(StripAsciiWhitespace(last.substr(6)));
+  char* parse_end = nullptr;
+  stored = static_cast<uint32_t>(std::strtoul(hex.c_str(), &parse_end, 16));
+  out.crc_ok = parse_end != nullptr && *parse_end == '\0' && !hex.empty() &&
+               stored == Crc32(out.body);
+  return out;
+}
+
+/// Line-oriented KB parser shared by the strict and salvage paths. In
+/// lenient mode a torn/corrupt line ends parsing (keeping every record that
+/// reached its "end" marker) instead of failing; `*skipped_lines` counts
+/// the input lines dropped that way.
+StatusOr<KnowledgeBase> ParseKbBody(std::string_view body, bool lenient,
+                                    size_t* skipped_lines) {
+  if (skipped_lines != nullptr) *skipped_lines = 0;
+  std::istringstream in{std::string(body)};
   std::string line;
   if (!std::getline(in, line) ||
       std::string(StripAsciiWhitespace(line)) != kHeader) {
@@ -296,33 +354,68 @@ StatusOr<KnowledgeBase> KnowledgeBase::Deserialize(const std::string& text) {
   KnowledgeBase kb;
   KbRecord current;
   bool in_record = false;
+  size_t lines_in_open_record = 0;
+  auto fail = [&](Status status) -> Status {
+    if (!lenient) return status;
+    // Count the bad line plus everything buffered in the open record.
+    size_t dropped = 1 + lines_in_open_record;
+    while (std::getline(in, line)) ++dropped;
+    if (skipped_lines != nullptr) *skipped_lines = dropped;
+    in_record = false;  // The open record is part of the dropped tail.
+    return Status::OK();
+  };
   while (std::getline(in, line)) {
     const std::string_view sv = StripAsciiWhitespace(line);
     if (sv.empty()) continue;
     if (sv.rfind("record ", 0) == 0) {
-      if (in_record) return Status::InvalidArgument("KB: nested record");
+      if (in_record) {
+        SMARTML_RETURN_NOT_OK(fail(Status::InvalidArgument("KB: nested record")));
+        break;
+      }
       current = KbRecord();
       current.dataset_name = std::string(sv.substr(7));
       in_record = true;
+      lines_in_open_record = 1;
     } else if (sv.rfind("meta ", 0) == 0) {
-      if (!in_record) return Status::InvalidArgument("KB: meta outside record");
-      SMARTML_ASSIGN_OR_RETURN(
-          current.meta_features,
-          MetaFeaturesFromString(std::string(sv.substr(5))));
+      if (!in_record) {
+        SMARTML_RETURN_NOT_OK(
+            fail(Status::InvalidArgument("KB: meta outside record")));
+        break;
+      }
+      auto mf = MetaFeaturesFromString(std::string(sv.substr(5)));
+      if (!mf.ok()) {
+        SMARTML_RETURN_NOT_OK(fail(mf.status()));
+        break;
+      }
+      current.meta_features = *mf;
+      ++lines_in_open_record;
     } else if (sv.rfind("landmarks ", 0) == 0) {
       if (!in_record) {
-        return Status::InvalidArgument("KB: landmarks outside record");
+        SMARTML_RETURN_NOT_OK(
+            fail(Status::InvalidArgument("KB: landmarks outside record")));
+        break;
       }
-      SMARTML_ASSIGN_OR_RETURN(current.landmarks,
-                               LandmarksFromString(std::string(sv.substr(10))));
+      auto lm = LandmarksFromString(std::string(sv.substr(10)));
+      if (!lm.ok()) {
+        SMARTML_RETURN_NOT_OK(fail(lm.status()));
+        break;
+      }
+      current.landmarks = *lm;
       current.has_landmarks = true;
+      ++lines_in_open_record;
     } else if (sv.rfind("algo ", 0) == 0) {
-      if (!in_record) return Status::InvalidArgument("KB: algo outside record");
+      if (!in_record) {
+        SMARTML_RETURN_NOT_OK(
+            fail(Status::InvalidArgument("KB: algo outside record")));
+        break;
+      }
       // "algo <name> <accuracy> <config...>"; config may be empty.
       const std::string rest(sv.substr(5));
       const size_t sp1 = rest.find(' ');
       if (sp1 == std::string::npos) {
-        return Status::InvalidArgument("KB: malformed algo line");
+        SMARTML_RETURN_NOT_OK(
+            fail(Status::InvalidArgument("KB: malformed algo line")));
+        break;
       }
       size_t sp2 = rest.find(' ', sp1 + 1);
       if (sp2 == std::string::npos) sp2 = rest.size();
@@ -330,39 +423,178 @@ StatusOr<KnowledgeBase> KnowledgeBase::Deserialize(const std::string& text) {
       result.algorithm = rest.substr(0, sp1);
       if (!ParseDouble(rest.substr(sp1 + 1, sp2 - sp1 - 1),
                        &result.accuracy)) {
-        return Status::InvalidArgument("KB: bad accuracy in algo line");
+        SMARTML_RETURN_NOT_OK(
+            fail(Status::InvalidArgument("KB: bad accuracy in algo line")));
+        break;
       }
       if (sp2 < rest.size()) {
-        SMARTML_ASSIGN_OR_RETURN(result.best_config,
-                                 ParamConfig::FromString(rest.substr(sp2 + 1)));
+        auto config = ParamConfig::FromString(rest.substr(sp2 + 1));
+        if (!config.ok()) {
+          SMARTML_RETURN_NOT_OK(fail(config.status()));
+          break;
+        }
+        result.best_config = *config;
       }
       current.results.push_back(std::move(result));
+      ++lines_in_open_record;
     } else if (sv == "end") {
-      if (!in_record) return Status::InvalidArgument("KB: stray end");
+      if (!in_record) {
+        SMARTML_RETURN_NOT_OK(fail(Status::InvalidArgument("KB: stray end")));
+        break;
+      }
       kb.AddRecord(current);
       in_record = false;
+      lines_in_open_record = 0;
     } else {
-      return Status::InvalidArgument("KB: unrecognized line '" +
-                                     std::string(sv) + "'");
+      SMARTML_RETURN_NOT_OK(fail(Status::InvalidArgument(
+          "KB: unrecognized line '" + std::string(sv) + "'")));
+      break;
     }
   }
-  if (in_record) return Status::InvalidArgument("KB: truncated record");
+  if (in_record) {
+    if (!lenient) return Status::InvalidArgument("KB: truncated record");
+    if (skipped_lines != nullptr) *skipped_lines += lines_in_open_record;
+  }
   return kb;
 }
 
-Status KnowledgeBase::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out << Serialize();
-  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
-}
-
-StatusOr<KnowledgeBase> KnowledgeBase::LoadFromFile(const std::string& path) {
+/// Reads a whole file; IOError when it cannot be opened.
+StatusOr<std::string> ReadFileText(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Deserialize(buf.str());
+  return buf.str();
+}
+
+}  // namespace
+
+StatusOr<KnowledgeBase> KnowledgeBase::Deserialize(const std::string& text) {
+  const CrcSplit split = SplitTrailingCrc(text);
+  if (split.has_crc && !split.crc_ok) {
+    return Status::InvalidArgument("KB: checksum mismatch (torn or corrupt)");
+  }
+  return ParseKbBody(split.body, /*lenient=*/false, nullptr);
+}
+
+StatusOr<KnowledgeBase> KnowledgeBase::DeserializeSalvage(
+    const std::string& text, size_t* skipped_lines) {
+  // The checksum is ignored here by design: salvage runs exactly when the
+  // file is known-torn, and the crc line (possibly itself truncated) is
+  // just another unrecognized line that stops the lenient parser.
+  return ParseKbBody(text, /*lenient=*/true, skipped_lines);
+}
+
+Status KnowledgeBase::SaveToFile(const std::string& path) const {
+  const std::string payload = Serialize();
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + tmp_path + "' for writing");
+  }
+  // kb_save_crash simulates kill -9 mid-write: leave a torn temp file and
+  // bail before the fsync/rename, so `path` itself is never touched.
+  const bool crash = FaultShouldFire("kb_save_crash");
+  const size_t to_write = crash ? payload.size() / 2 : payload.size();
+  size_t written = 0;
+  while (written < to_write) {
+    const ssize_t n =
+        ::write(fd, payload.data() + written, to_write - written);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("write failed: " + tmp_path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (crash) {
+    ::close(fd);
+    return Status::IOError(
+        "fault injection: simulated crash during KB save (torn temp left at '" +
+        tmp_path + "')");
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError("fsync failed: " + tmp_path);
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError("close failed: " + tmp_path);
+  }
+  // Keep the previous good file as .bak, then move the new one into place.
+  // rename() is atomic, so a crash between these steps leaves either the
+  // .bak (old state) or `path` (old or new state) loadable — never a torn
+  // main file.
+  struct stat st {};
+  if (::stat(path.c_str(), &st) == 0) {
+    (void)::rename(path.c_str(), (path + ".bak").c_str());
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed: " + tmp_path + " -> " + path);
+  }
+  // Persist the directory entry (best effort; not all filesystems need it).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+StatusOr<KnowledgeBase> KnowledgeBase::LoadFromFile(const std::string& path) {
+  // Loads one file's text: strict first, then salvage. Sets *salvaged_out
+  // when the result came from the lenient path (the caller counts one
+  // recovery per load, no matter how many fallbacks it took).
+  auto load_text = [](const std::string& text, const std::string& origin,
+                      bool* salvaged_out) -> StatusOr<KnowledgeBase> {
+    auto strict = Deserialize(text);
+    if (strict.ok()) return strict;
+    size_t skipped = 0;
+    auto salvaged = DeserializeSalvage(text, &skipped);
+    if (salvaged.ok() && salvaged->NumRecords() > 0) {
+      SMARTML_LOG_WARN << "KB '" << origin << "': " << strict.status().ToString()
+                       << " -- salvaged " << salvaged->NumRecords()
+                       << " records, dropped " << skipped << " torn lines";
+      *salvaged_out = true;
+      return salvaged;
+    }
+    return strict.status();
+  };
+  auto recovered = []() { KbMetrics::Get().recoveries->Increment(); };
+
+  Status main_error = Status::OK();
+  auto text = ReadFileText(path);
+  if (text.ok()) {
+    std::string body = std::move(*text);
+    // kb_load_corrupt simulates silent on-disk corruption: flip one byte in
+    // the middle of the body so the checksum (or parser) must catch it.
+    if (!body.empty() && FaultShouldFire("kb_load_corrupt")) {
+      body[body.size() / 2] ^= 0x20;
+    }
+    bool salvaged = false;
+    auto loaded = load_text(body, path, &salvaged);
+    if (loaded.ok()) {
+      if (salvaged) recovered();
+      return loaded;
+    }
+    main_error = loaded.status();
+  } else {
+    main_error = text.status();
+  }
+  // Main file missing or beyond salvage (e.g. crash between the two
+  // renames): fall back to the .bak copy of the last-good state.
+  auto bak = ReadFileText(path + ".bak");
+  if (bak.ok()) {
+    bool salvaged = false;
+    auto from_bak = load_text(*bak, path + ".bak", &salvaged);
+    if (from_bak.ok()) {
+      SMARTML_LOG_WARN << "KB '" << path
+                       << "' unloadable; recovered last-good state from .bak";
+      recovered();
+      return from_bak;
+    }
+  }
+  return main_error;
 }
 
 }  // namespace smartml

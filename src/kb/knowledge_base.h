@@ -120,11 +120,30 @@ class KnowledgeBase {
       const MetaFeatureVector& mf, const LandmarkVector* landmarks,
       double landmark_weight, size_t k) const;
 
-  /// Text serialization (versioned, line oriented).
+  /// Text serialization (versioned, line oriented) with a trailing
+  /// "crc32 <8 hex digits>" integrity line covering everything before it.
   std::string Serialize() const;
+
+  /// Strict parse. A trailing crc32 line, when present, must match; files
+  /// written before checksumming (no crc32 line) still load.
   static StatusOr<KnowledgeBase> Deserialize(const std::string& text);
 
+  /// Lenient parse for crash recovery: keeps every complete record up to
+  /// the first torn/corrupt line and reports how many input lines were
+  /// dropped via `*skipped_lines` (may be null). Fails only when even the
+  /// header is unusable.
+  static StatusOr<KnowledgeBase> DeserializeSalvage(const std::string& text,
+                                                    size_t* skipped_lines);
+
+  /// Crash-safe save: write `path`.tmp, fsync, keep the previous file as
+  /// `path`.bak, atomically rename into place. A crash at any point leaves
+  /// either the old file or the new file loadable (never a torn `path`).
   Status SaveToFile(const std::string& path) const;
+
+  /// Load with recovery: verifies the checksum; on a torn/corrupt file it
+  /// salvages the intact prefix with a warning, and falls back to
+  /// `path`.bak when the main file is missing or beyond salvage. Each
+  /// recovery increments the `smartml_kb_recoveries_total` counter.
   static StatusOr<KnowledgeBase> LoadFromFile(const std::string& path);
 
  private:

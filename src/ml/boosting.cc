@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/common/cancellation.h"
 #include "src/common/rng.h"
 
 namespace smartml {
@@ -47,6 +48,9 @@ Status RunSamme(const Matrix& x, const TreeSchema& schema,
   const double log_km1 = std::log(k - 1.0);
 
   for (int round = 0; round < rounds; ++round) {
+    if (CancellationRequested()) {
+      return Status::Cancelled("boosting: fit cancelled");
+    }
     TreeOptions options = tree_options;
     options.seed = rng.NextU64();
     DecisionTree tree;

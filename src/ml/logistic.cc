@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/cancellation.h"
+
 namespace smartml {
 
 Status LogisticModel::Fit(const Matrix& x, const std::vector<int>& y,
@@ -35,6 +37,9 @@ Status LogisticModel::Fit(const Matrix& x, const std::vector<int>& y,
   double prev_loss = 1e300;
 
   for (int iter = 0; iter < options.max_iters; ++iter) {
+    if (CancellationRequested()) {
+      return Status::Cancelled("logistic: fit cancelled");
+    }
     std::fill(grad.begin(), grad.end(), 0.0);
     double loss = 0.0;
     for (size_t r = 0; r < n; ++r) {

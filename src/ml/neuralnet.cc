@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/cancellation.h"
 #include "src/common/rng.h"
 
 namespace smartml {
@@ -52,6 +53,9 @@ Status NeuralNetClassifier::Fit(const Dataset& train,
   std::vector<double> logits(k), proba(k), delta_out(k), delta_hidden(h);
 
   for (int iter = 1; iter <= max_iters; ++iter) {
+    if (CancellationRequested()) {
+      return Status::Cancelled("neuralnet: fit cancelled");
+    }
     std::fill(g1.begin(), g1.end(), 0.0);
     std::fill(g2.begin(), g2.end(), 0.0);
     for (size_t r = 0; r < n; ++r) {

@@ -70,6 +70,9 @@ StatusOr<TunedResult> GeneticSearch(const ParamSpace& space,
     double total = 0.0;
     size_t folds = 0;
     for (size_t f = 0; f < objective->NumFolds(); ++f) {
+      if (options.cancel != nullptr && options.cancel->IsCancelled()) {
+        return Status::Cancelled("genetic: run cancelled");
+      }
       if (evaluations_left <= 0 || options.deadline.Expired()) break;
       SMARTML_ASSIGN_OR_RETURN(double cost,
                                objective->EvaluateFold(individual->config, f));

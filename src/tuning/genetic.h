@@ -9,6 +9,9 @@
 #ifndef SMARTML_TUNING_GENETIC_H_
 #define SMARTML_TUNING_GENETIC_H_
 
+#include <memory>
+
+#include "src/common/cancellation.h"
 #include "src/common/stopwatch.h"
 #include "src/tuning/objective.h"
 #include "src/tuning/param_space.h"
@@ -18,7 +21,11 @@ namespace smartml {
 struct GeneticOptions {
   /// Budget in fold-evaluations (shared currency with the other tuners).
   int max_evaluations = 100;
+  /// Graceful wall-clock limit: expiry returns the best-so-far individual.
   Deadline deadline;
+  /// Cooperative cancel token: checked before every fold evaluation; when
+  /// set the search aborts with Status::Cancelled.
+  std::shared_ptr<CancelToken> cancel;
   uint64_t seed = 1;
   int population_size = 12;
   int tournament_size = 3;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/fault_injection.h"
 #include "src/common/strings.h"
 #include "src/data/metrics.h"
 
@@ -58,10 +59,14 @@ StatusOr<double> ClassifierObjective::EvaluateFold(const ParamConfig& config,
     return Status::InvalidArgument("objective: fold index out of range");
   }
   ++num_evaluations_;
+  FaultMaybeDelay("slow_train");  // Makes runs reliably slow under test.
   const TrainValidationSplit& split = splits_[fold];
   std::unique_ptr<Classifier> model = prototype_->Clone();
   const Status fit_status = model->Fit(split.train, config);
   if (!fit_status.ok()) {
+    // Cancellation is the one failure that must NOT be swallowed: it means
+    // the whole run is being torn down, not that this config is bad.
+    if (fit_status.code() == StatusCode::kCancelled) return fit_status;
     // A configuration that fails to train is maximally bad, not fatal: SMAC
     // must be able to route around crashing configs.
     return 1.0;
@@ -71,13 +76,23 @@ StatusOr<double> ClassifierObjective::EvaluateFold(const ParamConfig& config,
 
   if (metric_ == TuneMetric::kLogLoss) {
     auto proba = model->PredictProba(split.validation);
-    if (!proba.ok()) return 1.0;
+    if (!proba.ok()) {
+      if (proba.status().code() == StatusCode::kCancelled) {
+        return proba.status();
+      }
+      return 1.0;
+    }
     // Squash unbounded log loss into (0, 1): cost = 1 - exp(-loss).
     return 1.0 - std::exp(-LogLoss(actual, *proba));
   }
 
   auto predictions = model->Predict(split.validation);
-  if (!predictions.ok()) return 1.0;
+  if (!predictions.ok()) {
+    if (predictions.status().code() == StatusCode::kCancelled) {
+      return predictions.status();
+    }
+    return 1.0;
+  }
   switch (metric_) {
     case TuneMetric::kAccuracy:
       return ErrorRate(actual, *predictions);

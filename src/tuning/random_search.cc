@@ -25,6 +25,9 @@ StatusOr<bool> EvaluateFully(const ParamConfig& config,
   double total = 0.0;
   size_t folds = 0;
   for (size_t f = 0; f < objective->NumFolds(); ++f) {
+    if (options.cancel != nullptr && options.cancel->IsCancelled()) {
+      return Status::Cancelled("search: run cancelled");
+    }
     if (*evaluations_left <= 0 || options.deadline.Expired()) break;
     SMARTML_ASSIGN_OR_RETURN(double cost, objective->EvaluateFold(config, f));
     --*evaluations_left;

@@ -3,6 +3,9 @@
 #ifndef SMARTML_TUNING_RANDOM_SEARCH_H_
 #define SMARTML_TUNING_RANDOM_SEARCH_H_
 
+#include <memory>
+
+#include "src/common/cancellation.h"
 #include "src/common/stopwatch.h"
 #include "src/tuning/objective.h"
 #include "src/tuning/param_space.h"
@@ -12,8 +15,12 @@ namespace smartml {
 struct SearchOptions {
   /// Budget in fold-evaluations (each config costs NumFolds() evals).
   int max_evaluations = 100;
-  /// Optional wall-clock limit (infinite by default).
+  /// Optional wall-clock limit (infinite by default). Expiry is graceful:
+  /// the search stops and returns the best configuration so far.
   Deadline deadline;
+  /// Optional cooperative cancel token: checked before every fold
+  /// evaluation; when set the search aborts with Status::Cancelled.
+  std::shared_ptr<CancelToken> cancel;
   uint64_t seed = 1;
   /// Configurations to evaluate before any sampled ones (warm start).
   std::vector<ParamConfig> initial_configs;

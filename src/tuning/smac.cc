@@ -278,6 +278,9 @@ class SmacRun {
 
   // Evaluates record `id` on its next unevaluated fold.
   Status EvaluateNextFold(size_t id) {
+    if (options_.cancel != nullptr && options_.cancel->IsCancelled()) {
+      return Status::Cancelled("smac: run cancelled");
+    }
     ConfigRecord& record = records_[id];
     if (record.folds_evaluated >= objective_->NumFolds()) return Status::OK();
     const size_t fold = record.folds_evaluated;

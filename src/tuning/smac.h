@@ -12,8 +12,10 @@
 #ifndef SMARTML_TUNING_SMAC_H_
 #define SMARTML_TUNING_SMAC_H_
 
+#include <memory>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/rng.h"
 #include "src/common/stopwatch.h"
 #include "src/linalg/matrix.h"
@@ -71,8 +73,13 @@ class RegressionForest {
 struct SmacOptions {
   /// Total budget in fold-evaluations.
   int max_evaluations = 120;
-  /// Optional wall-clock limit.
+  /// Optional wall-clock limit. Expiry is graceful: the run stops starting
+  /// new fold evaluations and returns the best configuration so far.
   Deadline deadline;
+  /// Optional cooperative cancel token. Cancellation is an abort: checked
+  /// before every fold evaluation, and the run returns Status::Cancelled
+  /// instead of a result.
+  std::shared_ptr<CancelToken> cancel;
   uint64_t seed = 1;
   /// Warm-start configurations (SmartML fills these from the knowledge
   /// base); evaluated before model-based search begins.
