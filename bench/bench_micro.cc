@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.h"
+#include "src/core/smartml.h"
 #include "src/data/synthetic.h"
 #include "src/kb/knowledge_base.h"
 #include "src/metafeatures/metafeatures.h"
@@ -170,6 +171,35 @@ BENCHMARK_CAPTURE(BM_ClassifierFit, lda, "lda");
 BENCHMARK_CAPTURE(BM_ClassifierFit, random_forest, "random_forest");
 BENCHMARK_CAPTURE(BM_ClassifierFit, svm, "svm");
 BENCHMARK_CAPTURE(BM_ClassifierFit, neuralnet, "neuralnet");
+
+// End-to-end 4-candidate run at a given intra-run thread count. Results are
+// bit-identical across the Arg values (see ParallelDeterminismTest); the
+// speedup of threads=4 over threads=1 is the CI acceptance signal for the
+// parallel execution engine (on multi-core runners only — a 1-core machine
+// shows parity).
+void BM_ParallelEndToEndRun(benchmark::State& state) {
+  const Dataset d = BenchDataset(400, 12);
+  SmartMlOptions options;
+  options.max_evaluations = 16;
+  options.cv_folds = 2;
+  options.time_budget_seconds = 1e9;
+  options.cold_start_algorithms = {"random_forest", "svm", "rpart", "knn"};
+  options.enable_ensembling = false;
+  options.enable_interpretability = false;
+  options.update_kb = false;
+  options.num_threads = static_cast<int>(state.range(0));
+  SmartML framework(options);
+  for (auto _ : state) {
+    auto result = framework.Run(d, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ParallelEndToEndRun)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace smartml

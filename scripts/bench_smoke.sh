@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Benchmark smoke run for CI: builds bench_micro and runs it with a tiny
+# minimum time so the whole sweep finishes in seconds, writing google
+# benchmark's JSON to BENCH_ci.json (schema documented in
+# docs/OBSERVABILITY.md). The parallel-engine acceptance signal is the
+# BM_ParallelEndToEndRun/1 vs /4 real_time ratio on multi-core runners.
+#
+#   scripts/bench_smoke.sh [build_dir] [output_json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_ci.json}"
+
+cmake -B "$BUILD_DIR" -S . ${SMARTML_CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro
+
+# google-benchmark >= 1.8 wants a unit suffix on min_time; older releases
+# reject it. Try the suffixed form first, then fall back.
+if ! "$BUILD_DIR"/bench/bench_micro \
+    --benchmark_min_time=0.01s \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json; then
+  "$BUILD_DIR"/bench/bench_micro \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json
+fi
+
+echo "bench_smoke: wrote $OUT"

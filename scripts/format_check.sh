@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Style gate: fails when clang-format (config in .clang-format) would change
+# any C++ file under src/, tests/, or bench/. Run with FIX=1 to apply the
+# formatting instead of just checking.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "format_check: clang-format not installed" >&2
+  exit 1
+fi
+
+FILES=$(find src tests bench -name '*.cc' -o -name '*.h' | sort)
+
+if [ "${FIX:-0}" = "1" ]; then
+  # shellcheck disable=SC2086
+  clang-format -i $FILES
+  echo "format_check: formatted $(echo "$FILES" | wc -l) files"
+  exit 0
+fi
+
+STATUS=0
+for f in $FILES; do
+  if ! clang-format --dry-run -Werror "$f" > /dev/null 2>&1; then
+    echo "format_check: needs formatting: $f" >&2
+    STATUS=1
+  fi
+done
+if [ "$STATUS" -ne 0 ]; then
+  echo "format_check: run 'FIX=1 scripts/format_check.sh' to fix" >&2
+fi
+exit "$STATUS"

@@ -21,9 +21,13 @@ cd "$(dirname "$0")/.."
 SANITIZE="${SMARTML_SANITIZE:-}"
 BUILD_DIR="build${SANITIZE:+-$(echo "$SANITIZE" | tr ',' '-')}"
 
-cmake -B "$BUILD_DIR" -S . ${SANITIZE:+-DSMARTML_SANITIZE="$SANITIZE"}
-cmake --build "$BUILD_DIR" -j
-(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+# SMARTML_CMAKE_ARGS lets CI inject extra configure flags (e.g. a ccache
+# compiler launcher) without teaching this script about each one.
+# shellcheck disable=SC2086
+cmake -B "$BUILD_DIR" -S . ${SANITIZE:+-DSMARTML_SANITIZE="$SANITIZE"} \
+  ${SMARTML_CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
 
 # Make every sanitizer report fatal rather than a warning.
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
@@ -36,11 +40,17 @@ case "$SANITIZE" in
     "$BUILD_DIR"/tests/kb_concurrency_test
     "$BUILD_DIR"/tests/rest_concurrency_test
     "$BUILD_DIR"/tests/obs_test
+    "$BUILD_DIR"/tests/pool_test
     ;;
   *)
     # Observability smoke: a live server must serve /v1/metrics (valid
     # Prometheus exposition, request counter advancing) and attach the span
-    # tree to a completed run.
+    # tree to a completed run. A missing interpreter must fail the gate,
+    # not silently skip it.
+    command -v python3 > /dev/null 2>&1 || {
+      echo "tier1: python3 is required for the metrics smoke test" >&2
+      exit 1
+    }
     python3 scripts/metrics_smoke.py "$BUILD_DIR"/examples/rest_server
     ;;
 esac

@@ -1,10 +1,12 @@
 #include "src/api/job_manager.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "src/api/json.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/common/thread_pool.h"
 
 namespace smartml {
 
@@ -109,6 +111,12 @@ StatusOr<std::string> JobManager::Submit(Dataset dataset,
   auto job = std::make_shared<Job>();
   job->dataset_name = dataset.name();
   job->dataset = std::move(dataset);
+  // Cap intra-run parallelism so `workers × threads` never oversubscribes
+  // the machine, whatever the caller asked for.
+  run_options.num_threads = std::min(
+      ResolveNumThreads(run_options.num_threads),
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()) /
+                      std::max(1, options_.num_workers)));
   job->run_options = std::move(run_options);
   job->submitted = std::chrono::steady_clock::now();
   {

@@ -116,6 +116,9 @@ SmartMlOptions OptionsFromQuery(const SmartMlOptions& base,
   if (const std::string* v = get("interpretability")) {
     options.enable_interpretability = !(*v == "0" || *v == "false");
   }
+  if (const std::string* v = get("threads")) {
+    options.num_threads = std::atoi(v->c_str());
+  }
   if (const std::string* v = get("nominations")) {
     options.max_nominations = static_cast<size_t>(std::atoi(v->c_str()));
   }

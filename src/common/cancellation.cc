@@ -30,4 +30,6 @@ bool CancellationRequested() {
   return current_token != nullptr && current_token->IsCancelled();
 }
 
+const CancelToken* CurrentCancelToken() { return current_token; }
+
 }  // namespace smartml

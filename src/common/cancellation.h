@@ -85,6 +85,11 @@ class ScopedCancelScope {
 /// safe to call from tight training loops every few iterations.
 bool CancellationRequested();
 
+/// The calling thread's installed token (null outside any scope). Parallel
+/// loops forward it into pool strands so per-index cancellation checks keep
+/// working on worker threads.
+const CancelToken* CurrentCancelToken();
+
 }  // namespace smartml
 
 #endif  // SMARTML_COMMON_CANCELLATION_H_

@@ -12,6 +12,20 @@
 
 namespace smartml {
 
+/// Derives a decorrelated seed for one unit of work from (seed, task index).
+/// This is the basis of the parallel determinism scheme: each independent
+/// task (a tree in a forest, a candidate in a batch) owns an Rng seeded by
+/// TaskSeed, so its draws depend only on (seed, task) — never on which
+/// thread ran it or in what order — and results are bit-identical at any
+/// thread count.
+inline uint64_t TaskSeed(uint64_t seed, uint64_t task) {
+  // splitmix64 finalizer over a golden-ratio stride per task.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (task + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** generator seeded through splitmix64. Fast, high quality, and
 /// fully deterministic across platforms (unlike std::mt19937 distributions).
 class Rng {

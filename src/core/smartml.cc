@@ -9,6 +9,7 @@
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/common/strings.h"
+#include "src/common/thread_pool.h"
 #include "src/data/metrics.h"
 #include "src/data/split.h"
 #include "src/ml/registry.h"
@@ -93,9 +94,6 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
   AlgorithmRunResult run;
   run.algorithm = algorithm;
 
-  if (FaultShouldFire("tuner_throw")) {
-    throw std::runtime_error("fault injection: tuner_throw on " + algorithm);
-  }
   SMARTML_ASSIGN_OR_RETURN(std::unique_ptr<Classifier> prototype,
                            CreateClassifier(algorithm));
   SMARTML_ASSIGN_OR_RETURN(ParamSpace space, SpaceFor(algorithm));
@@ -163,6 +161,16 @@ StatusOr<SmartMlResult> SmartML::Run(const Dataset& dataset,
   // Make cancellation visible to the deep training loops (which cannot take
   // a budget parameter) for the duration of this run.
   ScopedCancelScope cancel_scope(effective.token.get());
+  // Intra-run parallelism: one pool per run, reached by the candidate loop,
+  // the tuners' evaluation batches and forest training via
+  // CurrentThreadPool(). num_threads == 1 (or a single-core machine) leaves
+  // the slot null and every layer runs sequentially on this thread.
+  const int num_threads = ResolveNumThreads(options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(num_threads - 1);
+  }
+  ScopedPoolScope pool_scope(pool.get());
   Tracer tracer;
   auto result = RunTraced(dataset, options, effective, &tracer);
   const PipelineMetrics& metrics = PipelineMetrics::Get();
@@ -349,57 +357,119 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
 
   uint64_t seed = options.seed * 2654435761ULL + 17;
   Span tune_span(tracer, "tune");
+  Stopwatch tune_watch;
   Status first_failure = Status::OK();
+
+  // Pre-decide count-limited fault injections in candidate-index order:
+  // specs like tuner_throw:1x consume their fire budget per ShouldFire call,
+  // so deciding inside the parallel tasks would make *which* candidate
+  // fails a race.
+  std::vector<char> inject_tuner_throw(algorithms.size(), 0);
   for (size_t i = 0; i < algorithms.size(); ++i) {
-    if (budget.Cancelled()) {
-      return Status::Cancelled("SmartML: run cancelled during tuning");
-    }
-    if (budget.DeadlineExpired()) {
-      // Graceful: stop starting candidates, keep what was tuned so far.
-      SMARTML_LOG_WARN << "run budget exhausted after " << i << " of "
-                       << algorithms.size() << " candidates";
-      break;
-    }
-    const double share =
-        static_cast<double>(param_counts[i]) /
-        static_cast<double>(std::max<size_t>(param_total, 1));
-    const double time_share = options.time_budget_seconds * share;
-    const int eval_budget =
-        options.max_evaluations > 0
-            ? std::max(1, static_cast<int>(std::lround(
-                              options.max_evaluations * share)))
-            : 0;
-    SMARTML_LOG_INFO << "phase: tuning " << algorithms[i] << " (budget "
-                     << time_share << "s, " << warm_starts[i].size()
-                     << " warm starts)";
-    Span algorithm_span(tracer, "tune/" + algorithms[i]);
-    // Per-candidate failure isolation: an exception or error status marks
-    // this candidate failed and the run degrades to the remaining ones.
-    StatusOr<AlgorithmRunResult> run = [&]() -> StatusOr<AlgorithmRunResult> {
-      try {
-        return TuneAlgorithm(options, algorithms[i], train, validation,
-                             time_share, eval_budget, warm_starts[i],
-                             seed + i * 7919, budget, tracer);
-      } catch (const std::exception& e) {
-        return Status::Internal(std::string("candidate threw: ") + e.what());
-      }
-    }();
-    if (!run.ok()) {
-      if (run.status().code() == StatusCode::kCancelled) return run.status();
-      SMARTML_LOG_WARN << "candidate " << algorithms[i]
-                       << " failed: " << run.status().ToString();
-      Span failure_span(
-          tracer, "tune/" + algorithms[i] +
-                      "/failed: " + run.status().ToString());
-      failure_span.End();
-      PipelineMetrics::Get().candidates_failed->Increment();
-      result.failed_candidates.push_back(
-          {algorithms[i], run.status().ToString()});
-      result.degraded = true;
-      if (first_failure.ok()) first_failure = run.status();
+    inject_tuner_throw[i] = FaultShouldFire("tuner_throw") ? 1 : 0;
+  }
+
+  // Candidates are independent (each gets its proportional budget share),
+  // so tune them across the run's pool. Every task records into a private
+  // tracer and an index-addressed outcome slot; the merge below replays the
+  // sequential bookkeeping in candidate order, keeping result ordering,
+  // failure isolation and the degraded/first-failure semantics identical at
+  // any thread count.
+  struct CandidateOutcome {
+    bool attempted = false;  ///< False = deadline expired before start.
+    bool ok = false;
+    AlgorithmRunResult run;
+    Status error;
+    std::vector<TraceSpan> spans;
+    double span_offset = 0.0;  ///< Task start relative to the tune span.
+  };
+  std::vector<CandidateOutcome> outcomes(algorithms.size());
+
+  const Status tune_status = ParallelFor(
+      algorithms.size(),
+      [&](size_t i) -> Status {
+        if (budget.Cancelled()) {
+          return Status::Cancelled("SmartML: run cancelled during tuning");
+        }
+        CandidateOutcome& out = outcomes[i];
+        if (budget.DeadlineExpired()) {
+          // Graceful: mirror the sequential loop's break — candidates that
+          // never started are skipped, not failed.
+          return Status::OK();
+        }
+        out.attempted = true;
+        out.span_offset = tune_watch.ElapsedSeconds();
+        const double share =
+            static_cast<double>(param_counts[i]) /
+            static_cast<double>(std::max<size_t>(param_total, 1));
+        const double time_share = options.time_budget_seconds * share;
+        const int eval_budget =
+            options.max_evaluations > 0
+                ? std::max(1, static_cast<int>(std::lround(
+                                  options.max_evaluations * share)))
+                : 0;
+        SMARTML_LOG_INFO << "phase: tuning " << algorithms[i] << " (budget "
+                         << time_share << "s, " << warm_starts[i].size()
+                         << " warm starts)";
+        Tracer local;
+        {
+          Span algorithm_span(&local, "tune/" + algorithms[i]);
+          // Per-candidate failure isolation: an exception or error status
+          // marks this candidate failed; the run degrades to the others.
+          StatusOr<AlgorithmRunResult> run =
+              [&]() -> StatusOr<AlgorithmRunResult> {
+            try {
+              if (inject_tuner_throw[i]) {
+                throw std::runtime_error("fault injection: tuner_throw on " +
+                                         algorithms[i]);
+              }
+              return TuneAlgorithm(options, algorithms[i], train, validation,
+                                   time_share, eval_budget, warm_starts[i],
+                                   seed + i * 7919, budget, &local);
+            } catch (const std::exception& e) {
+              return Status::Internal(std::string("candidate threw: ") +
+                                      e.what());
+            }
+          }();
+          if (run.ok()) {
+            out.ok = true;
+            out.run = std::move(*run);
+          } else {
+            if (run.status().code() == StatusCode::kCancelled) {
+              return run.status();
+            }
+            out.error = run.status();
+            Span failure_span(&local, "tune/" + algorithms[i] + "/failed: " +
+                                          run.status().ToString());
+            failure_span.End();
+          }
+        }
+        out.spans = local.TakeSpans();
+        return Status::OK();
+      },
+      budget.token.get());
+  if (!tune_status.ok()) return tune_status;
+
+  size_t attempted = 0;
+  for (size_t i = 0; i < algorithms.size(); ++i) {
+    CandidateOutcome& out = outcomes[i];
+    if (!out.attempted) continue;
+    ++attempted;
+    tracer->Absorb(tune_span.id(), std::move(out.spans), out.span_offset);
+    if (out.ok) {
+      result.per_algorithm.push_back(std::move(out.run));
       continue;
     }
-    result.per_algorithm.push_back(std::move(*run));
+    SMARTML_LOG_WARN << "candidate " << algorithms[i]
+                     << " failed: " << out.error.ToString();
+    PipelineMetrics::Get().candidates_failed->Increment();
+    result.failed_candidates.push_back({algorithms[i], out.error.ToString()});
+    result.degraded = true;
+    if (first_failure.ok()) first_failure = out.error;
+  }
+  if (attempted < algorithms.size()) {
+    SMARTML_LOG_WARN << "run budget exhausted after " << attempted << " of "
+                     << algorithms.size() << " candidates";
   }
   tune_span.End();
 

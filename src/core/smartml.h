@@ -90,6 +90,13 @@ struct SmartMlOptions {
   bool selection_only = false;
   /// Fold this run's results back into the knowledge base.
   bool update_kb = true;
+  /// Intra-run parallelism: worker threads shared by the candidate-tuning
+  /// loop, the tuners' fold-evaluation batches and ensemble tree growth.
+  /// <= 0 means auto (hardware concurrency); 1 forces the sequential path.
+  /// Evaluation-capped runs are bit-identical at any thread count; see
+  /// DESIGN.md "Parallel execution". The JobManager caps this value so
+  /// num_workers x num_threads cannot oversubscribe the machine.
+  int num_threads = 0;
   /// Advanced similarity knobs (ablations).
   NominationOptions nomination;
   uint64_t seed = 42;

@@ -6,6 +6,7 @@
 
 #include "src/common/cancellation.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 
 namespace smartml {
 
@@ -56,12 +57,22 @@ Status RunSamme(const Matrix& x, const TreeSchema& schema,
     DecisionTree tree;
     SMARTML_RETURN_NOT_OK(
         tree.Fit(x, schema, y, num_classes, weights, options));
-    // Weighted training error of this round.
+    // Weighted training error of this round. Row predictions are
+    // independent and run in parallel; the error accumulation stays
+    // sequential so floating-point sums are identical at any thread count.
+    std::vector<int> predictions(n);
+    SMARTML_RETURN_NOT_OK(ParallelForRanges(
+        n, /*grain=*/256,
+        [&](size_t begin, size_t end) -> Status {
+          for (size_t r = begin; r < end; ++r) {
+            predictions[r] = tree.PredictRow(x.RowPtr(r));
+          }
+          return Status::OK();
+        },
+        CurrentCancelToken()));
     double err = 0.0;
     double total = 0.0;
-    std::vector<int> predictions(n);
     for (size_t r = 0; r < n; ++r) {
-      predictions[r] = tree.PredictRow(x.RowPtr(r));
       total += weights[r];
       if (predictions[r] != y[r]) err += weights[r];
     }
@@ -130,17 +141,23 @@ StatusOr<std::vector<std::vector<double>>> BoostPredict(
     const Matrix& x, int num_classes) {
   std::vector<std::vector<double>> out(
       x.rows(), std::vector<double>(static_cast<size_t>(num_classes), 0.0));
-  for (size_t r = 0; r < x.rows(); ++r) {
-    const double* row = x.RowPtr(r);
-    for (size_t t = 0; t < trees.size(); ++t) {
-      const std::vector<double> p = trees[t].PredictProbaRow(row);
-      for (int c = 0; c < num_classes; ++c) {
-        out[r][static_cast<size_t>(c)] +=
-            alphas[t] * p[static_cast<size_t>(c)];
-      }
-    }
-    NormalizeProba(&out[r]);
-  }
+  SMARTML_RETURN_NOT_OK(ParallelForRanges(
+      x.rows(), /*grain=*/256,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          const double* row = x.RowPtr(r);
+          for (size_t t = 0; t < trees.size(); ++t) {
+            const std::vector<double> p = trees[t].PredictProbaRow(row);
+            for (int c = 0; c < num_classes; ++c) {
+              out[r][static_cast<size_t>(c)] +=
+                  alphas[t] * p[static_cast<size_t>(c)];
+            }
+          }
+          NormalizeProba(&out[r]);
+        }
+        return Status::OK();
+      },
+      CurrentCancelToken()));
   return out;
 }
 

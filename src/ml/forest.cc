@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/cancellation.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 
 namespace smartml {
 
@@ -37,16 +39,23 @@ StatusOr<std::vector<std::vector<double>>> ForestPredict(
   const Matrix x = data.ToRawMatrix();
   std::vector<std::vector<double>> out(
       x.rows(), std::vector<double>(static_cast<size_t>(num_classes), 0.0));
-  for (size_t r = 0; r < x.rows(); ++r) {
-    const double* row = x.RowPtr(r);
-    for (const auto& tree : trees) {
-      const std::vector<double> p = tree.PredictProbaRow(row);
-      for (int k = 0; k < num_classes; ++k) {
-        out[r][static_cast<size_t>(k)] += p[static_cast<size_t>(k)];
-      }
-    }
-    NormalizeProba(&out[r]);
-  }
+  // Rows are independent; chunked so per-task overhead stays negligible.
+  SMARTML_RETURN_NOT_OK(ParallelForRanges(
+      x.rows(), /*grain=*/256,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          const double* row = x.RowPtr(r);
+          for (const auto& tree : trees) {
+            const std::vector<double> p = tree.PredictProbaRow(row);
+            for (int k = 0; k < num_classes; ++k) {
+              out[r][static_cast<size_t>(k)] += p[static_cast<size_t>(k)];
+            }
+          }
+          NormalizeProba(&out[r]);
+        }
+        return Status::OK();
+      },
+      CurrentCancelToken()));
   return out;
 }
 
@@ -95,22 +104,28 @@ Status RandomForestClassifier::Fit(const Dataset& train,
   options.max_depth = 40;
   options.mtry = mtry;
 
-  Rng rng(static_cast<uint64_t>(config.GetInt("seed", 11)));
+  const uint64_t base_seed =
+      static_cast<uint64_t>(config.GetInt("seed", 11));
   trees_.clear();
-  trees_.reserve(static_cast<size_t>(ntree));
-  for (int t = 0; t < ntree; ++t) {
-    const std::vector<size_t> rows = DrawSample(train.NumRows(), 1.0,
-                                                /*with_replacement=*/true,
-                                                &rng);
-    // Bootstrap via per-row weights so trees share one feature matrix.
-    std::vector<double> weights(train.NumRows(), 0.0);
-    for (size_t r : rows) weights[r] += 1.0;
-    options.seed = rng.NextU64();
-    DecisionTree tree;
-    SMARTML_RETURN_NOT_OK(tree.Fit(x, schema, train.labels(), num_classes_,
-                                   weights, options));
-    trees_.push_back(std::move(tree));
-  }
+  trees_.resize(static_cast<size_t>(ntree));
+  // Each tree gets its own decorrelated RNG stream keyed on (seed, index),
+  // so the forest is identical at any thread count.
+  SMARTML_RETURN_NOT_OK(ParallelFor(
+      static_cast<size_t>(ntree),
+      [&](size_t t) -> Status {
+        Rng rng(TaskSeed(base_seed, t));
+        const std::vector<size_t> rows = DrawSample(train.NumRows(), 1.0,
+                                                    /*with_replacement=*/true,
+                                                    &rng);
+        // Bootstrap via per-row weights so trees share one feature matrix.
+        std::vector<double> weights(train.NumRows(), 0.0);
+        for (size_t r : rows) weights[r] += 1.0;
+        TreeOptions tree_options = options;
+        tree_options.seed = rng.NextU64();
+        return trees_[t].Fit(x, schema, train.labels(), num_classes_, weights,
+                             tree_options);
+      },
+      CurrentCancelToken()));
   return Status::OK();
 }
 
@@ -172,21 +187,26 @@ Status BaggingClassifier::Fit(const Dataset& train, const ParamConfig& config) {
   options.min_impurity_decrease =
       std::clamp(config.GetDouble("cp", 0.01), 0.0, 1.0);
 
-  Rng rng(static_cast<uint64_t>(config.GetInt("seed", 13)));
+  const uint64_t base_seed =
+      static_cast<uint64_t>(config.GetInt("seed", 13));
   trees_.clear();
-  trees_.reserve(static_cast<size_t>(nbagg));
-  for (int t = 0; t < nbagg; ++t) {
-    const std::vector<size_t> rows =
-        DrawSample(train.NumRows(), subsample, /*with_replacement=*/true,
-                   &rng);
-    std::vector<double> weights(train.NumRows(), 0.0);
-    for (size_t r : rows) weights[r] += 1.0;
-    options.seed = rng.NextU64();
-    DecisionTree tree;
-    SMARTML_RETURN_NOT_OK(tree.Fit(x, schema, train.labels(), num_classes_,
-                                   weights, options));
-    trees_.push_back(std::move(tree));
-  }
+  trees_.resize(static_cast<size_t>(nbagg));
+  // Per-tree RNG streams keyed on (seed, index), as in RandomForest.
+  SMARTML_RETURN_NOT_OK(ParallelFor(
+      static_cast<size_t>(nbagg),
+      [&](size_t t) -> Status {
+        Rng rng(TaskSeed(base_seed, t));
+        const std::vector<size_t> rows =
+            DrawSample(train.NumRows(), subsample, /*with_replacement=*/true,
+                       &rng);
+        std::vector<double> weights(train.NumRows(), 0.0);
+        for (size_t r : rows) weights[r] += 1.0;
+        TreeOptions tree_options = options;
+        tree_options.seed = rng.NextU64();
+        return trees_[t].Fit(x, schema, train.labels(), num_classes_, weights,
+                             tree_options);
+      },
+      CurrentCancelToken()));
   return Status::OK();
 }
 

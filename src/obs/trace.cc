@@ -60,6 +60,27 @@ std::vector<TraceSpan> Tracer::TakeSpans() {
   return std::move(spans_);
 }
 
+void Tracer::Absorb(int parent_id, std::vector<TraceSpan> spans,
+                    double start_offset) {
+  if (parent_id < 0 || static_cast<size_t>(parent_id) >= spans_.size()) {
+    return;
+  }
+  // Copy the parent's fields up front: push_back below may reallocate
+  // spans_ and would invalidate a reference into it.
+  const double parent_start =
+      spans_[static_cast<size_t>(parent_id)].start_seconds;
+  const int parent_depth = spans_[static_cast<size_t>(parent_id)].depth;
+  const int base = static_cast<int>(spans_.size());
+  const double epoch = parent_start + start_offset;
+  spans_.reserve(spans_.size() + spans.size());
+  for (TraceSpan& span : spans) {
+    span.start_seconds += epoch;
+    span.parent = span.parent < 0 ? parent_id : span.parent + base;
+    span.depth += parent_depth + 1;
+    spans_.push_back(std::move(span));
+  }
+}
+
 std::string RenderTrace(const std::vector<TraceSpan>& spans) {
   std::string out;
   for (const TraceSpan& span : spans) {

@@ -59,6 +59,15 @@ class Tracer {
   /// Moves the collected spans out (the tracer is then empty).
   std::vector<TraceSpan> TakeSpans();
 
+  /// Grafts spans recorded by another tracer under span `parent_id` of this
+  /// one. Tracers are single-threaded by design, so parallel work records
+  /// into a private tracer per task and the owner absorbs the results in a
+  /// deterministic order afterwards. `start_offset` is the child tracer's
+  /// epoch relative to the parent *span's* start (seconds); child start
+  /// times are rebased onto this tracer's epoch.
+  void Absorb(int parent_id, std::vector<TraceSpan> spans,
+              double start_offset);
+
  private:
   Stopwatch watch_;
   std::vector<TraceSpan> spans_;
@@ -80,6 +89,10 @@ class Span {
     if (tracer_ != nullptr && id_ >= 0) tracer_->EndSpan(id_);
     id_ = -1;
   }
+
+  /// This span's id in its tracer (-1 when disabled or already ended);
+  /// usable as an Absorb() graft point.
+  int id() const { return id_; }
 
  private:
   Tracer* tracer_;

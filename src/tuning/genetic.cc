@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "src/common/rng.h"
 #include "src/obs/metrics.h"
+#include "src/tuning/parallel_eval.h"
 
 namespace smartml {
 
@@ -58,46 +60,6 @@ StatusOr<TunedResult> GeneticSearch(const ParamSpace& space,
   // Fitness cache so re-discovered genomes don't burn budget.
   std::map<std::string, double> cache;
 
-  auto evaluate = [&](Individual* individual) -> Status {
-    if (individual->evaluated) return Status::OK();
-    const std::string key = individual->config.ToString();
-    auto it = cache.find(key);
-    if (it != cache.end()) {
-      individual->fitness = it->second;
-      individual->evaluated = true;
-      return Status::OK();
-    }
-    double total = 0.0;
-    size_t folds = 0;
-    for (size_t f = 0; f < objective->NumFolds(); ++f) {
-      if (options.cancel != nullptr && options.cancel->IsCancelled()) {
-        return Status::Cancelled("genetic: run cancelled");
-      }
-      if (evaluations_left <= 0 || options.deadline.Expired()) break;
-      SMARTML_ASSIGN_OR_RETURN(double cost,
-                               objective->EvaluateFold(individual->config, f));
-      --evaluations_left;
-      ++result.num_evaluations;
-      total += cost;
-      ++folds;
-      result.trajectory.push_back(result.best_cost > 1.5 ? 1.0
-                                                         : result.best_cost);
-    }
-    if (folds == 0) return Status::OK();  // Budget ran dry mid-individual.
-    individual->fitness = total / static_cast<double>(folds);
-    individual->evaluated = folds == objective->NumFolds();
-    if (individual->evaluated) cache[key] = individual->fitness;
-    if ((individual->evaluated || result.best_cost > 1.5) &&
-        individual->fitness < result.best_cost) {
-      result.best_cost = individual->fitness;
-      result.best_config = individual->config;
-      if (!result.trajectory.empty()) {
-        result.trajectory.back() = result.best_cost;
-      }
-    }
-    return Status::OK();
-  };
-
   // Initial population: seeds, the default, then random samples.
   std::vector<Individual> population;
   for (const ParamConfig& config : options.initial_configs) {
@@ -128,10 +90,87 @@ StatusOr<TunedResult> GeneticSearch(const ParamSpace& space,
     return population[best];
   };
 
+  const size_t total_folds = objective->NumFolds();
   while (evaluations_left > 0 && !options.deadline.Expired()) {
-    for (Individual& individual : population) {
-      if (evaluations_left <= 0 || options.deadline.Expired()) break;
-      SMARTML_RETURN_NOT_OK(evaluate(&individual));
+    if (options.cancel != nullptr && options.cancel->IsCancelled()) {
+      return Status::Cancelled("genetic: run cancelled");
+    }
+
+    // Plan (sequential): walk the population in order, reserving fold tasks
+    // for every individual the historical loop would have evaluated —
+    // skipping cache hits, duplicates planned earlier this generation, and
+    // anything past the evaluation budget.
+    std::vector<ParamConfig> batch;
+    std::vector<FoldTask> tasks;
+    std::vector<size_t> first_task(population.size(), 0);
+    std::vector<size_t> task_count(population.size(), 0);
+    std::set<std::string> planned;
+    int sim_left = evaluations_left;
+    for (size_t i = 0; i < population.size() && sim_left > 0; ++i) {
+      const Individual& individual = population[i];
+      if (individual.evaluated) continue;
+      const std::string key = individual.config.ToString();
+      if (cache.count(key) != 0 || planned.count(key) != 0) continue;
+      const size_t folds_to_plan =
+          std::min(total_folds, static_cast<size_t>(sim_left));
+      first_task[i] = tasks.size();
+      task_count[i] = folds_to_plan;
+      const size_t config_index = batch.size();
+      batch.push_back(individual.config);
+      for (size_t f = 0; f < folds_to_plan; ++f) {
+        tasks.push_back({config_index, f});
+      }
+      sim_left -= static_cast<int>(folds_to_plan);
+      if (folds_to_plan == total_folds) planned.insert(key);
+    }
+
+    // Evaluate (parallel across the run's pool).
+    StatusOr<std::vector<double>> costs_or =
+        EvaluateFoldTasks(objective, batch, tasks, options.cancel.get());
+    if (!costs_or.ok()) {
+      if (costs_or.status().code() == StatusCode::kCancelled) {
+        return Status::Cancelled("genetic: run cancelled");
+      }
+      return costs_or.status();
+    }
+    const std::vector<double>& costs = *costs_or;
+
+    // Replay (sequential): feed the costs through the original bookkeeping
+    // in population order so budget, cache, incumbent, and trajectory
+    // evolve exactly as in the fold-by-fold loop.
+    for (size_t i = 0; i < population.size(); ++i) {
+      if (evaluations_left <= 0) break;
+      Individual& individual = population[i];
+      if (individual.evaluated) continue;
+      const std::string key = individual.config.ToString();
+      auto it = cache.find(key);
+      if (it != cache.end()) {
+        individual.fitness = it->second;
+        individual.evaluated = true;
+        continue;
+      }
+      double total = 0.0;
+      size_t folds = 0;
+      for (size_t f = 0; f < task_count[i]; ++f) {
+        --evaluations_left;
+        ++result.num_evaluations;
+        total += costs[first_task[i] + f];
+        ++folds;
+        result.trajectory.push_back(result.best_cost > 1.5 ? 1.0
+                                                           : result.best_cost);
+      }
+      if (folds == 0) continue;  // Budget ran dry mid-generation.
+      individual.fitness = total / static_cast<double>(folds);
+      individual.evaluated = folds == total_folds;
+      if (individual.evaluated) cache[key] = individual.fitness;
+      if ((individual.evaluated || result.best_cost > 1.5) &&
+          individual.fitness < result.best_cost) {
+        result.best_cost = individual.fitness;
+        result.best_config = individual.config;
+        if (!result.trajectory.empty()) {
+          result.trajectory.back() = result.best_cost;
+        }
+      }
     }
     if (evaluations_left <= 0 || options.deadline.Expired()) break;
 

@@ -58,7 +58,7 @@ StatusOr<double> ClassifierObjective::EvaluateFold(const ParamConfig& config,
   if (fold >= splits_.size()) {
     return Status::InvalidArgument("objective: fold index out of range");
   }
-  ++num_evaluations_;
+  num_evaluations_.fetch_add(1, std::memory_order_relaxed);
   FaultMaybeDelay("slow_train");  // Makes runs reliably slow under test.
   const TrainValidationSplit& split = splits_[fold];
   std::unique_ptr<Classifier> model = prototype_->Clone();

@@ -7,6 +7,7 @@
 #ifndef SMARTML_TUNING_OBJECTIVE_H_
 #define SMARTML_TUNING_OBJECTIVE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,7 +35,9 @@ const char* TuneMetricName(TuneMetric metric);
 StatusOr<TuneMetric> ParseTuneMetric(const std::string& name);
 
 /// A minimization objective evaluated fold-by-fold. Costs are in [0, 1]
-/// (1 - accuracy for classifier objectives).
+/// (1 - accuracy for classifier objectives). EvaluateFold must be safe to
+/// call concurrently for distinct (config, fold) pairs — the tuners batch
+/// independent fold evaluations across the run's thread pool.
 class TuningObjective {
  public:
   virtual ~TuningObjective() = default;
@@ -59,7 +62,9 @@ class ClassifierObjective : public TuningObjective {
                                 size_t fold) override;
 
   /// Number of EvaluateFold calls so far (for budget accounting/tests).
-  size_t num_evaluations() const { return num_evaluations_; }
+  size_t num_evaluations() const {
+    return num_evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
   ClassifierObjective() = default;
@@ -67,7 +72,8 @@ class ClassifierObjective : public TuningObjective {
   std::unique_ptr<Classifier> prototype_;
   std::vector<TrainValidationSplit> splits_;
   TuneMetric metric_ = TuneMetric::kAccuracy;
-  size_t num_evaluations_ = 0;
+  /// Atomic: concurrent fold evaluations from a parallel batch all count.
+  std::atomic<size_t> num_evaluations_{0};
 };
 
 /// Outcome of a tuning run.

@@ -1,0 +1,24 @@
+#include "src/tuning/parallel_eval.h"
+
+#include "src/common/thread_pool.h"
+
+namespace smartml {
+
+StatusOr<std::vector<double>> EvaluateFoldTasks(
+    TuningObjective* objective, const std::vector<ParamConfig>& configs,
+    const std::vector<FoldTask>& tasks, const CancelToken* cancel) {
+  std::vector<double> costs(tasks.size(), 0.0);
+  SMARTML_RETURN_NOT_OK(ParallelFor(
+      tasks.size(),
+      [&](size_t t) -> Status {
+        const FoldTask& task = tasks[t];
+        SMARTML_ASSIGN_OR_RETURN(
+            costs[t],
+            objective->EvaluateFold(configs[task.config_index], task.fold));
+        return Status::OK();
+      },
+      cancel));
+  return costs;
+}
+
+}  // namespace smartml

@@ -1,0 +1,48 @@
+// Deterministic parallel fold evaluation for the tuners.
+//
+// The tuners keep bit-identical results at any thread count by splitting
+// each step into three phases:
+//
+//   1. *Plan* (sequential): draw the next batch of configurations exactly as
+//      the historical sequential loop would — the RNG streams never depend
+//      on evaluation results — and expand them into an ordered (config,
+//      fold) task list truncated at the remaining evaluation budget.
+//   2. *Evaluate* (parallel): compute every task's cost across the run's
+//      thread pool. EvaluateFold is deterministic per (config, fold), so
+//      execution order cannot change any value.
+//   3. *Replay* (sequential): feed the costs through the original
+//      bookkeeping (budget decrements, incumbent updates, trajectory) in
+//      the exact planned order.
+//
+// Only phase 2 runs concurrently, which is also where all the wall-clock
+// time goes (each task is a model fit + validation).
+#ifndef SMARTML_TUNING_PARALLEL_EVAL_H_
+#define SMARTML_TUNING_PARALLEL_EVAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/cancellation.h"
+#include "src/common/status.h"
+#include "src/tuning/objective.h"
+#include "src/tuning/param_space.h"
+
+namespace smartml {
+
+/// One planned fold evaluation: configs[config_index] on `fold`.
+struct FoldTask {
+  size_t config_index = 0;
+  size_t fold = 0;
+};
+
+/// Evaluates every task (parallel across the current thread pool; inline on
+/// the caller when the run is sequential) and returns the costs in task
+/// order. Errors propagate with lowest-task-index-wins semantics;
+/// cancellation aborts the batch with StatusCode::kCancelled.
+StatusOr<std::vector<double>> EvaluateFoldTasks(
+    TuningObjective* objective, const std::vector<ParamConfig>& configs,
+    const std::vector<FoldTask>& tasks, const CancelToken* cancel);
+
+}  // namespace smartml
+
+#endif  // SMARTML_TUNING_PARALLEL_EVAL_H_

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/common/distributions.h"
+#include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 
 namespace smartml {
@@ -346,6 +347,22 @@ class SmacRun {
     return Status::OK();
   }
 
+  // Scores every candidate's expected improvement across the run's thread
+  // pool. Predict is const and deterministic per candidate, so execution
+  // order cannot change any score.
+  std::vector<double> ScoreEi(const RegressionForest& forest,
+                              const std::vector<ParamConfig>& candidates,
+                              double f_best) const {
+    std::vector<double> ei(candidates.size(), 0.0);
+    (void)ParallelFor(candidates.size(), [&](size_t i) -> Status {
+      const RegressionForest::Prediction p =
+          forest.Predict(space_.Encode(candidates[i]));
+      ei[i] = ExpectedImprovement(p.mean, p.variance, f_best);
+      return Status::OK();
+    });
+    return ei;
+  }
+
   // Builds the surrogate and proposes challengers by EI; interleaves uniform
   // random configs.
   std::vector<ParamConfig> SelectChallengers() {
@@ -387,33 +404,43 @@ class SmacRun {
         continue;
       }
       // EI maximization: random candidates + local search around the best.
+      // Candidate generation keeps the historical RNG call order (one
+      // sample, ei_candidates samples, the incumbent's neighbor chain —
+      // the chain's cursor never depends on scores); scoring runs in
+      // parallel and a sequential argmax replays the original strict-`>`
+      // tie-breaking, so challengers are identical at any thread count.
       ParamConfig best_candidate = space_.Sample(&rng_);
       double best_ei = -1.0;
-      auto consider = [&](const ParamConfig& candidate) {
-        const RegressionForest::Prediction p =
-            forest.Predict(space_.Encode(candidate));
-        const double ei = ExpectedImprovement(p.mean, p.variance, f_best);
-        if (ei > best_ei) {
-          best_ei = ei;
-          best_candidate = candidate;
+      auto argmax = [&](const std::vector<ParamConfig>& candidates,
+                        const std::vector<double>& scores) {
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (scores[i] > best_ei) {
+            best_ei = scores[i];
+            best_candidate = candidates[i];
+          }
         }
       };
+      std::vector<ParamConfig> candidates;
       for (int i = 0; i < options_.ei_candidates; ++i) {
-        consider(space_.Sample(&rng_));
+        candidates.push_back(space_.Sample(&rng_));
       }
-      // Local search from the incumbent and from the current EI maximizer.
       if (incumbent_ != kNone) {
         ParamConfig cursor = records_[incumbent_].config;
         for (int s = 0; s < options_.local_search_steps; ++s) {
           cursor = space_.Neighbor(cursor, &rng_);
-          consider(cursor);
+          candidates.push_back(cursor);
         }
       }
+      argmax(candidates, ScoreEi(forest, candidates, f_best));
+      // The second local-search chain starts at the EI maximizer found so
+      // far, so it is generated (and scored) after the first argmax pass.
+      std::vector<ParamConfig> chain;
       ParamConfig cursor = best_candidate;
       for (int s = 0; s < options_.local_search_steps; ++s) {
         cursor = space_.Neighbor(cursor, &rng_);
-        consider(cursor);
+        chain.push_back(cursor);
       }
+      argmax(chain, ScoreEi(forest, chain, f_best));
       out.push_back(best_candidate);
     }
     return out;

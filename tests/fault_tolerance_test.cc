@@ -103,6 +103,37 @@ TEST_F(FaultTolerance, CancelTokenAbortsRunWithKCancelled) {
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
 }
 
+TEST_F(FaultTolerance, CancelMidParallelTuneAbortsPromptly) {
+  // Candidates tune concurrently on a 4-thread run; a cancel fired from
+  // another thread mid-tune must reach every parallel strand and abort the
+  // run with kCancelled well inside the latency bound.
+  ASSERT_TRUE(FaultInjection::Instance().SetSpec("slow_train:20ms").ok());
+
+  SmartMlOptions options = FastOptions();
+  options.num_threads = 4;
+  options.max_evaluations = 50;
+  options.cold_start_algorithms = {"knn", "rpart", "naive_bayes",
+                                   "random_forest"};
+  RunBudget budget;
+  budget.token = std::make_shared<CancelToken>();
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    budget.token->Cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  SmartML framework(options);
+  auto result = framework.Run(SmallDataset(), options, budget);
+  canceller.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_LT(seconds, 5.0) << "parallel run ignored the cancel for too long";
+}
+
 TEST_F(FaultTolerance, CancelRunningJobReachesTerminalStateQuickly) {
   // slow_train makes every fold evaluation sleep, so the job reliably stays
   // running long enough to observe the cancelling -> cancelled transition.

@@ -1,0 +1,290 @@
+// Thread-pool and ParallelFor tests: full coverage of the index space at
+// several pool widths, the deterministic error model (lowest index wins,
+// exceptions become Status::Internal), cancellation mid-loop, nested
+// ParallelFor on a starved pool (the historical deadlock shape), bounded
+// queues, and end-to-end determinism of SmartML::Run across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/cancellation.h"
+#include "src/common/thread_pool.h"
+#include "src/core/smartml.h"
+#include "src/data/synthetic.h"
+
+namespace smartml {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParallelFor basics
+// ---------------------------------------------------------------------------
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnceAtAnyWidth) {
+  for (int workers : {0, 1, 7}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    Status status = ParallelFor(
+        kN,
+        [&](size_t i) -> Status {
+          hits[i].fetch_add(1);
+          return Status::OK();
+        },
+        /*cancel=*/nullptr, pool.get());
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " workers " << workers;
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroAndOneIterationDegenerateCases) {
+  ThreadPool pool(2);
+  int calls = 0;
+  EXPECT_TRUE(ParallelFor(
+                  0, [&](size_t) -> Status { return Status::OK(); },
+                  nullptr, &pool)
+                  .ok());
+  Status status = ParallelFor(
+      1,
+      [&](size_t i) -> Status {
+        EXPECT_EQ(i, 0u);
+        ++calls;  // Single iteration runs on the caller; no race.
+        return Status::OK();
+      },
+      nullptr, &pool);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, LowestIndexErrorWinsDeterministically) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    Status status = ParallelFor(
+        64,
+        [&](size_t i) -> Status {
+          if (i % 2 == 1) {
+            return Status::Internal("boom at " + std::to_string(i));
+          }
+          return Status::OK();
+        },
+        nullptr, &pool);
+    ASSERT_FALSE(status.ok());
+    // All odd indices fail; index 1 is the lowest and must be reported no
+    // matter which strand got there first.
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_NE(status.ToString().find("boom at 1"), std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(ParallelForTest, ExceptionsAreCapturedAsInternal) {
+  ThreadPool pool(3);
+  Status status = ParallelFor(
+      16,
+      [&](size_t i) -> Status {
+        if (i == 0) throw std::runtime_error("kaboom");
+        return Status::OK();
+      },
+      nullptr, &pool);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.ToString().find("kaboom"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ParallelForTest, CancellationMidLoopStopsFurtherClaims) {
+  ThreadPool pool(4);
+  CancelToken token;
+  std::atomic<int> started{0};
+  Status status = ParallelFor(
+      10000,
+      [&](size_t) -> Status {
+        if (started.fetch_add(1) == 8) token.Cancel();
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        return Status::OK();
+      },
+      &token, &pool);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  // The loop must stop long before exhausting the index space.
+  EXPECT_LT(started.load(), 10000);
+}
+
+TEST(ParallelForTest, TaskReportedCancellationWinsOverGenericMessage) {
+  ThreadPool pool(2);
+  Status status = ParallelFor(
+      4,
+      [&](size_t i) -> Status {
+        if (i == 0) return Status::Cancelled("tuner: run cancelled");
+        return Status::OK();
+      },
+      nullptr, &pool);
+  ASSERT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.ToString().find("tuner: run cancelled"), std::string::npos)
+      << status.ToString();
+}
+
+// The historical deadlock shape: an outer ParallelFor occupies the only
+// worker, and every task issues an inner ParallelFor against the same pool.
+// Work-contribution means the inner caller always drains its own indices.
+TEST(ParallelForTest, NestedParallelForOnStarvedPoolDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  Status status = ParallelFor(
+      8,
+      [&](size_t) -> Status {
+        return ParallelFor(
+            32,
+            [&](size_t) -> Status {
+              total.fetch_add(1);
+              return Status::OK();
+            },
+            nullptr, &pool);
+      },
+      nullptr, &pool);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(total.load(), 8 * 32);
+}
+
+TEST(ParallelForTest, TinyQueueOverflowOnlyReducesHelpers) {
+  // Queue of 1 forces most TrySubmit calls to fail; correctness must not
+  // depend on how many helpers were accepted.
+  ThreadPool pool(4, /*max_queued_tasks=*/1);
+  std::atomic<int> total{0};
+  Status status = ParallelFor(
+      500,
+      [&](size_t) -> Status {
+        total.fetch_add(1);
+        return Status::OK();
+      },
+      nullptr, &pool);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ParallelForTest, ConcurrentCallersShareOnePool) {
+  ThreadPool pool(4);
+  std::vector<std::thread> callers;
+  std::vector<int> sums(6, 0);
+  for (size_t c = 0; c < sums.size(); ++c) {
+    callers.emplace_back([&, c] {
+      std::atomic<int> sum{0};
+      Status status = ParallelFor(
+          200,
+          [&](size_t) -> Status {
+            sum.fetch_add(1);
+            return Status::OK();
+          },
+          nullptr, &pool);
+      if (status.ok()) sums[c] = sum.load();
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (size_t c = 0; c < sums.size(); ++c) {
+    EXPECT_EQ(sums[c], 200) << "caller " << c;
+  }
+}
+
+TEST(ParallelForRangesTest, RangesTileTheIndexSpace) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1003;  // Deliberately not a multiple of the grain.
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  Status status = ParallelForRanges(
+      kN, /*grain=*/64,
+      [&](size_t begin, size_t end) -> Status {
+        EXPECT_LT(begin, end);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+        return Status::OK();
+      },
+      nullptr, &pool);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ScopedPoolScopeInstallsAndRestores) {
+  EXPECT_EQ(CurrentThreadPool(), nullptr);
+  ThreadPool pool(2);
+  {
+    ScopedPoolScope outer(&pool);
+    EXPECT_EQ(CurrentThreadPool(), &pool);
+    {
+      ScopedPoolScope inner(nullptr);  // A sequential sub-scope.
+      EXPECT_EQ(CurrentThreadPool(), nullptr);
+    }
+    EXPECT_EQ(CurrentThreadPool(), &pool);
+  }
+  EXPECT_EQ(CurrentThreadPool(), nullptr);
+}
+
+TEST(ThreadPoolTest, ResolveNumThreads) {
+  EXPECT_GE(ResolveNumThreads(0), 1);   // Auto: hardware concurrency.
+  EXPECT_GE(ResolveNumThreads(-3), 1);  // Negative values are "auto" too.
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(8), 8);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: the whole pipeline must be bit-identical at any
+// thread count (per-task RNG streams + plan/evaluate/replay tuner batches).
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeterminismTest, RunIsIdenticalAtOneAndEightThreads) {
+  SyntheticSpec spec;
+  spec.num_instances = 120;
+  spec.class_sep = 1.5;
+  spec.seed = 91;
+  spec.name = "determinism_ds";
+  const Dataset dataset = GenerateSynthetic(spec);
+
+  auto run = [&](int num_threads) {
+    SmartMlOptions options;
+    options.max_evaluations = 24;
+    options.cv_folds = 2;
+    options.cold_start_algorithms = {"knn", "naive_bayes", "rpart",
+                                     "random_forest"};
+    options.enable_ensembling = true;
+    options.enable_interpretability = false;
+    options.update_kb = false;
+    options.num_threads = num_threads;
+    SmartML framework(options);
+    auto result = framework.Run(dataset, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result;
+  };
+
+  auto sequential = run(1);
+  auto parallel = run(8);
+  ASSERT_TRUE(sequential.ok() && parallel.ok());
+
+  EXPECT_EQ(sequential->best_algorithm, parallel->best_algorithm);
+  EXPECT_EQ(sequential->best_config.ToString(),
+            parallel->best_config.ToString());
+  EXPECT_DOUBLE_EQ(sequential->best_validation_accuracy,
+                   parallel->best_validation_accuracy);
+  ASSERT_EQ(sequential->per_algorithm.size(), parallel->per_algorithm.size());
+  for (size_t i = 0; i < sequential->per_algorithm.size(); ++i) {
+    const AlgorithmRunResult& a = sequential->per_algorithm[i];
+    const AlgorithmRunResult& b = parallel->per_algorithm[i];
+    EXPECT_EQ(a.algorithm, b.algorithm) << i;
+    EXPECT_EQ(a.best_config.ToString(), b.best_config.ToString()) << i;
+    EXPECT_DOUBLE_EQ(a.validation_accuracy, b.validation_accuracy) << i;
+    EXPECT_DOUBLE_EQ(a.tuning_cost, b.tuning_cost) << i;
+    EXPECT_EQ(a.evaluations, b.evaluations) << i;
+    ASSERT_EQ(a.trajectory.size(), b.trajectory.size()) << i;
+    for (size_t t = 0; t < a.trajectory.size(); ++t) {
+      EXPECT_DOUBLE_EQ(a.trajectory[t], b.trajectory[t]) << i << ":" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smartml
