@@ -123,15 +123,15 @@ int main(int argc, char** argv) {
     };
     bool single_hit = false;
     if (!neighbors.empty()) {
-      for (const auto& r : top_of_record(*neighbors[0].first, 3)) {
+      for (const auto& r : top_of_record(neighbors[0].record, 3)) {
         single_hit = single_hit || r.algorithm == oracle;
       }
     }
 
     // "The first outperforming algorithm for n similar datasets".
     bool top1_hit = false;
-    for (const auto& [record, dist] : neighbors) {
-      const auto best = top_of_record(*record, 1);
+    for (const auto& neighbor : neighbors) {
+      const auto best = top_of_record(neighbor.record, 1);
       if (!best.empty()) top1_hit = top1_hit || best[0].algorithm == oracle;
     }
 

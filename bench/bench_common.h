@@ -49,8 +49,9 @@ inline KnowledgeBase BootstrapKb(size_t num_datasets,
   if (!cache_path.empty()) {
     auto cached = KnowledgeBase::LoadFromFile(cache_path);
     if (cached.ok() && cached->NumRecords() >= num_datasets &&
-        (!landmarking || (cached->NumRecords() > 0 &&
-                          cached->records()[0].has_landmarks))) {
+        (!landmarking ||
+         (cached->NumRecords() > 0 &&
+          cached->SnapshotRecords()[0].has_landmarks))) {
       std::fprintf(stderr, "[bench] reusing cached KB (%zu records): %s\n",
                    cached->NumRecords(), cache_path.c_str());
       return std::move(*cached);

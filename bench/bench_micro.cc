@@ -4,6 +4,10 @@
 // fits.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/core/smartml.h"
 #include "src/data/synthetic.h"
@@ -62,6 +66,68 @@ void BM_KbNomination(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KbNomination)->Arg(50)->Arg(500)->Arg(5000);
+
+KnowledgeBase LookupBenchKb(int64_t n) {
+  KnowledgeBase kb;
+  Rng rng(17);
+  for (int64_t i = 0; i < n; ++i) {
+    KbRecord record;
+    record.dataset_name = "d" + std::to_string(i);
+    for (auto& v : record.meta_features) v = rng.Uniform(0, 100);
+    KbAlgorithmResult r;
+    r.algorithm = "rf";
+    r.accuracy = rng.Uniform();
+    record.results.push_back(r);
+    kb.AddRecord(record);
+  }
+  return kb;
+}
+
+// The serving-path lookup against the cached normalized index: one
+// normalizer Apply for the query, distances against precomputed vectors,
+// partial_sort on k.
+void BM_KbLookupCached(benchmark::State& state) {
+  const KnowledgeBase kb = LookupBenchKb(state.range(0));
+  Rng rng(23);
+  MetaFeatureVector query{};
+  for (auto& v : query) v = rng.Uniform(0, 100);
+  for (auto _ : state) {
+    auto neighbors = kb.NearestRecords(query, 3);
+    benchmark::DoNotOptimize(neighbors);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KbLookupCached)->Arg(1000)->Arg(10000);
+
+// The pre-cache baseline: re-normalize every record per lookup and fully
+// sort all candidates. Kept as a reference point for the index speedup.
+void BM_KbLookupLinearScan(benchmark::State& state) {
+  const KnowledgeBase kb = LookupBenchKb(state.range(0));
+  const std::vector<KbRecord> records = kb.SnapshotRecords();
+  MetaFeatureNormalizer normalizer;
+  std::vector<MetaFeatureVector> all;
+  all.reserve(records.size());
+  for (const auto& record : records) all.push_back(record.meta_features);
+  normalizer.Fit(all);
+  Rng rng(23);
+  MetaFeatureVector query{};
+  for (auto& v : query) v = rng.Uniform(0, 100);
+  for (auto _ : state) {
+    const MetaFeatureVector q = normalizer.Apply(query);
+    std::vector<std::pair<const KbRecord*, double>> scored;
+    scored.reserve(records.size());
+    for (const auto& record : records) {
+      const MetaFeatureVector normalized = normalizer.Apply(record.meta_features);
+      scored.emplace_back(&record, MetaFeatureDistance(q, normalized));
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (scored.size() > 3) scored.resize(3);
+    benchmark::DoNotOptimize(scored);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KbLookupLinearScan)->Arg(1000)->Arg(10000);
 
 void BM_KbSerialize(benchmark::State& state) {
   KnowledgeBase kb;

@@ -26,7 +26,7 @@ int Stats(const KnowledgeBase& kb) {
   std::printf("records: %zu\n", kb.NumRecords());
   std::map<std::string, std::pair<int, double>> per_algorithm;  // count, best.
   size_t total_results = 0;
-  for (const auto& record : kb.records()) {
+  for (const auto& record : kb.SnapshotRecords()) {
     total_results += record.results.size();
     for (const auto& result : record.results) {
       auto& [count, best] = per_algorithm[result.algorithm];
@@ -44,7 +44,7 @@ int Stats(const KnowledgeBase& kb) {
 }
 
 int List(const KnowledgeBase& kb) {
-  for (const auto& record : kb.records()) {
+  for (const auto& record : kb.SnapshotRecords()) {
     std::string best_algorithm = "-";
     double best = -1;
     for (const auto& result : record.results) {
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
                      kb.status().ToString().c_str());
         return 1;
       }
-      for (const auto& record : kb->records()) merged.AddRecord(record);
+      for (const auto& record : kb->SnapshotRecords()) merged.AddRecord(record);
       std::printf("merged %s (%zu records)\n", argv[i], kb->NumRecords());
     }
     const Status status = merged.SaveToFile(argv[2]);

@@ -28,4 +28,44 @@ if ! "$BUILD_DIR"/bench/bench_micro \
     --benchmark_out_format=json
 fi
 
+# Surface the KB-lookup index speedup (cached normalized matrix +
+# partial_sort vs the old re-normalizing full-sort scan). The ratio at 10k
+# records is the acceptance signal for the lookup fast path; fail loudly if
+# the benchmarks went missing from the sweep.
+python3 - "$OUT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+times = {
+    b["name"]: b["real_time"]
+    for b in data.get("benchmarks", [])
+    if b["name"].startswith("BM_KbLookup")
+}
+missing = [
+    name
+    for name in (
+        "BM_KbLookupCached/1000",
+        "BM_KbLookupCached/10000",
+        "BM_KbLookupLinearScan/1000",
+        "BM_KbLookupLinearScan/10000",
+    )
+    if name not in times
+]
+if missing:
+    print("bench_smoke: missing KB-lookup benchmarks: %s" % ", ".join(missing))
+    sys.exit(1)
+
+for n in (1000, 10000):
+    cached = times["BM_KbLookupCached/%d" % n]
+    linear = times["BM_KbLookupLinearScan/%d" % n]
+    ratio = linear / cached if cached > 0 else float("inf")
+    print(
+        "bench_smoke: KB lookup at %5d records: cached %.1fus, "
+        "linear scan %.1fus, speedup %.2fx" % (n, cached / 1e3, linear / 1e3, ratio)
+    )
+EOF
+
 echo "bench_smoke: wrote $OUT"

@@ -15,6 +15,7 @@
 #include "src/api/json.h"
 #include "src/common/strings.h"
 #include "src/data/csv.h"
+#include "src/metafeatures/metafeature_cache.h"
 #include "src/ml/registry.h"
 
 namespace smartml {
@@ -172,6 +173,7 @@ StatusOr<HttpRequest> ParseHttpRequest(const std::string& text) {
     return Status::InvalidArgument("http: malformed request line");
   }
   request.method = parts[0];
+  request.version = parts[2];
   std::string target = parts[1];
   const size_t qpos = target.find('?');
   if (qpos != std::string::npos) {
@@ -200,7 +202,8 @@ StatusOr<HttpRequest> ParseHttpRequest(const std::string& text) {
   return request;
 }
 
-std::string SerializeHttpResponse(const HttpResponse& response) {
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive) {
   std::string out = StrFormat("HTTP/1.1 %d %s\r\n", response.status,
                               StatusText(response.status));
   out += "Content-Type: " + response.content_type + "\r\n";
@@ -208,7 +211,8 @@ std::string SerializeHttpResponse(const HttpResponse& response) {
     out += name + ": " + value + "\r\n";
   }
   out += StrFormat("Content-Length: %zu\r\n", response.body.size());
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += response.body;
   return out;
 }
@@ -433,7 +437,9 @@ HttpResponse RestService::HandleMetaFeatures(const HttpRequest& request) {
   if (!dataset.ok()) {
     return ErrorResponseFromStatus(dataset.status());
   }
-  auto mf = ExtractMetaFeatures(*dataset);
+  // Memoized by dataset content hash; a repeated upload of the same CSV
+  // skips the extraction.
+  auto mf = MetaFeatureCache::Global().MetaFeatures(*dataset);
   if (!mf.ok()) {
     return ErrorResponseFromStatus(mf.status());
   }
@@ -659,6 +665,10 @@ HttpServer::HttpServer(RestService* service, HttpServerOptions options)
   options_.num_workers = std::max(options_.num_workers, 1);
   options_.max_queued_connections =
       std::max<size_t>(options_.max_queued_connections, 1);
+  options_.max_requests_per_connection =
+      std::max(options_.max_requests_per_connection, 1);
+  options_.keepalive_idle_timeout_seconds =
+      std::max(options_.keepalive_idle_timeout_seconds, 0.0);
 
   MetricsRegistry& registry =
       options_.metrics != nullptr ? *options_.metrics : GlobalMetrics();
@@ -677,6 +687,9 @@ HttpServer::HttpServer(RestService* service, HttpServerOptions options)
   metrics_.shed = registry.GetCounter(
       "smartml_http_shed_total",
       "Connections rejected with 503 because the queue was full.");
+  metrics_.keepalive_reuses = registry.GetCounter(
+      "smartml_http_keepalive_reuses_total",
+      "Requests served on an already-open keep-alive connection.");
 }
 
 HttpServer::~HttpServer() {
@@ -820,68 +833,143 @@ void HttpServer::WorkerLoop() {
       metrics_.queue_depth->Set(static_cast<int64_t>(pending_.size()));
     }
     HandleConnection(client);
-    served_.fetch_add(1);
   }
 }
 
 void HttpServer::HandleConnection(int client) {
-  ScopedTimer latency_timer(metrics_.request_seconds);
-  // Read until the full header + Content-Length body has arrived (or the
-  // socket times out).
+  // Serves a sequence of requests on one connection (HTTP/1.1 keep-alive;
+  // pipelined requests are consumed back-to-back). `data` carries bytes
+  // read past the current request's framing into the next iteration.
   std::string data;
   char buffer[8192];
-  size_t expected_total = std::string::npos;
-  bool timed_out = false;
-  while (data.size() < (expected_total == std::string::npos
-                            ? data.size() + 1
-                            : expected_total)) {
-    const ssize_t n = ::read(client, buffer, sizeof(buffer));
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      timed_out = true;
-      break;
+  int requests_on_connection = 0;
+  bool keep_alive = true;
+  while (keep_alive) {
+    // Between requests, wait for the next byte in short ticks so a server
+    // drain (Stop() / max_requests reached) closes idle connections
+    // promptly instead of holding a worker for the full idle timeout.
+    if (requests_on_connection > 0 && data.empty()) {
+      bool readable = false;
+      for (double waited = 0.0;
+           waited < options_.keepalive_idle_timeout_seconds; waited += 0.1) {
+        if (stopping_.load() || draining_.load()) break;
+        fd_set fds;
+        FD_ZERO(&fds);
+        FD_SET(client, &fds);
+        timeval tick{};
+        tick.tv_usec = 100000;
+        const int ready = ::select(client + 1, &fds, nullptr, nullptr, &tick);
+        if (ready > 0) {
+          readable = true;
+          break;
+        }
+        if (ready < 0 && errno != EINTR) break;
+      }
+      if (!readable) break;  // Idle timeout or drain: quiet close.
     }
-    if (n <= 0) break;
-    data.append(buffer, static_cast<size_t>(n));
-    if (expected_total == std::string::npos) {
-      const size_t head_end = data.find("\r\n\r\n");
-      if (head_end == std::string::npos) continue;
-      size_t content_length = 0;
-      auto parsed = ParseHttpRequest(data.substr(0, head_end + 4));
-      if (parsed.ok()) {
-        auto it = parsed->headers.find("content-length");
-        if (it != parsed->headers.end()) {
-          content_length = static_cast<size_t>(
-              std::strtoull(it->second.c_str(), nullptr, 10));
+
+    ScopedTimer latency_timer(metrics_.request_seconds);
+    // Read until the full header + Content-Length body of one request has
+    // arrived (or the socket times out / the client goes away).
+    size_t expected_total = std::string::npos;
+    bool timed_out = false;
+    bool peer_closed = false;
+    for (;;) {
+      if (expected_total == std::string::npos) {
+        const size_t head_end = data.find("\r\n\r\n");
+        if (head_end != std::string::npos) {
+          size_t content_length = 0;
+          auto head = ParseHttpRequest(data.substr(0, head_end + 4));
+          if (head.ok()) {
+            auto it = head->headers.find("content-length");
+            if (it != head->headers.end()) {
+              content_length = static_cast<size_t>(
+                  std::strtoull(it->second.c_str(), nullptr, 10));
+            }
+          }
+          expected_total = head_end + 4 + content_length;
         }
       }
-      expected_total = head_end + 4 + content_length;
+      if (expected_total != std::string::npos &&
+          data.size() >= expected_total) {
+        break;
+      }
+      const ssize_t n = ::read(client, buffer, sizeof(buffer));
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        timed_out = true;
+        break;
+      }
+      if (n <= 0) {
+        peer_closed = true;
+        break;
+      }
+      data.append(buffer, static_cast<size_t>(n));
     }
-  }
+    // The peer hung up with no request in flight: quiet close.
+    if (peer_closed && data.empty()) break;
 
-  HttpResponse response;
-  if (timed_out &&
-      (expected_total == std::string::npos || data.size() < expected_total)) {
-    response = ErrorResponse(408, "request_timeout",
-                             "client did not send a complete request in time");
-  } else {
-    auto request = ParseHttpRequest(data);
-    if (request.ok()) {
-      response = service_->Handle(*request);
+    HttpResponse response;
+    bool framed_ok = false;
+    HttpRequest request;
+    if (timed_out) {
+      response = ErrorResponse(
+          408, "request_timeout",
+          "client did not send a complete request in time");
     } else {
-      response = ErrorResponseFromStatus(request.status());
+      // On peer_closed with partial bytes, expected_total is unmet and the
+      // parse of the torn prefix yields the 400 envelope.
+      const size_t take =
+          peer_closed ? data.size() : expected_total;
+      auto parsed = ParseHttpRequest(data.substr(0, take));
+      if (parsed.ok() && !peer_closed) {
+        framed_ok = true;
+        request = std::move(*parsed);
+        data.erase(0, expected_total);
+        response = service_->Handle(request);
+      } else if (parsed.ok()) {
+        response = ErrorResponse(400, "invalid_argument",
+                                 "connection closed mid-request");
+      } else {
+        response = ErrorResponseFromStatus(parsed.status());
+      }
     }
-  }
-  const int status_class = response.status / 100;
-  if (status_class >= 2 && status_class <= 5) {
-    metrics_.requests_by_class[status_class - 2]->Increment();
-  }
-  const std::string wire = SerializeHttpResponse(response);
-  size_t written = 0;
-  while (written < wire.size()) {
-    const ssize_t n =
-        ::write(client, wire.data() + written, wire.size() - written);
-    if (n <= 0) break;
-    written += static_cast<size_t>(n);
+
+    ++requests_on_connection;
+    if (requests_on_connection > 1) metrics_.keepalive_reuses->Increment();
+
+    // Keep-alive decision: HTTP/1.1 defaults to keep, HTTP/1.0 and
+    // `Connection: close` to close; framing errors, the per-connection
+    // request cap and a draining server always close.
+    keep_alive = framed_ok;
+    if (keep_alive) {
+      if (request.version == "HTTP/1.0") keep_alive = false;
+      auto it = request.headers.find("connection");
+      if (it != request.headers.end() &&
+          AsciiToLower(it->second) == "close") {
+        keep_alive = false;
+      }
+    }
+    if (requests_on_connection >= options_.max_requests_per_connection ||
+        stopping_.load() || draining_.load()) {
+      keep_alive = false;
+    }
+
+    const int status_class = response.status / 100;
+    if (status_class >= 2 && status_class <= 5) {
+      metrics_.requests_by_class[status_class - 2]->Increment();
+    }
+    const std::string wire = SerializeHttpResponse(response, keep_alive);
+    // Count before writing: a client that reads the response must be able
+    // to observe the updated requests_served().
+    served_.fetch_add(1);
+    size_t written = 0;
+    while (written < wire.size()) {
+      const ssize_t n =
+          ::write(client, wire.data() + written, wire.size() - written);
+      if (n <= 0) break;
+      written += static_cast<size_t>(n);
+    }
+    if (written < wire.size()) break;  // Client stopped reading.
   }
   ::close(client);
 }

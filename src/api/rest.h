@@ -10,6 +10,9 @@
 //     loop feeding a fixed pool of worker threads over a bounded queue, so
 //     one slow request cannot starve other clients. Per-connection
 //     read/write timeouts keep stalled clients from pinning a worker.
+//     Connections are kept alive across requests (HTTP/1.1 default,
+//     pipelining included) up to a bounded request count and idle timeout;
+//     `Connection: close` and HTTP/1.0 requests close after one response.
 //
 // Versioned v1 routes (all non-2xx responses carry the uniform envelope
 // {"error":{"code":"...","message":"..."}}):
@@ -54,8 +57,9 @@ class HttpServer;
 class JobManager;
 
 struct HttpRequest {
-  std::string method;  // "GET", "POST", ...
-  std::string path;    // "/v1/runs" (query string stripped).
+  std::string method;   // "GET", "POST", ...
+  std::string path;     // "/v1/runs" (query string stripped).
+  std::string version;  // "HTTP/1.1" (drives the keep-alive default).
   std::map<std::string, std::string> query;
   std::map<std::string, std::string> headers;  // Lower-cased keys.
   std::string body;
@@ -73,8 +77,10 @@ struct HttpResponse {
 /// complete request (the server layer handles framing via Content-Length).
 StatusOr<HttpRequest> ParseHttpRequest(const std::string& text);
 
-/// Serializes a response with Content-Length framing.
-std::string SerializeHttpResponse(const HttpResponse& response);
+/// Serializes a response with Content-Length framing. `keep_alive` selects
+/// the Connection header ("keep-alive" vs "close").
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive = false);
 
 /// Builds the uniform v1 error envelope
 /// {"error":{"code":"<slug>","message":"..."}}.
@@ -136,6 +142,12 @@ struct HttpServerOptions {
   /// Per-connection socket read/write timeout; a stalled client is dropped
   /// (408) instead of pinning a worker forever.
   double io_timeout_seconds = 10.0;
+  /// Requests served on one connection before the server closes it
+  /// (bounds how long a chatty client can pin a worker). >= 1.
+  int max_requests_per_connection = 100;
+  /// How long a keep-alive connection may sit idle between requests before
+  /// the server closes it quietly.
+  double keepalive_idle_timeout_seconds = 5.0;
   /// Registry receiving the transport metrics (request counts/latency,
   /// queue depth, shed connections); null means the process-global one.
   MetricsRegistry* metrics = nullptr;
@@ -187,6 +199,7 @@ class HttpServer {
     Histogram* request_seconds = nullptr;
     Gauge* queue_depth = nullptr;
     Counter* shed = nullptr;
+    Counter* keepalive_reuses = nullptr;
   };
   Metrics metrics_;
   int listen_fd_ = -1;
@@ -197,7 +210,10 @@ class HttpServer {
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
   std::deque<int> pending_;  // Accepted fds awaiting a worker.
-  bool draining_ = false;    // Workers exit once pending_ is empty.
+  /// Workers exit once pending_ is empty. Written under mutex_ (for the
+  /// condition variable); atomic so idle keep-alive waits can poll it
+  /// without taking the queue lock.
+  std::atomic<bool> draining_{false};
   std::vector<std::thread> workers_;
 };
 

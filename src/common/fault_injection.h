@@ -16,6 +16,9 @@
 //                    temp file — simulates kill -9 mid-save.
 //   kb_load_corrupt  KnowledgeBase::LoadFromFile reads a bit-flipped body —
 //                    simulates on-disk corruption (checksum must catch it).
+//   kb_rename_fail   KnowledgeBase::SaveToFile's final rename (tmp -> path)
+//                    fails after the old file moved to .bak — the save must
+//                    restore the last-good file to the main path.
 //   kb_lookup_throw  KB nomination throws — exercises the degraded
 //                    no-meta-learning path.
 //   tuner_throw      SmartML::TuneAlgorithm throws before tuning —

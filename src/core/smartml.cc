@@ -12,6 +12,7 @@
 #include "src/common/thread_pool.h"
 #include "src/data/metrics.h"
 #include "src/data/split.h"
+#include "src/metafeatures/metafeature_cache.h"
 #include "src/ml/registry.h"
 #include "src/obs/metrics.h"
 #include "src/tuning/smac.h"
@@ -251,11 +252,14 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
   // Phase 2b: meta-features from the training split.
   // -------------------------------------------------------------------
   {
+    // Memoized by dataset content hash: repeated runs over the same upload
+    // skip the extraction (and landmark model training) entirely.
     Span span(tracer, "metafeatures");
     SMARTML_ASSIGN_OR_RETURN(result.meta_features,
-                             ExtractMetaFeatures(train));
+                             MetaFeatureCache::Global().MetaFeatures(train));
     if (options.use_landmarking) {
-      auto landmarks = ExtractLandmarkers(train, options.seed);
+      auto landmarks =
+          MetaFeatureCache::Global().Landmarks(train, options.seed);
       if (landmarks.ok()) {
         result.has_landmarks = true;
         result.landmarks = *landmarks;

@@ -33,6 +33,7 @@ struct KbMetrics {
   Counter* warm_start_misses = nullptr;
   Counter* updates = nullptr;
   Counter* recoveries = nullptr;
+  Counter* index_rebuilds = nullptr;
 
   static const KbMetrics& Get() {
     static const KbMetrics metrics = [] {
@@ -58,6 +59,9 @@ struct KbMetrics {
       m.recoveries = registry.GetCounter(
           "smartml_kb_recoveries_total",
           "Knowledge-base loads that required salvage or .bak fallback.");
+      m.index_rebuilds = registry.GetCounter(
+          "smartml_kb_index_rebuilds_total",
+          "Rebuilds of the cached normalized meta-feature matrix.");
       return m;
     }();
     return metrics;
@@ -69,41 +73,58 @@ KnowledgeBase::KnowledgeBase(const KnowledgeBase& other) {
   std::shared_lock lock(other.mutex_);
   records_ = other.records_;
   normalizer_ = other.normalizer_;
+  normalized_ = other.normalized_;
 }
 
 KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
   if (this == &other) return *this;
   std::vector<KbRecord> records;
   MetaFeatureNormalizer normalizer;
+  std::vector<MetaFeatureVector> normalized;
   {
     std::shared_lock lock(other.mutex_);
     records = other.records_;
     normalizer = other.normalizer_;
+    normalized = other.normalized_;
   }
   std::unique_lock lock(mutex_);
   records_ = std::move(records);
-  normalizer_ = normalizer;
+  normalizer_ = std::move(normalizer);
+  normalized_ = std::move(normalized);
   return *this;
 }
 
 KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
   std::unique_lock lock(other.mutex_);
   records_ = std::move(other.records_);
-  normalizer_ = other.normalizer_;
+  normalizer_ = std::move(other.normalizer_);
+  normalized_ = std::move(other.normalized_);
+  // The moved-from KB stays usable: empty records with a matching unfitted
+  // normalizer and empty index, not a normalizer fitted over records it no
+  // longer holds.
+  other.records_.clear();
+  other.normalizer_ = MetaFeatureNormalizer();
+  other.normalized_.clear();
 }
 
 KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
   if (this == &other) return *this;
   std::vector<KbRecord> records;
   MetaFeatureNormalizer normalizer;
+  std::vector<MetaFeatureVector> normalized;
   {
     std::unique_lock lock(other.mutex_);
     records = std::move(other.records_);
-    normalizer = other.normalizer_;
+    normalizer = std::move(other.normalizer_);
+    normalized = std::move(other.normalized_);
+    other.records_.clear();
+    other.normalizer_ = MetaFeatureNormalizer();
+    other.normalized_.clear();
   }
   std::unique_lock lock(mutex_);
   records_ = std::move(records);
-  normalizer_ = normalizer;
+  normalizer_ = std::move(normalizer);
+  normalized_ = std::move(normalized);
   return *this;
 }
 
@@ -129,11 +150,11 @@ void KnowledgeBase::AddRecord(const KbRecord& record) {
       }
       if (!merged) existing.results.push_back(incoming);
     }
-    RefreshNormalizer();
+    RebuildIndex();
     return;
   }
   records_.push_back(record);
-  RefreshNormalizer();
+  RebuildIndex();
 }
 
 size_t KnowledgeBase::NumRecords() const {
@@ -146,57 +167,78 @@ std::vector<KbRecord> KnowledgeBase::SnapshotRecords() const {
   return records_;
 }
 
-const KbRecord* KnowledgeBase::Find(const std::string& dataset_name) const {
+std::optional<KbRecord> KnowledgeBase::Find(
+    const std::string& dataset_name) const {
   std::shared_lock lock(mutex_);
   for (const auto& r : records_) {
-    if (r.dataset_name == dataset_name) return &r;
+    if (r.dataset_name == dataset_name) return r;
   }
-  return nullptr;
+  return std::nullopt;
 }
 
-void KnowledgeBase::RefreshNormalizer() {
+void KnowledgeBase::RebuildIndex() {
   std::vector<MetaFeatureVector> vectors;
   vectors.reserve(records_.size());
   for (const auto& r : records_) vectors.push_back(r.meta_features);
   normalizer_.Fit(vectors);
+  normalized_.clear();
+  normalized_.reserve(records_.size());
+  for (const auto& r : records_) {
+    normalized_.push_back(normalizer_.Apply(r.meta_features));
+  }
+  KbMetrics::Get().index_rebuilds->Increment();
 }
 
-std::vector<std::pair<const KbRecord*, double>> KnowledgeBase::NearestRecords(
+std::vector<KbNeighbor> KnowledgeBase::NearestRecords(
     const MetaFeatureVector& mf, size_t k) const {
   return NearestRecords(mf, nullptr, 0.0, k);
 }
 
-std::vector<std::pair<const KbRecord*, double>> KnowledgeBase::NearestRecords(
+std::vector<KbNeighbor> KnowledgeBase::NearestRecords(
     const MetaFeatureVector& mf, const LandmarkVector* landmarks,
     double landmark_weight, size_t k) const {
   std::shared_lock lock(mutex_);
-  return NearestRecordsLocked(mf, landmarks, landmark_weight, k);
+  const auto neighbors = NearestIndicesLocked(mf, landmarks, landmark_weight, k);
+  std::vector<KbNeighbor> out;
+  out.reserve(neighbors.size());
+  for (const auto& [index, distance] : neighbors) {
+    out.push_back(KbNeighbor{records_[index], distance});
+  }
+  return out;
 }
 
-std::vector<std::pair<const KbRecord*, double>>
-KnowledgeBase::NearestRecordsLocked(const MetaFeatureVector& mf,
-                                    const LandmarkVector* landmarks,
-                                    double landmark_weight, size_t k) const {
+std::vector<std::pair<size_t, double>> KnowledgeBase::NearestIndicesLocked(
+    const MetaFeatureVector& mf, const LandmarkVector* landmarks,
+    double landmark_weight, size_t k) const {
   const KbMetrics& metrics = KbMetrics::Get();
   ScopedTimer timer(metrics.lookup_seconds);
-  std::vector<std::pair<const KbRecord*, double>> out;
-  if (records_.empty()) {
+  std::vector<std::pair<size_t, double>> out;
+  if (records_.empty() || k == 0) {
     metrics.lookup_neighbors->Observe(0.0);
     return out;
   }
+  // One normalization for the query; every record distance reads the cached
+  // normalized matrix built by RebuildIndex().
   const MetaFeatureVector query = normalizer_.Apply(mf);
   out.reserve(records_.size());
-  for (const auto& r : records_) {
-    double distance =
-        MetaFeatureDistance(query, normalizer_.Apply(r.meta_features));
-    if (landmarks != nullptr && landmark_weight > 0.0 && r.has_landmarks) {
-      distance += landmark_weight * LandmarkDistance(*landmarks, r.landmarks);
+  for (size_t i = 0; i < records_.size(); ++i) {
+    double distance = MetaFeatureDistance(query, normalized_[i]);
+    if (landmarks != nullptr && landmark_weight > 0.0 &&
+        records_[i].has_landmarks) {
+      distance += landmark_weight *
+                  LandmarkDistance(*landmarks, records_[i].landmarks);
     }
-    out.emplace_back(&r, distance);
+    out.emplace_back(i, distance);
   }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
-  if (out.size() > k) out.resize(k);
+  // partial_sort is not stable, so ties break on the record index to keep
+  // equal-distance neighbours in deterministic insertion order.
+  const size_t top = std::min(k, out.size());
+  std::partial_sort(out.begin(), out.begin() + top, out.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.second < b.second ||
+                             (a.second == b.second && a.first < b.first);
+                    });
+  out.resize(top);
   metrics.lookup_neighbors->Observe(static_cast<double>(out.size()));
   return out;
 }
@@ -205,7 +247,7 @@ std::vector<Nomination> KnowledgeBase::Nominate(
     const MetaFeatureVector& mf, const NominationOptions& options) const {
   std::shared_lock lock(mutex_);
   return NominateImpl(
-      NearestRecordsLocked(mf, nullptr, 0.0, options.max_neighbors), options);
+      NearestIndicesLocked(mf, nullptr, 0.0, options.max_neighbors), options);
 }
 
 std::vector<Nomination> KnowledgeBase::Nominate(
@@ -213,13 +255,13 @@ std::vector<Nomination> KnowledgeBase::Nominate(
     const NominationOptions& options) const {
   std::shared_lock lock(mutex_);
   return NominateImpl(
-      NearestRecordsLocked(mf, &landmarks, options.landmark_weight,
+      NearestIndicesLocked(mf, &landmarks, options.landmark_weight,
                            options.max_neighbors),
       options);
 }
 
 std::vector<Nomination> KnowledgeBase::NominateImpl(
-    const std::vector<std::pair<const KbRecord*, double>>& neighbors,
+    const std::vector<std::pair<size_t, double>>& neighbors,
     const NominationOptions& options) const {
   std::vector<Nomination> out;
   if (records_.empty() || options.max_algorithms == 0) return out;
@@ -235,10 +277,11 @@ std::vector<Nomination> KnowledgeBase::NominateImpl(
     std::vector<std::pair<double, ParamConfig>> configs;
   };
   std::map<std::string, Accumulator> by_algorithm;
-  for (const auto& [record, distance] : neighbors) {
+  for (const auto& [record_index, distance] : neighbors) {
+    const KbRecord& record = records_[record_index];
     const double sim =
         1.0 / std::pow(1.0 + distance, options.distance_sharpness);
-    for (const auto& result : record->results) {
+    for (const auto& result : record.results) {
       const double perf =
           options.performance_weight > 0
               ? std::pow(std::max(result.accuracy, 0.0),
@@ -523,11 +566,19 @@ Status KnowledgeBase::SaveToFile(const std::string& path) const {
   // rename() is atomic, so a crash between these steps leaves either the
   // .bak (old state) or `path` (old or new state) loadable — never a torn
   // main file.
+  const std::string bak_path = path + ".bak";
   struct stat st {};
+  bool moved_to_bak = false;
   if (::stat(path.c_str(), &st) == 0) {
-    (void)::rename(path.c_str(), (path + ".bak").c_str());
+    moved_to_bak = ::rename(path.c_str(), bak_path.c_str()) == 0;
   }
-  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+  // kb_rename_fail simulates the final rename failing (e.g. EIO on a dying
+  // disk) after the old file already moved to .bak.
+  if (FaultShouldFire("kb_rename_fail") ||
+      ::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    // Put the last-good file back so readers of `path` never see it vanish
+    // because of a failed save.
+    if (moved_to_bak) (void)::rename(bak_path.c_str(), path.c_str());
     return Status::IOError("rename failed: " + tmp_path + " -> " + path);
   }
   // Persist the directory entry (best effort; not all filesystems need it).

@@ -10,16 +10,24 @@
 // over time".
 //
 // Thread safety: all member functions are safe to call concurrently — a
-// shared_mutex lets many readers (Nominate, Serialize, snapshots) proceed in
-// parallel with each other while AddRecord takes the lock exclusively. The
-// exceptions are `records()`, `Find()` and `NearestRecords()`, whose returned
-// references/pointers are only stable while no writer runs; concurrent
-// callers should use SnapshotRecords() / Nominate() (which return copies).
+// shared_mutex lets many readers (Find, NearestRecords, Nominate, Serialize,
+// snapshots) proceed in parallel with each other while AddRecord takes the
+// lock exclusively. Every lookup returns copies, never pointers into the
+// internal record vector, so results stay valid after the lock is released
+// even while writers reallocate the storage.
+//
+// Lookup fast path: the z-normalized meta-feature matrix is cached inside
+// the KB and rebuilt only when a write invalidates it (AddRecord,
+// copy/move-assignment, deserialization), so a nearest-neighbour query is a
+// single pass of plain distance computations plus a partial sort on k —
+// no per-record re-normalization and no full sort of the candidate list.
 #ifndef SMARTML_KB_KNOWLEDGE_BASE_H_
 #define SMARTML_KB_KNOWLEDGE_BASE_H_
 
+#include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -53,6 +61,14 @@ struct Nomination {
   /// Best stored configs from the contributing neighbours, best first —
   /// used to initialize SMAC.
   std::vector<ParamConfig> warm_start_configs;
+};
+
+/// One nearest-neighbour hit: a copy of the record plus its distance in the
+/// combined (normalized meta-feature [+ landmark]) space. Being a copy, it
+/// stays valid regardless of concurrent knowledge-base writers.
+struct KbNeighbor {
+  KbRecord record;
+  double distance = 0.0;
 };
 
 /// Tuning knobs for the similarity scheme (exposed for the ablation bench).
@@ -90,13 +106,9 @@ class KnowledgeBase {
   /// Consistent copy of all records (safe under concurrent writers).
   std::vector<KbRecord> SnapshotRecords() const;
 
-  /// Direct view of the records. Only valid while no concurrent writer
-  /// runs; concurrent callers should use SnapshotRecords().
-  const std::vector<KbRecord>& records() const { return records_; }
-
-  /// Finds the record for `dataset_name`, or nullptr. The pointer is only
-  /// stable while no concurrent writer runs.
-  const KbRecord* Find(const std::string& dataset_name) const;
+  /// Copy of the record for `dataset_name`, or nullopt. The copy stays
+  /// valid after return even while concurrent writers grow the KB.
+  std::optional<KbRecord> Find(const std::string& dataset_name) const;
 
   /// Nominates algorithms for a dataset with meta-features `mf`.
   /// Empty-KB behaviour: returns an empty list (the caller falls back to a
@@ -111,14 +123,16 @@ class KnowledgeBase {
                                    const LandmarkVector& landmarks,
                                    const NominationOptions& options) const;
 
-  /// The k nearest records and their distances (normalized space).
-  std::vector<std::pair<const KbRecord*, double>> NearestRecords(
-      const MetaFeatureVector& mf, size_t k) const;
+  /// The k nearest records (copies) and their distances (normalized space).
+  /// Ties in distance resolve in insertion order, deterministically.
+  std::vector<KbNeighbor> NearestRecords(const MetaFeatureVector& mf,
+                                         size_t k) const;
 
   /// Nearest records under the combined (meta-feature + landmark) distance.
-  std::vector<std::pair<const KbRecord*, double>> NearestRecords(
-      const MetaFeatureVector& mf, const LandmarkVector* landmarks,
-      double landmark_weight, size_t k) const;
+  std::vector<KbNeighbor> NearestRecords(const MetaFeatureVector& mf,
+                                         const LandmarkVector* landmarks,
+                                         double landmark_weight,
+                                         size_t k) const;
 
   /// Text serialization (versioned, line oriented) with a trailing
   /// "crc32 <8 hex digits>" integrity line covering everything before it.
@@ -147,22 +161,29 @@ class KnowledgeBase {
   static StatusOr<KnowledgeBase> LoadFromFile(const std::string& path);
 
  private:
-  // Unlocked implementations; callers hold mutex_.
-  std::vector<std::pair<const KbRecord*, double>> NearestRecordsLocked(
+  // Unlocked implementations; callers hold mutex_. Neighbours are
+  // (record index, distance) pairs — only valid while the lock is held.
+  std::vector<std::pair<size_t, double>> NearestIndicesLocked(
       const MetaFeatureVector& mf, const LandmarkVector* landmarks,
       double landmark_weight, size_t k) const;
   std::vector<Nomination> NominateImpl(
-      const std::vector<std::pair<const KbRecord*, double>>& neighbors,
+      const std::vector<std::pair<size_t, double>>& neighbors,
       const NominationOptions& options) const;
   std::string SerializeLocked() const;
-  void RefreshNormalizer();
 
-  /// Guards records_ and normalizer_: shared for lookups, exclusive for
-  /// AddRecord (the REST layer serves /v1/select from many worker threads
-  /// while completed runs commit their results).
+  /// Refits the normalizer and recomputes the cached normalized matrix.
+  /// Called with mutex_ held exclusively after every mutation.
+  void RebuildIndex();
+
+  /// Guards records_, normalizer_ and normalized_: shared for lookups,
+  /// exclusive for AddRecord (the REST layer serves /v1/select from many
+  /// worker threads while completed runs commit their results).
   mutable std::shared_mutex mutex_;
   std::vector<KbRecord> records_;
   MetaFeatureNormalizer normalizer_;
+  /// Cached z-normalized meta-features, index-aligned with records_ —
+  /// rebuilt by RebuildIndex() so lookups never re-normalize per record.
+  std::vector<MetaFeatureVector> normalized_;
 };
 
 }  // namespace smartml

@@ -208,8 +208,8 @@ TEST(LandmarkingTest, KbRoundTripsLandmarks) {
   kb.AddRecord(record);
   auto back = KnowledgeBase::Deserialize(kb.Serialize());
   ASSERT_TRUE(back.ok()) << back.status().ToString();
-  const KbRecord* loaded = back->Find("lm");
-  ASSERT_NE(loaded, nullptr);
+  const std::optional<KbRecord> loaded = back->Find("lm");
+  ASSERT_TRUE(loaded.has_value());
   ASSERT_TRUE(loaded->has_landmarks);
   EXPECT_NEAR(loaded->landmarks[0], 0.9, 1e-9);
 }
@@ -238,8 +238,8 @@ TEST(LandmarkingTest, LandmarkWeightChangesNeighborRanking) {
   const LandmarkVector query_lm = {0.9, 0.9, 0.9, 0.9};
   const auto ranked = kb.NearestRecords(query, &query_lm, 3.0, 2);
   ASSERT_EQ(ranked.size(), 2u);
-  EXPECT_EQ(ranked[0].first->dataset_name, "near_lm");
-  EXPECT_LT(ranked[0].second, ranked[1].second);
+  EXPECT_EQ(ranked[0].record.dataset_name, "near_lm");
+  EXPECT_LT(ranked[0].distance, ranked[1].distance);
 }
 
 TEST(LandmarkingTest, EndToEndThroughSmartML) {
@@ -254,7 +254,7 @@ TEST(LandmarkingTest, EndToEndThroughSmartML) {
   EXPECT_TRUE(first->has_landmarks);
   // The KB record carries the landmarks.
   ASSERT_EQ(framework.kb().NumRecords(), 1u);
-  EXPECT_TRUE(framework.kb().records()[0].has_landmarks);
+  EXPECT_TRUE(framework.kb().SnapshotRecords()[0].has_landmarks);
   // A second run nominates via the combined distance.
   auto second = framework.Run(MakeData(361, 140));
   ASSERT_TRUE(second.ok());

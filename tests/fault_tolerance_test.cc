@@ -364,6 +364,34 @@ TEST_F(FaultTolerance, SimulatedCrashDuringSaveNeverCorruptsTheKb) {
   std::remove((path + ".bak").c_str());
 }
 
+TEST_F(FaultTolerance, FailedFinalRenameRestoresMainFromBak) {
+  // The second rename of the save (tmp -> path) happens after the old file
+  // already moved to .bak. If it fails, the error path must put the
+  // last-good file back so `path` never goes missing because of a failed
+  // save.
+  const std::string path = TempPath("kb_renamefail");
+  ASSERT_TRUE(MakeKb(3).SaveToFile(path).ok());
+
+  ASSERT_TRUE(FaultInjection::Instance().SetSpec("kb_rename_fail").ok());
+  Status failed = MakeKb(7).SaveToFile(path);
+  EXPECT_FALSE(failed.ok());
+  ASSERT_TRUE(FaultInjection::Instance().SetSpec("").ok());
+
+  // The main path still loads and still holds the pre-failure contents.
+  auto loaded = KnowledgeBase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumRecords(), 3u);
+
+  // And a later save (fault disarmed) works normally.
+  ASSERT_TRUE(MakeKb(5).SaveToFile(path).ok());
+  auto after = KnowledgeBase::LoadFromFile(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->NumRecords(), 5u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  std::remove((path + ".bak").c_str());
+}
+
 TEST_F(FaultTolerance, ChecksumCatchesBitFlips) {
   const std::string path = TempPath("kb_bitflip");
   ASSERT_TRUE(MakeKb(3).SaveToFile(path).ok());

@@ -37,8 +37,8 @@ TEST(KbTest, AddAndFind) {
   EXPECT_EQ(kb.NumRecords(), 0u);
   kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.9}}));
   EXPECT_EQ(kb.NumRecords(), 1u);
-  ASSERT_NE(kb.Find("d1"), nullptr);
-  EXPECT_EQ(kb.Find("d2"), nullptr);
+  ASSERT_TRUE(kb.Find("d1").has_value());
+  EXPECT_FALSE(kb.Find("d2").has_value());
 }
 
 TEST(KbTest, MergeKeepsBetterResult) {
@@ -46,8 +46,8 @@ TEST(KbTest, MergeKeepsBetterResult) {
   kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.7}, {"knn", 0.8}}));
   kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.9}, {"j48", 0.6}}));
   EXPECT_EQ(kb.NumRecords(), 1u);
-  const KbRecord* r = kb.Find("d1");
-  ASSERT_NE(r, nullptr);
+  const std::optional<KbRecord> r = kb.Find("d1");
+  ASSERT_TRUE(r.has_value());
   ASSERT_EQ(r->results.size(), 3u);
   for (const auto& result : r->results) {
     if (result.algorithm == "svm") {
@@ -73,9 +73,84 @@ TEST(KbTest, NearestRecordsOrdering) {
   kb.AddRecord(MakeRecord("far", 9.0, {{"svm", 0.9}}));
   const auto neighbors = kb.NearestRecords(MakeMeta(1.1), 3);
   ASSERT_EQ(neighbors.size(), 3u);
-  EXPECT_EQ(neighbors[0].first->dataset_name, "near");
-  EXPECT_EQ(neighbors[2].first->dataset_name, "far");
-  EXPECT_LE(neighbors[0].second, neighbors[1].second);
+  EXPECT_EQ(neighbors[0].record.dataset_name, "near");
+  EXPECT_EQ(neighbors[2].record.dataset_name, "far");
+  EXPECT_LE(neighbors[0].distance, neighbors[1].distance);
+}
+
+TEST(KbTest, NearestRecordsTiesKeepInsertionOrder) {
+  // Three records at the exact same meta-feature point: partial_sort alone
+  // is not stable, so the lookup must tie-break on record index to return
+  // equal-distance neighbours in deterministic insertion order.
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("first", 2.0, {{"svm", 0.9}}));
+  kb.AddRecord(MakeRecord("second", 2.0, {{"knn", 0.8}}));
+  kb.AddRecord(MakeRecord("third", 2.0, {{"j48", 0.7}}));
+  kb.AddRecord(MakeRecord("far", 50.0, {{"rpart", 0.6}}));
+  const auto neighbors = kb.NearestRecords(MakeMeta(2.0), 3);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].record.dataset_name, "first");
+  EXPECT_EQ(neighbors[1].record.dataset_name, "second");
+  EXPECT_EQ(neighbors[2].record.dataset_name, "third");
+  EXPECT_DOUBLE_EQ(neighbors[0].distance, neighbors[2].distance);
+}
+
+TEST(KbTest, LookupSeesRecordsAddedAfterPreviousLookup) {
+  // The cached normalized index must be invalidated by AddRecord: a lookup,
+  // then an insert of a closer record, then the same lookup again must
+  // surface the new record first.
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("far", 10.0, {{"svm", 0.9}}));
+  kb.AddRecord(MakeRecord("farther", 20.0, {{"svm", 0.9}}));
+  auto neighbors = kb.NearestRecords(MakeMeta(1.0), 1);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].record.dataset_name, "far");
+
+  kb.AddRecord(MakeRecord("close", 1.0, {{"knn", 0.8}}));
+  neighbors = kb.NearestRecords(MakeMeta(1.0), 1);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].record.dataset_name, "close");
+
+  // Merging into an existing record moves it in meta-feature space too.
+  kb.AddRecord(MakeRecord("far", 1.01, {{"svm", 0.95}}));
+  neighbors = kb.NearestRecords(MakeMeta(1.0), 2);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[1].record.dataset_name, "far");
+}
+
+TEST(KbTest, NeighborCopiesSurviveLaterWrites) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("a", 1.0, {{"svm", 0.9}}));
+  auto neighbors = kb.NearestRecords(MakeMeta(1.0), 1);
+  auto found = kb.Find("a");
+  ASSERT_TRUE(found.has_value());
+  // Force reallocation of the internal record vector.
+  for (int i = 0; i < 64; ++i) {
+    kb.AddRecord(MakeRecord("grow_" + std::to_string(i), 5.0 + i,
+                            {{"knn", 0.5}}));
+  }
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].record.dataset_name, "a");
+  EXPECT_EQ(found->dataset_name, "a");
+  EXPECT_DOUBLE_EQ(found->results[0].accuracy, 0.9);
+}
+
+TEST(KbTest, MovedFromKbIsEmptyAndUsable) {
+  KnowledgeBase kb;
+  kb.AddRecord(MakeRecord("d1", 1.0, {{"svm", 0.9}}));
+  KnowledgeBase moved(std::move(kb));
+  EXPECT_EQ(moved.NumRecords(), 1u);
+  EXPECT_TRUE(moved.Find("d1").has_value());
+  EXPECT_EQ(moved.NearestRecords(MakeMeta(1.0), 1).size(), 1u);
+  // NOLINTNEXTLINE(bugprone-use-after-move): moved-from reuse is the point.
+  EXPECT_EQ(kb.NumRecords(), 0u);
+  EXPECT_FALSE(kb.Find("d1").has_value());
+  EXPECT_TRUE(kb.NearestRecords(MakeMeta(1.0), 1).empty());
+  // The moved-from KB accepts new records with a freshly fitted index.
+  kb.AddRecord(MakeRecord("d2", 2.0, {{"knn", 0.8}}));
+  const auto neighbors = kb.NearestRecords(MakeMeta(2.0), 1);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].record.dataset_name, "d2");
 }
 
 TEST(KbTest, NominateEmptyKbReturnsNothing) {
@@ -151,8 +226,8 @@ TEST(KbTest, SerializeRoundTrip) {
   auto back = KnowledgeBase::Deserialize(kb.Serialize());
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->NumRecords(), 2u);
-  const KbRecord* r = back->Find("d1");
-  ASSERT_NE(r, nullptr);
+  const std::optional<KbRecord> r = back->Find("d1");
+  ASSERT_TRUE(r.has_value());
   ASSERT_EQ(r->results.size(), 2u);
   EXPECT_DOUBLE_EQ(r->results[0].accuracy, 0.9);
   EXPECT_NEAR(r->results[0].best_config.GetDouble("p", 0), 9.0, 1e-9);
@@ -185,7 +260,7 @@ TEST(KbTest, FileRoundTrip) {
   auto back = KnowledgeBase::LoadFromFile(path);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->NumRecords(), 1u);
-  EXPECT_NE(back->Find("disk"), nullptr);
+  EXPECT_TRUE(back->Find("disk").has_value());
   std::remove(path.c_str());
 }
 

@@ -5,7 +5,9 @@
 
 #include "src/common/rng.h"
 #include "src/data/synthetic.h"
+#include "src/metafeatures/metafeature_cache.h"
 #include "src/metafeatures/metafeatures.h"
+#include "src/obs/metrics.h"
 
 namespace smartml {
 namespace {
@@ -173,6 +175,116 @@ TEST(NormalizerTest, DistanceBecomesScaleFree) {
   const double dist_ab = MetaFeatureDistance(n.Apply(a), n.Apply(b));
   const double dist_ac = MetaFeatureDistance(n.Apply(a), n.Apply(c));
   EXPECT_LT(dist_ab, dist_ac);
+}
+
+
+// ---------------------------------------------------------------------------
+// MetaFeatureCache: content-hash memoization of extraction
+// ---------------------------------------------------------------------------
+
+uint64_t CacheCounter(MetricsRegistry* registry, const char* name,
+                      const char* help) {
+  return registry->GetCounter(name, help)->Value();
+}
+
+struct CacheStats {
+  uint64_t hits;
+  uint64_t misses;
+};
+
+CacheStats StatsOf(MetricsRegistry* registry) {
+  return {CacheCounter(registry, "smartml_metafeature_cache_hits_total",
+                       "Meta-feature/landmark extractions served from the "
+                       "content-hash cache."),
+          CacheCounter(registry, "smartml_metafeature_cache_misses_total",
+                       "Meta-feature/landmark extractions that had to run.")};
+}
+
+TEST(MetaFeatureCacheTest, ContentHashIgnoresNameButSeesData) {
+  Dataset a = MakeMixedDataset();
+  Dataset b = MakeMixedDataset();
+  b.set_name("a_different_name");
+  EXPECT_EQ(DatasetContentHash(a), DatasetContentHash(b));
+
+  // Any cell change changes the hash.
+  Dataset c = MakeMixedDataset();
+  c.mutable_feature(0).values[0] += 1.0;
+  EXPECT_NE(DatasetContentHash(a), DatasetContentHash(c));
+}
+
+TEST(MetaFeatureCacheTest, RepeatedExtractionHitsTheCache) {
+  MetricsRegistry registry;
+  MetaFeatureCache cache(/*capacity=*/8, &registry);
+  const Dataset d = MakeMixedDataset();
+
+  auto first = cache.MetaFeatures(d);
+  ASSERT_TRUE(first.ok());
+  CacheStats stats = StatsOf(&registry);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  auto second = cache.MetaFeatures(d);
+  ASSERT_TRUE(second.ok());
+  stats = StatsOf(&registry);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  for (size_t i = 0; i < kNumMetaFeatures; ++i) {
+    EXPECT_DOUBLE_EQ((*first)[i], (*second)[i]);
+  }
+  // The cached result matches a direct extraction exactly.
+  auto direct = ExtractMetaFeatures(d);
+  ASSERT_TRUE(direct.ok());
+  for (size_t i = 0; i < kNumMetaFeatures; ++i) {
+    EXPECT_DOUBLE_EQ((*second)[i], (*direct)[i]);
+  }
+}
+
+TEST(MetaFeatureCacheTest, LandmarksKeyedByDatasetAndSeed) {
+  MetricsRegistry registry;
+  MetaFeatureCache cache(/*capacity=*/8, &registry);
+  const Dataset d = MakeMixedDataset();
+
+  ASSERT_TRUE(cache.Landmarks(d, /*seed=*/1).ok());
+  ASSERT_TRUE(cache.Landmarks(d, /*seed=*/1).ok());  // Hit.
+  ASSERT_TRUE(cache.Landmarks(d, /*seed=*/2).ok());  // Different seed: miss.
+  const CacheStats stats = StatsOf(&registry);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(MetaFeatureCacheTest, BoundedLruEvictsLeastRecentlyUsed) {
+  MetricsRegistry registry;
+  MetaFeatureCache cache(/*capacity=*/2, &registry);
+  auto make = [](int seed) {
+    SyntheticSpec spec;
+    spec.num_instances = 60;
+    spec.seed = 100 + seed;
+    return GenerateSynthetic(spec);
+  };
+  const Dataset d0 = make(0), d1 = make(1), d2 = make(2);
+
+  ASSERT_TRUE(cache.MetaFeatures(d0).ok());  // miss {d0}
+  ASSERT_TRUE(cache.MetaFeatures(d1).ok());  // miss {d1,d0}
+  ASSERT_TRUE(cache.MetaFeatures(d0).ok());  // hit  {d0,d1}
+  ASSERT_TRUE(cache.MetaFeatures(d2).ok());  // miss, evicts d1 {d2,d0}
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_TRUE(cache.MetaFeatures(d1).ok());  // miss again (was evicted)
+  ASSERT_TRUE(cache.MetaFeatures(d2).ok());  // hit (still resident)
+  const CacheStats stats = StatsOf(&registry);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 4u);
+}
+
+TEST(MetaFeatureCacheTest, ExtractionErrorsAreNotCached) {
+  MetricsRegistry registry;
+  MetaFeatureCache cache(/*capacity=*/4, &registry);
+  const Dataset empty;  // No rows/features: extraction fails.
+  EXPECT_FALSE(cache.MetaFeatures(empty).ok());
+  EXPECT_FALSE(cache.MetaFeatures(empty).ok());
+  EXPECT_EQ(cache.size(), 0u);
+  const CacheStats stats = StatsOf(&registry);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
 }
 
 }  // namespace

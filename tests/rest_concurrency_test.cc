@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -44,29 +45,81 @@ SmartMlOptions FastOptions() {
   return options;
 }
 
-// Minimal blocking HTTP/1.1 client: one request, reads until EOF (the
-// server closes after each response). Returns the raw reply.
-std::string Fetch(int port, const std::string& method, const std::string& path,
-                  const std::string& body = "") {
+int ConnectLoopback(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return "";
+  if (fd < 0) return -1;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
-    return "";
+    return -1;
   }
+  return fd;
+}
+
+std::string BuildRequest(const std::string& method, const std::string& path,
+                         const std::string& body, bool close_connection) {
   std::string request = method + " " + path +
                         " HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
-                        std::to_string(body.size()) + "\r\n\r\n" + body;
+                        std::to_string(body.size()) + "\r\n";
+  if (close_connection) request += "Connection: close\r\n";
+  request += "\r\n" + body;
+  return request;
+}
+
+bool WriteAll(int fd, const std::string& data) {
   size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
-    if (n <= 0) break;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
     sent += static_cast<size_t>(n);
   }
+  return true;
+}
+
+// Reads exactly one Content-Length-framed response from `fd`, consuming
+// bytes from `*pending` first (pipelined replies arrive back-to-back).
+std::string ReadOneResponse(int fd, std::string* pending) {
+  std::string& data = *pending;
+  char buffer[4096];
+  size_t expected = std::string::npos;
+  for (;;) {
+    if (expected == std::string::npos) {
+      const size_t head_end = data.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        size_t content_length = 0;
+        const size_t cl = data.find("Content-Length: ");
+        if (cl != std::string::npos && cl < head_end) {
+          content_length = static_cast<size_t>(
+              std::strtoull(data.c_str() + cl + 16, nullptr, 10));
+        }
+        expected = head_end + 4 + content_length;
+      }
+    }
+    if (expected != std::string::npos && data.size() >= expected) break;
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  if (expected == std::string::npos || data.size() < expected) {
+    std::string all = std::move(data);
+    data.clear();
+    return all;
+  }
+  std::string reply = data.substr(0, expected);
+  data.erase(0, expected);
+  return reply;
+}
+
+// Minimal blocking HTTP/1.1 client: one request with `Connection: close`,
+// reads until EOF. Returns the raw reply.
+std::string Fetch(int port, const std::string& method, const std::string& path,
+                  const std::string& body = "") {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return "";
+  WriteAll(fd, BuildRequest(method, path, body, /*close_connection=*/true));
   std::string reply;
   char buffer[4096];
   ssize_t n;
@@ -198,6 +251,64 @@ TEST(RestConcurrencyTest, StopDrainsCleanly) {
   EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
   EXPECT_EQ(ok_count.load(), 6);
   EXPECT_GE(served, 6);
+}
+
+TEST(RestConcurrencyTest, PipelinedKeepAliveRequestsShareOneConnection) {
+  TestServer ts;
+  ASSERT_GT(ts.port, 0);
+
+  const int fd = ConnectLoopback(ts.port);
+  ASSERT_GE(fd, 0);
+  // Three pipelined requests written back-to-back before reading anything;
+  // only the last asks the server to close.
+  constexpr int kPipelined = 3;
+  std::string wire;
+  for (int i = 0; i < kPipelined; ++i) {
+    wire += BuildRequest("GET", "/v1/health", "",
+                         /*close_connection=*/i == kPipelined - 1);
+  }
+  ASSERT_TRUE(WriteAll(fd, wire));
+
+  std::string pending;
+  for (int i = 0; i < kPipelined; ++i) {
+    const std::string reply = ReadOneResponse(fd, &pending);
+    EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos)
+        << "response " << i << ": " << reply;
+    EXPECT_NE(reply.find(i == kPipelined - 1 ? "Connection: close"
+                                             : "Connection: keep-alive"),
+              std::string::npos)
+        << "response " << i << ": " << reply;
+    EXPECT_NE(reply.find("\"status\""), std::string::npos);
+  }
+  ::close(fd);
+  // All three were responses on the same connection.
+  EXPECT_GE(ts.server->requests_served(), kPipelined);
+}
+
+TEST(RestConcurrencyTest, SequentialKeepAliveReuseAndHonoredClose) {
+  TestServer ts;
+  ASSERT_GT(ts.port, 0);
+
+  const int fd = ConnectLoopback(ts.port);
+  ASSERT_GE(fd, 0);
+  std::string pending;
+  // Request -> full response -> next request on the same socket.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(WriteAll(
+        fd, BuildRequest("GET", "/v1/health", "", /*close_connection=*/false)));
+    const std::string reply = ReadOneResponse(fd, &pending);
+    EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("Connection: keep-alive"), std::string::npos) << reply;
+  }
+  // Connection: close is honoured: the response says close and the server
+  // actually closes (read returns EOF afterwards).
+  ASSERT_TRUE(WriteAll(
+      fd, BuildRequest("GET", "/v1/health", "", /*close_connection=*/true)));
+  const std::string last = ReadOneResponse(fd, &pending);
+  EXPECT_NE(last.find("Connection: close"), std::string::npos) << last;
+  char byte;
+  EXPECT_EQ(::read(fd, &byte, 1), 0);  // EOF, not a hang.
+  ::close(fd);
 }
 
 TEST(RestConcurrencyTest, CancelQueuedJobOverSocket) {

@@ -182,9 +182,9 @@ TEST(SmartMlTest, BootstrapSeedsKb) {
                                         /*evaluations_per_algorithm=*/4)
                   .ok());
   EXPECT_EQ(framework.kb().NumRecords(), 1u);
-  const KbRecord* record = framework.kb().records().data();
-  ASSERT_NE(record, nullptr);
-  EXPECT_EQ(record->results.size(), 2u);
+  const std::vector<KbRecord> records = framework.kb().SnapshotRecords();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].results.size(), 2u);
 }
 
 TEST(SmartMlTest, ReportMentionsKeyFacts) {
