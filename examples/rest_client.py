@@ -3,8 +3,9 @@
 Python using nothing but its v1 REST API and the standard library.
 
 Experiments run asynchronously: POST /v1/runs answers 202 with a job id
-immediately, and the client polls GET /v1/runs/{id} until the job reports
-``done`` (queued -> running -> done | failed).
+immediately; the client follows the run's Server-Sent Events stream
+(GET /v1/runs/{id}/events) for live phase and incumbent-improvement
+progress, then fetches the final snapshot from GET /v1/runs/{id}.
 
 Usage:
     ./build/examples/rest_server --port 8080 &
@@ -13,7 +14,6 @@ Usage:
 import argparse
 import json
 import sys
-import time
 import urllib.error
 import urllib.request
 
@@ -38,7 +38,6 @@ def main() -> None:
     parser.add_argument("--port", type=int, default=8080)
     parser.add_argument("--csv", default="examples/data/banknotes.csv")
     parser.add_argument("--budget", default="5")
-    parser.add_argument("--poll-seconds", type=float, default=0.5)
     args = parser.parse_args()
 
     health = call(args.port, "/v1/health")
@@ -68,19 +67,32 @@ def main() -> None:
     else:
         print("nominated: (empty knowledge base, server will cold-start)")
 
-    # Submit the experiment as an async job and poll it to completion.
+    # Submit the experiment as an async job and follow its SSE stream:
+    # one long-lived GET replaces the poll loop, and the stream ends on
+    # its own after the terminal event.
     submitted = call(args.port,
                      f"/v1/runs?budget={args.budget}&name=py_client",
                      csv_body)
     job_id = submitted["id"]
-    print(f"submitted job {job_id}, polling {submitted['location']} ...")
-    while True:
-        job = call(args.port, f"/v1/runs/{job_id}")
-        if job["state"] in ("done", "failed", "cancelled"):
-            break
-        print(f"  {job['state']} (queue {job['queue_seconds']:.1f}s, "
-              f"run {job['run_seconds']:.1f}s)")
-        time.sleep(args.poll_seconds)
+    print(f"submitted job {job_id}, streaming /v1/runs/{job_id}/events ...")
+    events_url = (f"http://127.0.0.1:{args.port}/v1/runs/{job_id}/events")
+    with urllib.request.urlopen(events_url, timeout=300) as stream:
+        for raw in stream:
+            line = raw.decode().rstrip("\n")
+            if not line.startswith("data: "):
+                continue
+            event = json.loads(line[len("data: "):])
+            if event["type"] == "phase":
+                print(f"  [{event['at_seconds']:6.2f}s] phase "
+                      f"{event['phase']}")
+            elif event["type"] == "incumbent":
+                print(f"  [{event['at_seconds']:6.2f}s] incumbent "
+                      f"{event['algorithm']} cost {event['value']:.4f}")
+            elif event["type"] == "terminal":
+                print(f"  [{event['at_seconds']:6.2f}s] terminal: "
+                      f"{event['message']}")
+
+    job = call(args.port, f"/v1/runs/{job_id}")
     if job["state"] != "done":
         sys.exit(f"job {job_id} ended {job['state']}: {job.get('error')}")
 

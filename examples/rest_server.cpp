@@ -5,19 +5,27 @@
 //
 //   rest_server [--port P] [--kb FILE] [--budget SECONDS] [--evals N]
 //               [--workers N] [--job-workers N] [--max-jobs N]
+//               [--tenant-quota N] [--tenant-weight NAME=W ...]
 //
-// v1 endpoints (see docs/API.md):
+// v1 endpoints (see docs/API.md and docs/openapi.yaml):
 //   GET    /v1/health /v1/metrics /v1/algorithms /v1/kb
 //   POST   /v1/metafeatures (CSV body)
 //   POST   /v1/select       (JSON body of named meta-features)
 //   POST   /v1/runs[?budget=..&evals=..] (CSV body) -> 202 + job id
+//   POST   /v1/batch        (JSON body {"items": [...]}) -> 202 + batch id
+//   GET    /v1/runs[?status=&tenant=&after=&limit=]
 //   GET    /v1/runs/{id}    DELETE /v1/runs/{id}
-// plus the deprecated pre-versioning aliases (/health /select /run ...).
+//   GET    /v1/runs/{id}/events  (SSE progress stream)
+//   GET    /v1/batches/{id}
+//
+// Tenancy: send an X-Tenant header to keep tenants' queues fair-shared;
+// --tenant-quota caps each tenant's queued+running jobs (429 beyond it).
 //
 // Try it:
 //   ./rest_server --port 8080 &
 //   curl localhost:8080/v1/health
 //   curl -X POST --data-binary @data.csv 'localhost:8080/v1/runs?budget=10'
+//   curl -N localhost:8080/v1/runs/run-000001/events
 //   curl localhost:8080/v1/runs/run-000001
 #include <csignal>
 #include <cstdio>
@@ -64,6 +72,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-jobs") {
       job_options.max_pending_jobs =
           static_cast<size_t>(std::atoi(next()));
+    } else if (arg == "--tenant-quota") {
+      job_options.default_tenant_quota =
+          static_cast<size_t>(std::atoi(next()));
+    } else if (arg == "--tenant-weight") {
+      // NAME=W, e.g. --tenant-weight team-a=3
+      const std::string spec = next();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--tenant-weight wants NAME=W, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      job_options.tenant_weights[spec.substr(0, eq)] =
+          std::atoi(spec.c_str() + eq + 1);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -94,7 +116,8 @@ int main(int argc, char** argv) {
               "(%d http workers, %d experiment workers)\n",
               *bound, server.num_workers(), jobs.num_workers());
   std::printf("endpoints: GET /v1/health /v1/metrics /v1/algorithms /v1/kb "
-              "/v1/runs/{id}; POST /v1/metafeatures /v1/select /v1/runs; "
+              "/v1/runs /v1/runs/{id} /v1/runs/{id}/events /v1/batches/{id}; "
+              "POST /v1/metafeatures /v1/select /v1/runs /v1/batch; "
               "DELETE /v1/runs/{id}\n");
   // Scripts parse the listening line from a pipe; don't sit in the stdio
   // buffer until something else fills it.

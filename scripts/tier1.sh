@@ -4,8 +4,9 @@
 #   scripts/tier1.sh                 # plain build + ctest (the CI gate)
 #   SMARTML_SANITIZE=thread scripts/tier1.sh
 #       ThreadSanitizer build; additionally re-runs the concurrency tests
-#       (rest_concurrency_test, kb_concurrency_test) under TSan so data
-#       races in the serving core fail loudly.
+#       (rest_concurrency_test, kb_concurrency_test, events_test,
+#       multitenant_test) under TSan so data races in the serving core and
+#       the fair-share scheduler fail loudly.
 #   SMARTML_SANITIZE=thread,undefined scripts/tier1.sh
 #       TSan + UBSan combined (the value is passed to -fsanitize= verbatim).
 #
@@ -39,19 +40,23 @@ case "$SANITIZE" in
     # Surface the concurrency suites explicitly under the sanitizer.
     "$BUILD_DIR"/tests/kb_concurrency_test
     "$BUILD_DIR"/tests/rest_concurrency_test
+    "$BUILD_DIR"/tests/events_test
+    "$BUILD_DIR"/tests/multitenant_test
     "$BUILD_DIR"/tests/obs_test
     "$BUILD_DIR"/tests/pool_test
     ;;
   *)
-    # Observability smoke: a live server must serve /v1/metrics (valid
-    # Prometheus exposition, request counter advancing) and attach the span
-    # tree to a completed run. A missing interpreter must fail the gate,
-    # not silently skip it.
+    # Live-server smokes: /v1/metrics must serve valid Prometheus exposition
+    # with the request counter advancing and the span tree attached to a
+    # completed run, and the multi-tenant surface (batch admission, quota
+    # 429s, SSE event streams) must conform end to end. A missing
+    # interpreter must fail the gate, not silently skip it.
     command -v python3 > /dev/null 2>&1 || {
-      echo "tier1: python3 is required for the metrics smoke test" >&2
+      echo "tier1: python3 is required for the smoke tests" >&2
       exit 1
     }
     python3 scripts/metrics_smoke.py "$BUILD_DIR"/examples/rest_server
+    python3 scripts/api_conformance.py "$BUILD_DIR"/examples/rest_server
     ;;
 esac
 

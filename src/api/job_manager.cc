@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "src/api/json.h"
 #include "src/common/logging.h"
@@ -42,13 +43,32 @@ const char* JobStateName(JobState state) {
   return "unknown";
 }
 
+const char* JobPriorityName(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::kInteractive:
+      return "interactive";
+    case JobPriority::kNormal:
+      return "normal";
+    case JobPriority::kBatch:
+      return "batch";
+  }
+  return "normal";
+}
+
+JobPriority ParseJobPriority(const std::string& name) {
+  if (name == "interactive") return JobPriority::kInteractive;
+  if (name == "batch") return JobPriority::kBatch;
+  return JobPriority::kNormal;
+}
+
 JobManager::JobManager(SmartML* framework, JobManagerOptions options)
     : framework_(framework), options_(options) {
   options_.num_workers = std::max(options_.num_workers, 1);
   options_.max_pending_jobs = std::max<size_t>(options_.max_pending_jobs, 1);
+  if (options_.event_buffer_capacity == 0) options_.event_buffer_capacity = 1;
 
-  MetricsRegistry& registry =
-      options_.metrics != nullptr ? *options_.metrics : GlobalMetrics();
+  registry_ = options_.metrics != nullptr ? options_.metrics : &GlobalMetrics();
+  MetricsRegistry& registry = *registry_;
   metrics_.queued = registry.GetGauge("smartml_jobs_queued",
                                       "Experiments waiting for a worker.");
   metrics_.running = registry.GetGauge("smartml_jobs_running",
@@ -66,6 +86,9 @@ JobManager::JobManager(SmartML* framework, JobManagerOptions options)
   metrics_.runs_cancelled = registry.GetCounter(
       "smartml_runs_cancelled_total",
       "Runs cancelled via DELETE /v1/runs/{id} (queued or running).");
+  metrics_.scheduler_passes = registry.GetCounter(
+      "smartml_scheduler_passes_total",
+      "Admission passes through the scheduler; a whole batch shares one.");
   metrics_.cancel_latency_seconds = registry.GetHistogram(
       "smartml_cancel_latency_seconds",
       "Seconds between a cancel request on a running job and the job "
@@ -73,7 +96,9 @@ JobManager::JobManager(SmartML* framework, JobManagerOptions options)
       LatencyBuckets());
   metrics_.queue_wait_seconds = registry.GetHistogram(
       "smartml_job_queue_wait_seconds",
-      "Seconds a job waited in the queue before starting.", PhaseBuckets());
+      "Seconds a job waited in the queue before starting or being "
+      "cancelled.",
+      PhaseBuckets());
   const std::string phase_help =
       "Wall-clock seconds per pipeline phase of completed jobs.";
   metrics_.phase_preprocessing =
@@ -106,37 +131,155 @@ JobManager::~JobManager() {
   }
 }
 
-StatusOr<std::string> JobManager::Submit(Dataset dataset,
-                                         SmartMlOptions run_options) {
+size_t JobManager::TenantQuota(const std::string& tenant) const {
+  auto it = options_.tenant_quotas.find(tenant);
+  if (it != options_.tenant_quotas.end()) return it->second;
+  return options_.default_tenant_quota;
+}
+
+JobManager::TenantState& JobManager::TenantLocked(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second;
+  TenantState& state = tenants_[tenant];
+  auto weight = options_.tenant_weights.find(tenant);
+  state.weight = std::max(
+      1, weight != options_.tenant_weights.end() ? weight->second : 1);
+  state.shed = registry_->GetCounter(
+      "smartml_tenant_shed_total",
+      "Admissions rejected with 429 by tenant (quota or global capacity).",
+      {{"tenant", tenant}});
+  return state;
+}
+
+void JobManager::PublishLifecycle(Job& job, const char* type) {
+  if (job.events == nullptr) return;
+  RunEvent event;
+  event.type = type;
+  event.message = JobStateName(job.state);
+  if (job.state == JobState::kDone) {
+    event.algorithm = job.best_algorithm;
+    event.value = job.best_validation_accuracy;
+  } else if (job.state == JobState::kFailed) {
+    event.message = StrFormat("failed: %s", job.error.ToString().c_str());
+  }
+  job.events->Publish(std::move(event));
+}
+
+StatusOr<std::string> JobManager::AdmitLocked(JobRequest request,
+                                              const std::string& batch_id) {
+  const std::string tenant =
+      request.tenant.empty() ? kDefaultTenant : request.tenant;
+  TenantState& state = TenantLocked(tenant);
+  if (num_queued_ + num_running_ >= options_.max_pending_jobs) {
+    state.shed->Increment();
+    return Status::ResourceExhausted(
+        StrFormat("experiment queue full (%zu pending, cap %zu)",
+                  num_queued_ + num_running_, options_.max_pending_jobs));
+  }
+  const size_t quota = TenantQuota(tenant);
+  if (quota > 0 && state.pending >= quota) {
+    state.shed->Increment();
+    return Status::ResourceExhausted(
+        StrFormat("tenant '%s' at quota (%zu pending, quota %zu)",
+                  tenant.c_str(), state.pending, quota));
+  }
+
   auto job = std::make_shared<Job>();
-  job->dataset_name = dataset.name();
-  job->dataset = std::move(dataset);
+  job->dataset_name = request.dataset.name();
+  job->tenant = tenant;
+  job->priority = request.priority;
+  job->batch_id = batch_id;
+  job->dataset = std::move(request.dataset);
   // Cap intra-run parallelism so `workers × threads` never oversubscribes
   // the machine, whatever the caller asked for.
-  run_options.num_threads = std::min(
-      ResolveNumThreads(run_options.num_threads),
+  request.run_options.num_threads = std::min(
+      ResolveNumThreads(request.run_options.num_threads),
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()) /
                       std::max(1, options_.num_workers)));
-  job->run_options = std::move(run_options);
+  job->run_options = std::move(request.run_options);
   job->submitted = std::chrono::steady_clock::now();
+  job->events =
+      std::make_shared<RunEventBuffer>(options_.event_buffer_capacity);
+  job->id =
+      StrFormat("run-%06llu", static_cast<unsigned long long>(next_id_++));
+
+  jobs_[job->id] = job;
+  state.queues[static_cast<size_t>(job->priority)].push_back(job);
+  ++state.pending;
+  ++num_queued_;
+  metrics_.queued->Increment();
+  PublishLifecycle(*job, "state");
+  return job->id;
+}
+
+StatusOr<std::string> JobManager::Submit(JobRequest request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    return Status::FailedPrecondition("job manager is shutting down");
+  }
+  metrics_.scheduler_passes->Increment();
+  StatusOr<std::string> id = AdmitLocked(std::move(request), /*batch_id=*/"");
+  lock.unlock();
+  if (id.ok()) queue_cv_.notify_one();
+  return id;
+}
+
+StatusOr<std::string> JobManager::Submit(Dataset dataset,
+                                         SmartMlOptions run_options) {
+  JobRequest request;
+  request.dataset = std::move(dataset);
+  request.run_options = std::move(run_options);
+  return Submit(std::move(request));
+}
+
+StatusOr<BatchSubmitResult> JobManager::SubmitBatch(
+    std::vector<JobRequest> requests) {
+  if (requests.empty()) {
+    return Status::InvalidArgument("batch has no items");
+  }
+  BatchSubmitResult result;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       return Status::FailedPrecondition("job manager is shutting down");
     }
-    if (queue_.size() + num_running_ >= options_.max_pending_jobs) {
-      return Status::ResourceExhausted(
-          StrFormat("experiment queue full (%zu pending, cap %zu)",
-                    queue_.size() + num_running_, options_.max_pending_jobs));
+    // One scheduler pass for the whole batch: a single lock acquisition
+    // admits every item back to back (no interleaved foreign admissions),
+    // and the pass counter moves once.
+    metrics_.scheduler_passes->Increment();
+    result.batch_id = StrFormat(
+        "batch-%06llu", static_cast<unsigned long long>(next_batch_id_++));
+    BatchSnapshot record;
+    record.id = result.batch_id;
+    for (JobRequest& request : requests) {
+      if (record.tenant.empty()) {
+        record.tenant =
+            request.tenant.empty() ? kDefaultTenant : request.tenant;
+      }
+      StatusOr<std::string> admitted =
+          AdmitLocked(std::move(request), result.batch_id);
+      BatchSnapshot::Item item;
+      if (admitted.ok()) {
+        item.job_id = *admitted;
+      } else {
+        item.error = admitted.status().ToString();
+      }
+      record.items.push_back(std::move(item));
+      result.items.push_back(std::move(admitted));
     }
-    job->id = StrFormat("run-%06llu",
-                        static_cast<unsigned long long>(next_id_++));
-    jobs_[job->id] = job;
-    queue_.push_back(job);
-    metrics_.queued->Increment();
+    batches_[result.batch_id] = std::move(record);
   }
-  queue_cv_.notify_one();
-  return job->id;
+  queue_cv_.notify_all();
+  return result;
+}
+
+StatusOr<BatchSnapshot> JobManager::GetBatch(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = batches_.find(id);
+  if (it == batches_.end()) {
+    return Status::NotFound("no batch with id '" + id + "'");
+  }
+  return it->second;
 }
 
 StatusOr<JobSnapshot> JobManager::Get(const std::string& id) const {
@@ -146,6 +289,33 @@ StatusOr<JobSnapshot> JobManager::Get(const std::string& id) const {
     return Status::NotFound("no job with id '" + id + "'");
   }
   return SnapshotLocked(*it->second);
+}
+
+std::vector<JobSnapshot> JobManager::List(const JobFilter& filter) const {
+  std::vector<JobSnapshot> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // jobs_ is keyed by the zero-padded id, so map order is submission order
+  // and `after_id` cursors resume exactly where the last page stopped.
+  for (const auto& [id, job] : jobs_) {
+    if (!filter.after_id.empty() && id <= filter.after_id) continue;
+    if (!filter.tenant.empty() && job->tenant != filter.tenant) continue;
+    if (!filter.status.empty() && filter.status != JobStateName(job->state)) {
+      continue;
+    }
+    out.push_back(SnapshotLocked(*job));
+    if (filter.limit > 0 && out.size() >= filter.limit) break;
+  }
+  return out;
+}
+
+StatusOr<std::shared_ptr<RunEventBuffer>> JobManager::Events(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id '" + id + "'");
+  }
+  return it->second->events;
 }
 
 StatusOr<JobSnapshot> JobManager::Cancel(const std::string& id) {
@@ -158,16 +328,27 @@ StatusOr<JobSnapshot> JobManager::Cancel(const std::string& id) {
     }
     Job& job = *it->second;
     switch (job.state) {
-      case JobState::kQueued:
+      case JobState::kQueued: {
         // Never started: terminal immediately.
         job.state = JobState::kCancelled;
         job.finished = std::chrono::steady_clock::now();
-        queue_.erase(std::remove(queue_.begin(), queue_.end(), it->second),
-                     queue_.end());
+        TenantState& tenant = TenantLocked(job.tenant);
+        auto& queue = tenant.queues[static_cast<size_t>(job.priority)];
+        queue.erase(std::remove(queue.begin(), queue.end(), it->second),
+                    queue.end());
+        --tenant.pending;
+        --num_queued_;
         metrics_.queued->Decrement();
         metrics_.cancelled->Increment();
         metrics_.runs_cancelled->Increment();
+        // The whole wait was queue time; without this, cancelled-while-
+        // queued jobs vanish from the per-tenant wait distribution.
+        metrics_.queue_wait_seconds->Observe(
+            SecondsBetween(job.submitted, job.finished));
+        PublishLifecycle(job, "terminal");
+        job.events->Close();
         break;
+      }
       case JobState::kRunning:
         // Cooperative: flip the token; the experiment thread finalizes the
         // job as cancelled when it observes it.
@@ -211,7 +392,7 @@ StatusOr<JobSnapshot> JobManager::Wait(const std::string& id,
 
 size_t JobManager::NumQueued() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return num_queued_;
 }
 
 size_t JobManager::NumRunning() const {
@@ -219,11 +400,21 @@ size_t JobManager::NumRunning() const {
   return num_running_;
 }
 
+size_t JobManager::TenantPending(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant.empty() ? kDefaultTenant : tenant);
+  return it == tenants_.end() ? 0 : it->second.pending;
+}
+
 JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
   JobSnapshot snapshot;
   snapshot.id = job.id;
   snapshot.dataset_name = job.dataset_name;
+  snapshot.tenant = job.tenant;
+  snapshot.priority = job.priority;
+  snapshot.batch_id = job.batch_id;
   snapshot.state = job.state;
+  snapshot.dispatch_sequence = job.dispatch_sequence;
   snapshot.error = job.error;
   snapshot.result_json = job.result_json;
   snapshot.preprocessing_seconds = job.preprocessing_seconds;
@@ -265,33 +456,68 @@ JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
   return snapshot;
 }
 
+std::shared_ptr<JobManager::Job> JobManager::TakeNextLocked() {
+  // Smooth weighted round-robin (the nginx variant) over tenants with
+  // queued work: every eligible tenant gains its weight in credit, the
+  // richest tenant dispatches and pays the total back. Interleaving over N
+  // rounds converges to the weight ratios, with no tenant starved. Tenants
+  // iterate in name order, so ties break deterministically.
+  int64_t total_weight = 0;
+  TenantState* picked = nullptr;
+  for (auto& [name, tenant] : tenants_) {
+    if (tenant.QueuedCount() == 0) continue;
+    total_weight += tenant.weight;
+    tenant.current_weight += tenant.weight;
+    if (picked == nullptr || tenant.current_weight > picked->current_weight) {
+      picked = &tenant;
+    }
+  }
+  if (picked == nullptr) return nullptr;
+  picked->current_weight -= total_weight;
+  for (auto& queue : picked->queues) {
+    if (queue.empty()) continue;
+    std::shared_ptr<Job> job = queue.front();
+    queue.pop_front();
+    return job;
+  }
+  return nullptr;  // Unreachable: QueuedCount() > 0.
+}
+
 void JobManager::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_, nothing left to start.
-      job = queue_.front();
-      queue_.pop_front();
+      queue_cv_.wait(lock, [&] { return stopping_ || num_queued_ > 0; });
+      if (num_queued_ == 0) return;  // stopping_, nothing left to start.
+      job = TakeNextLocked();
+      if (job == nullptr) continue;
       job->state = JobState::kRunning;
       job->started = std::chrono::steady_clock::now();
+      job->dispatch_sequence = next_dispatch_++;
+      --num_queued_;
       ++num_running_;
       metrics_.queued->Decrement();
       metrics_.running->Increment();
       metrics_.queue_wait_seconds->Observe(
           SecondsBetween(job->submitted, job->started));
+      PublishLifecycle(*job, "state");
     }
 
     SMARTML_LOG_INFO << "job " << job->id << ": starting experiment on '"
-                     << job->dataset_name << "'";
+                     << job->dataset_name << "' (tenant " << job->tenant
+                     << ", " << JobPriorityName(job->priority) << ")";
     // The long part — no locks held. SmartML::Run with explicit options is
     // safe to execute concurrently (the KB is internally synchronized). The
     // budget carries the job's cancel token so DELETE /v1/runs/{id} can
-    // interrupt the run cooperatively.
+    // interrupt the run cooperatively, and the event scope routes the
+    // pipeline's phase/incumbent events into the job's SSE buffer.
     RunBudget budget;
     budget.token = job->cancel;
-    auto result = framework_->Run(job->dataset, job->run_options, budget);
+    StatusOr<SmartMlResult> result = [&] {
+      ScopedRunEventScope event_scope(job->events.get());
+      return framework_->Run(job->dataset, job->run_options, budget);
+    }();
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -332,7 +558,10 @@ void JobManager::WorkerLoop() {
         metrics_.failed->Increment();
       }
       --num_running_;
+      --TenantLocked(job->tenant).pending;
       metrics_.running->Decrement();
+      PublishLifecycle(*job, "terminal");
+      job->events->Close();
       // The Dataset is no longer needed; release the memory while keeping
       // the job entry pollable.
       job->dataset = Dataset();

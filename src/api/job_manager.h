@@ -9,6 +9,26 @@
 // into the (internally synchronized) knowledge base as usual and the
 // serialized outcome is retained for polling via GET /v1/runs/{id}.
 //
+// Multi-tenant admission: every job belongs to a tenant (the X-Tenant
+// header; "default" otherwise) and a priority class. Each tenant owns three
+// priority-ordered FIFO queues; workers pick the next tenant by smooth
+// weighted round-robin over tenants with queued work, then take that
+// tenant's highest-priority job. Admission enforces a global pending cap
+// plus per-tenant quotas on queued+running jobs; both shed with
+// ResourceExhausted (HTTP 429 + Retry-After) and count into
+// smartml_tenant_shed_total{tenant=...}.
+//
+// Batch admission: SubmitBatch() admits many datasets under one lock
+// acquisition — a single scheduler pass (smartml_scheduler_passes_total
+// advances once however many items the batch carries) — and records the
+// batch so GET /v1/batches/{id} can report per-item outcomes.
+//
+// Live progress: each job owns a bounded RunEventBuffer. The manager
+// publishes lifecycle events (queued/running/terminal) and installs the
+// buffer as the run's event sink, so the pipeline's phase-transition and
+// incumbent-improvement events land in the same stream; the REST layer
+// serves it as SSE from GET /v1/runs/{id}/events.
+//
 // Lifecycle:  queued -> running -> done | failed
 //             queued -> cancelled                  (DELETE while queued)
 //             running -> cancelling -> cancelled   (DELETE while running)
@@ -18,13 +38,10 @@
 // the token (between phases, between tuner fold evaluations, and inside
 // training loops) and the job reaches the terminal "cancelled" state within
 // a bounded latency, observed into smartml_cancel_latency_seconds.
-//
-// Load shedding: Submit() fails with ResourceExhausted once the number of
-// not-yet-finished jobs reaches `max_pending_jobs`; the REST layer maps
-// that to 429 + Retry-After.
 #ifndef SMARTML_API_JOB_MANAGER_H_
 #define SMARTML_API_JOB_MANAGER_H_
 
+#include <array>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -38,6 +55,7 @@
 #include "src/common/status.h"
 #include "src/core/smartml.h"
 #include "src/obs/metrics.h"
+#include "src/obs/run_events.h"
 
 namespace smartml {
 
@@ -53,11 +71,33 @@ enum class JobState {
 /// Stable lower-case name ("queued", "running", ...).
 const char* JobStateName(JobState state);
 
+/// Dispatch classes within one tenant: interactive jobs always leave the
+/// tenant's queue before normal ones, normal before batch.
+enum class JobPriority { kInteractive = 0, kNormal = 1, kBatch = 2 };
+
+/// Stable lower-case name ("interactive", "normal", "batch").
+const char* JobPriorityName(JobPriority priority);
+
+/// Parses a priority name; defaults to kNormal for unknown/empty input.
+JobPriority ParseJobPriority(const std::string& name);
+
+/// The tenant id jobs fall into when no X-Tenant header is sent.
+inline const char kDefaultTenant[] = "default";
+
 struct JobManagerOptions {
   /// Concurrent experiments cap (threads executing SmartML::Run).
   int num_workers = 1;
-  /// Maximum queued+running jobs before Submit() sheds load.
+  /// Maximum queued+running jobs (all tenants) before Submit() sheds load.
   size_t max_pending_jobs = 8;
+  /// Per-tenant cap on queued+running jobs; 0 disables per-tenant quotas
+  /// (only the global cap applies). Overridden per tenant by
+  /// `tenant_quotas`.
+  size_t default_tenant_quota = 0;
+  std::map<std::string, size_t> tenant_quotas;
+  /// Weighted round-robin dispatch weights; tenants not listed get weight 1.
+  std::map<std::string, int> tenant_weights;
+  /// Capacity of each job's bounded progress-event ring.
+  size_t event_buffer_capacity = 256;
   /// Hint returned with 429 responses.
   double retry_after_seconds = 5.0;
   /// Registry receiving the manager's gauges/counters/histograms; null
@@ -69,7 +109,14 @@ struct JobManagerOptions {
 struct JobSnapshot {
   std::string id;
   std::string dataset_name;
+  std::string tenant;
+  JobPriority priority = JobPriority::kNormal;
+  /// Batch that admitted this job ("" for single submissions).
+  std::string batch_id;
   JobState state = JobState::kQueued;
+  /// Order in which the job left its queue (1-based, 0 = never dispatched).
+  /// Makes fair-share dispatch order observable to tests and clients.
+  uint64_t dispatch_sequence = 0;
   /// Set when state == kFailed.
   Status error;
   /// Serialized SmartMlResult (ResultToJson); set when state == kDone.
@@ -93,6 +140,47 @@ struct JobSnapshot {
   size_t failed_candidates = 0;
 };
 
+/// One admission request: a parsed dataset plus its run options and serving
+/// metadata.
+struct JobRequest {
+  Dataset dataset;
+  SmartMlOptions run_options;
+  std::string tenant;  ///< Empty maps to kDefaultTenant.
+  JobPriority priority = JobPriority::kNormal;
+};
+
+/// Outcome of one SubmitBatch() call. `items` aligns with the submitted
+/// requests: each holds the admitted job id or the per-item admission error
+/// (quota/capacity rejections do not fail the whole batch).
+struct BatchSubmitResult {
+  std::string batch_id;
+  std::vector<StatusOr<std::string>> items;
+};
+
+/// Retained record of a past batch for GET /v1/batches/{id}.
+struct BatchSnapshot {
+  std::string id;
+  std::string tenant;
+  /// Aligned with the original request order; rejected items carry an empty
+  /// job id and the admission error message.
+  struct Item {
+    std::string job_id;
+    std::string error;
+  };
+  std::vector<Item> items;
+};
+
+/// Filters for JobManager::List (GET /v1/runs). Empty fields match
+/// everything. `after_id` implements cursor pagination: only jobs with an
+/// id strictly greater than it are returned (job ids are zero-padded, so
+/// lexicographic order is submission order).
+struct JobFilter {
+  std::string status;
+  std::string tenant;
+  std::string after_id;
+  size_t limit = 0;  ///< 0 = no limit.
+};
+
 class JobManager {
  public:
   /// `framework` must outlive the manager. Worker threads start immediately.
@@ -105,13 +193,32 @@ class JobManager {
   JobManager(const JobManager&) = delete;
   JobManager& operator=(const JobManager&) = delete;
 
-  /// Validates nothing beyond queue capacity (the dataset was parsed by the
-  /// caller); enqueues and returns the job id. ResourceExhausted once
-  /// `max_pending_jobs` jobs are queued or running.
+  /// Validates nothing beyond capacity (the dataset was parsed by the
+  /// caller); enqueues and returns the job id. ResourceExhausted when the
+  /// global pending cap or the request's tenant quota is reached.
+  StatusOr<std::string> Submit(JobRequest request);
+
+  /// Single-tenant convenience overload (library users, older tests).
   StatusOr<std::string> Submit(Dataset dataset, SmartMlOptions run_options);
+
+  /// Admits every request under one lock acquisition — one scheduler pass
+  /// for the whole batch. Per-item admission failures (tenant quota, global
+  /// cap) land in the corresponding `items` slot without failing the rest.
+  /// Fails outright only during shutdown or for an empty batch.
+  StatusOr<BatchSubmitResult> SubmitBatch(std::vector<JobRequest> requests);
+
+  /// Point-in-time view of a past batch; NotFound for unknown ids.
+  StatusOr<BatchSnapshot> GetBatch(const std::string& id) const;
 
   /// Point-in-time view of a job; NotFound for unknown ids.
   StatusOr<JobSnapshot> Get(const std::string& id) const;
+
+  /// Snapshots of jobs matching `filter`, in id (= submission) order.
+  std::vector<JobSnapshot> List(const JobFilter& filter) const;
+
+  /// The job's live progress-event buffer (publishes until the job reaches
+  /// a terminal state, then closes). NotFound for unknown ids.
+  StatusOr<std::shared_ptr<RunEventBuffer>> Events(const std::string& id) const;
 
   /// Cancels a job. A queued job is removed immediately (snapshot state
   /// "cancelled"); a running job has its CancelToken flipped and moves to
@@ -128,17 +235,25 @@ class JobManager {
 
   size_t NumQueued() const;
   size_t NumRunning() const;
+  /// Queued+running jobs of one tenant (0 for unknown tenants).
+  size_t TenantPending(const std::string& tenant) const;
   int num_workers() const { return options_.num_workers; }
   size_t max_pending_jobs() const { return options_.max_pending_jobs; }
   double retry_after_seconds() const { return options_.retry_after_seconds; }
+  /// Effective queued+running quota for `tenant` (0 = unlimited).
+  size_t TenantQuota(const std::string& tenant) const;
 
  private:
   struct Job {
     std::string id;
     std::string dataset_name;  // Outlives the dataset itself.
+    std::string tenant;
+    JobPriority priority = JobPriority::kNormal;
+    std::string batch_id;
     Dataset dataset;
     SmartMlOptions run_options;
     JobState state = JobState::kQueued;
+    uint64_t dispatch_sequence = 0;
     Status error;
     std::string result_json;
     double preprocessing_seconds = 0.0;
@@ -157,13 +272,45 @@ class JobManager {
     std::shared_ptr<CancelToken> cancel = std::make_shared<CancelToken>();
     bool cancel_requested = false;
     std::chrono::steady_clock::time_point cancel_requested_at;
+    /// Progress-event stream (lifecycle + pipeline events); closed at the
+    /// terminal transition. Shared with SSE readers, which may outlive the
+    /// connection that created them.
+    std::shared_ptr<RunEventBuffer> events;
+  };
+
+  /// Per-tenant admission + dispatch state. Never removed once created (a
+  /// tenant's shed counter and WRR credit persist for the manager's life).
+  struct TenantState {
+    int weight = 1;
+    /// Smooth-WRR running credit.
+    int64_t current_weight = 0;
+    /// Queued + running jobs, the quota denominator.
+    size_t pending = 0;
+    std::array<std::deque<std::shared_ptr<Job>>, 3> queues;
+    Counter* shed = nullptr;
+
+    size_t QueuedCount() const {
+      return queues[0].size() + queues[1].size() + queues[2].size();
+    }
   };
 
   void WorkerLoop();
   JobSnapshot SnapshotLocked(const Job& job) const;
+  /// Admits one request; mutex_ must be held. `out_error` receives the shed
+  /// reason on failure.
+  StatusOr<std::string> AdmitLocked(JobRequest request,
+                                    const std::string& batch_id);
+  TenantState& TenantLocked(const std::string& tenant);
+  /// Picks the next job by smooth weighted round-robin across tenants with
+  /// queued work, then priority order within the tenant; mutex_ must be
+  /// held. Null when nothing is queued.
+  std::shared_ptr<Job> TakeNextLocked();
+  /// Publishes a lifecycle event ("state"/"terminal") to the job's buffer.
+  static void PublishLifecycle(Job& job, const char* type);
 
   SmartML* framework_;
   JobManagerOptions options_;
+  MetricsRegistry* registry_ = nullptr;
 
   /// Stable pointers into options_.metrics (or the global registry),
   /// resolved once in the constructor; all updates are plain atomics.
@@ -175,6 +322,7 @@ class JobManager {
     Counter* failed = nullptr;
     Counter* cancelled = nullptr;
     Counter* runs_cancelled = nullptr;
+    Counter* scheduler_passes = nullptr;
     Histogram* cancel_latency_seconds = nullptr;
     Histogram* queue_wait_seconds = nullptr;
     Histogram* phase_preprocessing = nullptr;
@@ -189,8 +337,13 @@ class JobManager {
   mutable std::condition_variable done_cv_;  // Wait(): job reached terminal.
   bool stopping_ = false;
   uint64_t next_id_ = 1;
-  std::deque<std::shared_ptr<Job>> queue_;
+  uint64_t next_batch_id_ = 1;
+  uint64_t next_dispatch_ = 1;
+  /// Tenant fair-share queues (replaces the pre-v1 single FIFO).
+  std::map<std::string, TenantState> tenants_;
+  size_t num_queued_ = 0;
   std::map<std::string, std::shared_ptr<Job>> jobs_;
+  std::map<std::string, BatchSnapshot> batches_;
   size_t num_running_ = 0;
   std::vector<std::thread> workers_;
 };

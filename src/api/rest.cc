@@ -13,10 +13,12 @@
 
 #include "src/api/job_manager.h"
 #include "src/api/json.h"
+#include "src/common/stopwatch.h"
 #include "src/common/strings.h"
 #include "src/data/csv.h"
 #include "src/metafeatures/metafeature_cache.h"
 #include "src/ml/registry.h"
+#include "src/obs/run_events.h"
 
 namespace smartml {
 
@@ -126,6 +128,59 @@ SmartMlOptions OptionsFromQuery(const SmartMlOptions& base,
   return options;
 }
 
+/// The in-flight request's correlation id. Thread-local so ErrorResponse can
+/// echo it into the envelope from any call depth without changing handler
+/// signatures; one server worker drives one request at a time.
+thread_local const std::string* current_request_id = nullptr;
+
+class ScopedRequestId {
+ public:
+  explicit ScopedRequestId(const std::string& id) { current_request_id = &id; }
+  ~ScopedRequestId() { current_request_id = nullptr; }
+  ScopedRequestId(const ScopedRequestId&) = delete;
+  ScopedRequestId& operator=(const ScopedRequestId&) = delete;
+};
+
+/// Echoes a client-supplied X-Request-Id (sanitized: printable ASCII, max
+/// 64 chars) or mints a process-unique one.
+std::string RequestIdFor(const HttpRequest& request) {
+  auto it = request.headers.find("x-request-id");
+  if (it != request.headers.end() && !it->second.empty()) {
+    std::string id;
+    for (char c : it->second) {
+      if (c > 0x20 && c < 0x7f) id += c;
+      if (id.size() >= 64) break;
+    }
+    if (!id.empty()) return id;
+  }
+  static std::atomic<uint64_t> counter{0};
+  return StrFormat("req-%012llu", static_cast<unsigned long long>(
+                                      counter.fetch_add(1) + 1));
+}
+
+/// The tenant this request acts as (X-Tenant header, "default" otherwise).
+std::string TenantFor(const HttpRequest& request) {
+  auto it = request.headers.find("x-tenant");
+  if (it == request.headers.end() || it->second.empty()) {
+    return kDefaultTenant;
+  }
+  // Keep tenant ids label-safe (they become Prometheus label values).
+  std::string tenant;
+  for (char c : it->second) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.') {
+      tenant += c;
+    }
+    if (tenant.size() >= 64) break;
+  }
+  return tenant.empty() ? kDefaultTenant : tenant;
+}
+
+void WriteRetryAfter(HttpResponse* response, double seconds) {
+  response->headers["Retry-After"] =
+      StrFormat("%d", std::max(1, static_cast<int>(std::ceil(seconds))));
+}
+
 }  // namespace
 
 HttpResponse ErrorResponse(int http_status, const std::string& code,
@@ -138,6 +193,10 @@ HttpResponse ErrorResponse(int http_status, const std::string& code,
   w.String(code);
   w.Key("message");
   w.String(message);
+  if (current_request_id != nullptr) {
+    w.Key("request_id");
+    w.String(*current_request_id);
+  }
   w.EndObject();
   w.EndObject();
   HttpResponse response;
@@ -222,37 +281,22 @@ std::string SerializeHttpResponse(const HttpResponse& response,
 // ---------------------------------------------------------------------------
 
 HttpResponse RestService::Handle(const HttpRequest& request) {
+  const std::string request_id = RequestIdFor(request);
+  ScopedRequestId id_scope(request_id);
+  HttpResponse response;
   if (request.path.rfind("/v1/", 0) == 0) {
     HttpRequest v1 = request;
     v1.path = request.path.substr(3);  // Strip "/v1".
-    return RouteV1(v1);
+    response = RouteV1(v1);
+  } else {
+    // The pre-v1 aliases are gone; unversioned paths get the structured
+    // envelope pointing at the current surface.
+    response = ErrorResponse(
+        404, "not_found",
+        "no route for " + request.path + " (the API is served under /v1)");
   }
-  // Legacy unversioned routes: thin aliases onto the v1 handlers (with the
-  // pre-versioning request shapes for /select and /run), marked deprecated.
-  static const std::map<std::string, std::string> kLegacyRoutes = {
-      {"/health", "GET"},       {"/algorithms", "GET"},
-      {"/kb", "GET"},           {"/metafeatures", "POST"},
-      {"/select", "POST"},      {"/run", "POST"},
-  };
-  auto legacy = kLegacyRoutes.find(request.path);
-  if (legacy != kLegacyRoutes.end()) {
-    HttpResponse response;
-    if (request.method != legacy->second) {
-      response = ErrorResponse(405, "method_not_allowed",
-                               "method not allowed for " + request.path);
-    } else if (request.path == "/select") {
-      response = HandleSelectLegacy(request);
-    } else if (request.path == "/run") {
-      response = HandleRunSync(request);
-    } else {
-      response = RouteV1(request);
-    }
-    response.headers["Deprecation"] = "true";
-    response.headers["Link"] =
-        "</v1" + request.path + ">; rel=\"successor-version\"";
-    return response;
-  }
-  return ErrorResponse(404, "not_found", "no route for " + request.path);
+  response.headers["X-Request-Id"] = request_id;
+  return response;
 }
 
 HttpResponse RestService::RouteV1(const HttpRequest& request) {
@@ -272,19 +316,44 @@ HttpResponse RestService::RouteV1(const HttpRequest& request) {
   if (path == "/runs" && request.method == "POST") {
     return HandleSubmitRun(request);
   }
-  if (path.rfind("/runs/", 0) == 0) {
-    const std::string id = path.substr(6);
+  if (path == "/runs" && request.method == "GET") {
+    return HandleListRuns(request);
+  }
+  if (path == "/batch" && request.method == "POST") {
+    return HandleSubmitBatch(request);
+  }
+  if (path.rfind("/batches/", 0) == 0) {
+    const std::string id = path.substr(9);
     if (id.empty() || id.find('/') != std::string::npos) {
       return ErrorResponse(404, "not_found", "no route for /v1" + path);
     }
-    if (request.method == "GET") return HandleGetRun(id);
-    if (request.method == "DELETE") return HandleCancelRun(id);
+    if (request.method == "GET") return HandleGetBatch(id);
     return ErrorResponse(405, "method_not_allowed",
                          "method not allowed for /v1" + path);
   }
+  if (path.rfind("/runs/", 0) == 0) {
+    const std::string tail = path.substr(6);
+    const size_t slash = tail.find('/');
+    const std::string id = tail.substr(0, slash);
+    if (id.empty()) {
+      return ErrorResponse(404, "not_found", "no route for /v1" + path);
+    }
+    if (slash == std::string::npos) {
+      if (request.method == "GET") return HandleGetRun(id);
+      if (request.method == "DELETE") return HandleCancelRun(id);
+      return ErrorResponse(405, "method_not_allowed",
+                           "method not allowed for /v1" + path);
+    }
+    if (tail.substr(slash + 1) == "events") {
+      if (request.method == "GET") return HandleRunEvents(request, id);
+      return ErrorResponse(405, "method_not_allowed",
+                           "method not allowed for /v1" + path);
+    }
+    return ErrorResponse(404, "not_found", "no route for /v1" + path);
+  }
   for (const char* known :
        {"/health", "/metrics", "/algorithms", "/kb", "/metafeatures",
-        "/select", "/runs"}) {
+        "/select", "/runs", "/batch"}) {
     if (path == known) {
       return ErrorResponse(405, "method_not_allowed",
                            "method not allowed for /v1" + path);
@@ -498,37 +567,6 @@ HttpResponse RestService::HandleSelectV1(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse RestService::HandleSelectLegacy(const HttpRequest& request) {
-  // Pre-versioning body: the 25 space-separated meta-feature values (the
-  // paper's "upload only the dataset meta-features file" mode).
-  auto mf = MetaFeaturesFromString(request.body);
-  if (!mf.ok()) {
-    return ErrorResponseFromStatus(mf.status());
-  }
-  HttpResponse response;
-  response.body = NominationsToJson(framework_->SelectAlgorithms(*mf));
-  return response;
-}
-
-HttpResponse RestService::HandleRunSync(const HttpRequest& request) {
-  auto dataset = ReadCsvString(request.body);
-  if (!dataset.ok()) {
-    return ErrorResponseFromStatus(dataset.status());
-  }
-  auto it = request.query.find("name");
-  dataset->set_name(it != request.query.end() ? it->second : "api_dataset");
-
-  const SmartMlOptions options =
-      OptionsFromQuery(framework_->options(), request);
-  auto result = framework_->Run(*dataset, options);
-  if (!result.ok()) {
-    return ErrorResponseFromStatus(result.status());
-  }
-  HttpResponse response;
-  response.body = ResultToJson(*result);
-  return response;
-}
-
 HttpResponse RestService::HandleSubmitRun(const HttpRequest& request) {
   if (jobs_ == nullptr) {
     return ErrorResponse(503, "unavailable",
@@ -541,14 +579,23 @@ HttpResponse RestService::HandleSubmitRun(const HttpRequest& request) {
   auto it = request.query.find("name");
   dataset->set_name(it != request.query.end() ? it->second : "api_dataset");
 
-  auto id = jobs_->Submit(std::move(*dataset),
-                          OptionsFromQuery(framework_->options(), request));
+  JobRequest job;
+  job.dataset = std::move(*dataset);
+  job.run_options = OptionsFromQuery(framework_->options(), request);
+  if (current_request_id != nullptr) {
+    job.run_options.trace_tag = *current_request_id;
+  }
+  job.tenant = TenantFor(request);
+  auto priority = request.query.find("priority");
+  if (priority != request.query.end()) {
+    job.priority = ParseJobPriority(priority->second);
+  }
+
+  auto id = jobs_->Submit(std::move(job));
   if (!id.ok()) {
     HttpResponse response = ErrorResponseFromStatus(id.status());
     if (response.status == 429) {
-      response.headers["Retry-After"] = StrFormat(
-          "%d", std::max(1, static_cast<int>(
-                             std::ceil(jobs_->retry_after_seconds()))));
+      WriteRetryAfter(&response, jobs_->retry_after_seconds());
     }
     return response;
   }
@@ -559,13 +606,398 @@ HttpResponse RestService::HandleSubmitRun(const HttpRequest& request) {
   w.String(*id);
   w.Key("state");
   w.String("queued");
+  w.Key("tenant");
+  w.String(TenantFor(request));
   w.Key("location");
   w.String("/v1/runs/" + *id);
+  w.Key("events");
+  w.String("/v1/runs/" + *id + "/events");
   w.EndObject();
   HttpResponse response;
   response.status = 202;
   response.headers["Location"] = "/v1/runs/" + *id;
   response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse RestService::HandleSubmitBatch(const HttpRequest& request) {
+  if (jobs_ == nullptr) {
+    return ErrorResponse(503, "unavailable",
+                         "async runs are disabled (no job manager)");
+  }
+  auto parsed = ParseJson(request.body);
+  if (!parsed.ok()) {
+    return ErrorResponseFromStatus(parsed.status());
+  }
+  const JsonValue* items = parsed->is_object() ? parsed->Find("items")
+                                               : nullptr;
+  if (items == nullptr || !items->is_array() || items->array.empty()) {
+    return ErrorResponse(400, "invalid_argument",
+                         "body must be {\"items\": [{\"csv\": ...}, ...]}");
+  }
+  constexpr size_t kMaxBatchItems = 64;
+  if (items->array.size() > kMaxBatchItems) {
+    return ErrorResponse(400, "invalid_argument",
+                         StrFormat("batch too large (%zu items, cap %zu)",
+                                   items->array.size(), kMaxBatchItems));
+  }
+
+  // Every item must parse before anything is admitted: the batch either
+  // reaches the scheduler whole or not at all (admission itself may still
+  // reject individual items on quota).
+  const std::string tenant = TenantFor(request);
+  const SmartMlOptions base = OptionsFromQuery(framework_->options(), request);
+  std::vector<JobRequest> requests;
+  for (size_t i = 0; i < items->array.size(); ++i) {
+    const JsonValue& item = items->array[i];
+    if (!item.is_object()) {
+      return ErrorResponse(400, "invalid_argument",
+                           StrFormat("items[%zu] must be an object", i));
+    }
+    const JsonValue* csv = item.Find("csv");
+    if (csv == nullptr || !csv->is_string()) {
+      return ErrorResponse(
+          400, "invalid_argument",
+          StrFormat("items[%zu] is missing its \"csv\" string", i));
+    }
+    auto dataset = ReadCsvString(csv->string);
+    if (!dataset.ok()) {
+      return ErrorResponse(400, "invalid_argument",
+                           StrFormat("items[%zu]: %s", i,
+                                     dataset.status().message().c_str()));
+    }
+    JobRequest job;
+    job.dataset = std::move(*dataset);
+    job.run_options = base;
+    if (current_request_id != nullptr) {
+      job.run_options.trace_tag = *current_request_id;
+    }
+    job.tenant = tenant;
+    job.priority = JobPriority::kBatch;
+    if (const JsonValue* v = item.Find("name")) {
+      if (v->is_string()) job.dataset.set_name(v->string);
+    }
+    if (job.dataset.name().empty()) {
+      job.dataset.set_name(StrFormat("batch_item_%zu", i));
+    }
+    if (const JsonValue* v = item.Find("priority")) {
+      if (v->is_string()) job.priority = ParseJobPriority(v->string);
+    }
+    if (const JsonValue* v = item.Find("budget")) {
+      if (v->is_number()) job.run_options.time_budget_seconds = v->number;
+    }
+    if (const JsonValue* v = item.Find("evals")) {
+      if (v->is_number()) {
+        job.run_options.max_evaluations = static_cast<int>(v->number);
+      }
+    }
+    if (const JsonValue* v = item.Find("selection_only")) {
+      if (v->is_bool()) job.run_options.selection_only = v->boolean;
+    }
+    requests.push_back(std::move(job));
+  }
+
+  auto batch = jobs_->SubmitBatch(std::move(requests));
+  if (!batch.ok()) {
+    return ErrorResponseFromStatus(batch.status());
+  }
+
+  size_t admitted = 0;
+  bool shed = false;
+  for (const auto& item : batch->items) {
+    if (item.ok()) {
+      ++admitted;
+    } else if (item.status().code() == StatusCode::kResourceExhausted) {
+      shed = true;
+    }
+  }
+  if (admitted == 0 && shed) {
+    // Nothing got in and at least one rejection was capacity/quota: the
+    // whole call is a 429 the client should retry later.
+    HttpResponse response = ErrorResponse(
+        429, "resource_exhausted",
+        StrFormat("no batch items admitted (%zu rejected)",
+                  batch->items.size()));
+    WriteRetryAfter(&response, jobs_->retry_after_seconds());
+    return response;
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(batch->batch_id);
+  w.Key("tenant");
+  w.String(tenant);
+  w.Key("location");
+  w.String("/v1/batches/" + batch->batch_id);
+  w.Key("admitted");
+  w.Int(static_cast<int64_t>(admitted));
+  w.Key("items");
+  w.BeginArray();
+  for (size_t i = 0; i < batch->items.size(); ++i) {
+    const auto& item = batch->items[i];
+    w.BeginObject();
+    w.Key("index");
+    w.Int(static_cast<int64_t>(i));
+    if (item.ok()) {
+      w.Key("id");
+      w.String(*item);
+      w.Key("location");
+      w.String("/v1/runs/" + *item);
+      w.Key("events");
+      w.String("/v1/runs/" + *item + "/events");
+    } else {
+      w.Key("error");
+      w.BeginObject();
+      w.Key("code");
+      w.String(StatusCodeSlug(item.status().code()));
+      w.Key("message");
+      w.String(item.status().message());
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  HttpResponse response;
+  response.status = 202;
+  response.headers["Location"] = "/v1/batches/" + batch->batch_id;
+  if (admitted < batch->items.size() && shed) {
+    WriteRetryAfter(&response, jobs_->retry_after_seconds());
+  }
+  response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse RestService::HandleGetBatch(const std::string& id) {
+  if (jobs_ == nullptr) {
+    return ErrorResponse(503, "unavailable",
+                         "async runs are disabled (no job manager)");
+  }
+  auto batch = jobs_->GetBatch(id);
+  if (!batch.ok()) {
+    return ErrorResponseFromStatus(batch.status());
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(batch->id);
+  w.Key("tenant");
+  w.String(batch->tenant);
+  w.Key("items");
+  w.BeginArray();
+  for (size_t i = 0; i < batch->items.size(); ++i) {
+    const auto& item = batch->items[i];
+    w.BeginObject();
+    w.Key("index");
+    w.Int(static_cast<int64_t>(i));
+    if (!item.job_id.empty()) {
+      w.Key("id");
+      w.String(item.job_id);
+      auto snapshot = jobs_->Get(item.job_id);
+      if (snapshot.ok()) {
+        w.Key("state");
+        w.String(JobStateName(snapshot->state));
+        if (snapshot->state == JobState::kDone) {
+          w.Key("best_algorithm");
+          w.String(snapshot->best_algorithm);
+          w.Key("best_validation_accuracy");
+          w.Number(snapshot->best_validation_accuracy);
+        }
+      }
+    } else {
+      w.Key("error");
+      w.String(item.error);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  HttpResponse response;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+HttpResponse RestService::HandleListRuns(const HttpRequest& request) {
+  if (jobs_ == nullptr) {
+    return ErrorResponse(503, "unavailable",
+                         "async runs are disabled (no job manager)");
+  }
+  JobFilter filter;
+  auto get = [&](const char* key) -> const std::string* {
+    auto q = request.query.find(key);
+    return q == request.query.end() ? nullptr : &q->second;
+  };
+  if (const std::string* v = get("status")) filter.status = *v;
+  if (const std::string* v = get("tenant")) filter.tenant = *v;
+  if (const std::string* v = get("after")) filter.after_id = *v;
+  size_t limit = 50;
+  if (const std::string* v = get("limit")) {
+    const int parsed_limit = std::atoi(v->c_str());
+    if (parsed_limit > 0) limit = static_cast<size_t>(parsed_limit);
+  }
+  filter.limit = std::min<size_t>(limit, 200);
+
+  const std::vector<JobSnapshot> runs = jobs_->List(filter);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("runs");
+  w.BeginArray();
+  for (const JobSnapshot& run : runs) {
+    w.BeginObject();
+    w.Key("id");
+    w.String(run.id);
+    w.Key("state");
+    w.String(JobStateName(run.state));
+    w.Key("tenant");
+    w.String(run.tenant);
+    w.Key("priority");
+    w.String(JobPriorityName(run.priority));
+    w.Key("dataset");
+    w.String(run.dataset_name);
+    if (!run.batch_id.empty()) {
+      w.Key("batch_id");
+      w.String(run.batch_id);
+    }
+    if (run.dispatch_sequence > 0) {
+      w.Key("dispatch_sequence");
+      w.Int(static_cast<int64_t>(run.dispatch_sequence));
+    }
+    w.Key("queue_seconds");
+    w.Number(run.queue_seconds);
+    w.Key("run_seconds");
+    w.Number(run.run_seconds);
+    if (run.state == JobState::kDone) {
+      w.Key("best_algorithm");
+      w.String(run.best_algorithm);
+      w.Key("best_validation_accuracy");
+      w.Number(run.best_validation_accuracy);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  // Cursor: re-issue the query with after=<cursor> for the next page. Only
+  // present when this page was full (there may be more).
+  if (filter.limit > 0 && runs.size() >= filter.limit) {
+    w.Key("next");
+    w.String(runs.back().id);
+  }
+  w.EndObject();
+  HttpResponse response;
+  response.body = std::move(w).Take();
+  return response;
+}
+
+namespace {
+
+/// One SSE frame: "id: N\nevent: <type>\ndata: {json}\n\n".
+std::string SseFrame(const RunEvent& event) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type");
+  w.String(event.type);
+  w.Key("at_seconds");
+  w.Number(event.at_seconds);
+  if (!event.phase.empty()) {
+    w.Key("phase");
+    w.String(event.phase);
+  }
+  if (!event.algorithm.empty()) {
+    w.Key("algorithm");
+    w.String(event.algorithm);
+  }
+  if (event.type == "incumbent" || event.type == "terminal") {
+    w.Key("value");
+    w.Number(event.value);
+  }
+  if (!event.message.empty()) {
+    w.Key("message");
+    w.String(event.message);
+  }
+  w.EndObject();
+  return StrFormat("id: %llu\nevent: %s\ndata: %s\n\n",
+                   static_cast<unsigned long long>(event.id),
+                   event.type.c_str(), std::move(w).Take().c_str());
+}
+
+}  // namespace
+
+HttpResponse RestService::HandleRunEvents(const HttpRequest& request,
+                                          const std::string& id) {
+  if (jobs_ == nullptr) {
+    return ErrorResponse(503, "unavailable",
+                         "async runs are disabled (no job manager)");
+  }
+  auto buffer = jobs_->Events(id);
+  if (!buffer.ok()) {
+    return ErrorResponseFromStatus(buffer.status());
+  }
+
+  // Resume point: the standard Last-Event-ID header, or ?after= for
+  // clients that cannot set headers.
+  uint64_t last_seen = 0;
+  auto header = request.headers.find("last-event-id");
+  if (header != request.headers.end()) {
+    last_seen = std::strtoull(header->second.c_str(), nullptr, 10);
+  } else {
+    auto q = request.query.find("after");
+    if (q != request.query.end()) {
+      last_seen = std::strtoull(q->second.c_str(), nullptr, 10);
+    }
+  }
+
+  struct StreamState {
+    std::shared_ptr<RunEventBuffer> buffer;
+    uint64_t last_seen = 0;
+    bool gap_checked = false;
+    Stopwatch since_write;
+  };
+  auto state = std::make_shared<StreamState>();
+  state->buffer = *buffer;
+  state->last_seen = last_seen;
+
+  HttpResponse response;
+  response.content_type = "text/event-stream";
+  response.headers["Cache-Control"] = "no-cache";
+  // Each pull waits at most 250ms, so the server's drain check between
+  // pulls stays responsive however quiet the run is.
+  response.stream = [state](std::string* chunk) -> bool {
+    chunk->clear();
+    if (!state->gap_checked) {
+      state->gap_checked = true;
+      const uint64_t oldest = state->buffer->oldest_id();
+      // Resuming past the ring's retention (or events already evicted for a
+      // fresh reader): tell the client instead of silently skipping.
+      const uint64_t resume_from = state->last_seen + 1;
+      if (oldest > resume_from && state->buffer->dropped() > 0) {
+        *chunk += StrFormat(
+            "event: gap\ndata: {\"first_retained\":%llu,\"dropped\":%llu}"
+            "\n\n",
+            static_cast<unsigned long long>(oldest),
+            static_cast<unsigned long long>(state->buffer->dropped()));
+      }
+    }
+    state->buffer->Wait(state->last_seen, 0.25);
+    for (const RunEvent& event : state->buffer->After(state->last_seen)) {
+      *chunk += SseFrame(event);
+      state->last_seen = event.id;
+    }
+    if (!chunk->empty()) {
+      state->since_write.Restart();
+      return true;
+    }
+    if (state->buffer->closed() &&
+        state->buffer->last_id() <= state->last_seen) {
+      return false;  // Terminal event delivered; stream complete.
+    }
+    if (state->since_write.ElapsedSeconds() >= 10.0) {
+      // SSE comment heartbeat: keeps proxies and clients from timing out a
+      // quiet stream, invisible to EventSource consumers.
+      *chunk = ": keep-alive\n\n";
+      state->since_write.Restart();
+    }
+    return true;
+  };
   return response;
 }
 
@@ -586,6 +1018,20 @@ HttpResponse RestService::HandleGetRun(const std::string& id) {
   w.String(JobStateName(snapshot->state));
   w.Key("dataset");
   w.String(snapshot->dataset_name);
+  w.Key("tenant");
+  w.String(snapshot->tenant);
+  w.Key("priority");
+  w.String(JobPriorityName(snapshot->priority));
+  if (!snapshot->batch_id.empty()) {
+    w.Key("batch_id");
+    w.String(snapshot->batch_id);
+  }
+  if (snapshot->dispatch_sequence > 0) {
+    w.Key("dispatch_sequence");
+    w.Int(static_cast<int64_t>(snapshot->dispatch_sequence));
+  }
+  w.Key("events");
+  w.String("/v1/runs/" + snapshot->id + "/events");
   w.Key("queue_seconds");
   w.Number(snapshot->queue_seconds);
   w.Key("run_seconds");
@@ -936,6 +1382,45 @@ void HttpServer::HandleConnection(int client) {
 
     ++requests_on_connection;
     if (requests_on_connection > 1) metrics_.keepalive_reuses->Increment();
+
+    if (framed_ok && response.stream) {
+      // Streaming (SSE) response: the connection is dedicated to the stream
+      // from here on (any pipelined follow-up bytes are discarded) and
+      // closes when it ends. Writes use MSG_NOSIGNAL so a client that
+      // disconnects mid-stream surfaces as a write error, not SIGPIPE —
+      // the loop then drops the puller, releasing its event-buffer
+      // reference.
+      const int status_class = response.status / 100;
+      if (status_class >= 2 && status_class <= 5) {
+        metrics_.requests_by_class[status_class - 2]->Increment();
+      }
+      served_.fetch_add(1);
+      std::string head = StrFormat("HTTP/1.1 %d %s\r\n", response.status,
+                                   StatusText(response.status));
+      head += "Content-Type: " + response.content_type + "\r\n";
+      for (const auto& [name, value] : response.headers) {
+        head += name + ": " + value + "\r\n";
+      }
+      head += "Connection: close\r\n\r\n";
+      auto send_all = [client](const std::string& bytes) {
+        size_t written = 0;
+        while (written < bytes.size()) {
+          const ssize_t n = ::send(client, bytes.data() + written,
+                                   bytes.size() - written, MSG_NOSIGNAL);
+          if (n <= 0) return false;
+          written += static_cast<size_t>(n);
+        }
+        return true;
+      };
+      bool writable = send_all(head);
+      std::string chunk;
+      while (writable && !stopping_.load() && !draining_.load()) {
+        const bool more = response.stream(&chunk);
+        if (!chunk.empty()) writable = send_all(chunk);
+        if (!more) break;
+      }
+      break;  // Streamed connections always close.
+    }
 
     // Keep-alive decision: HTTP/1.1 defaults to keep, HTTP/1.0 and
     // `Connection: close` to close; framing errors, the per-connection

@@ -15,7 +15,9 @@
 //     `Connection: close` and HTTP/1.0 requests close after one response.
 //
 // Versioned v1 routes (all non-2xx responses carry the uniform envelope
-// {"error":{"code":"...","message":"..."}}):
+// {"error":{"code":"...","message":"...","request_id":"..."}}; every
+// response carries an X-Request-Id header, echoed from the client's when
+// sent):
 //   GET    /v1/health                 -> live server state (workers, queue
 //                                        depth, job counts, KB size)
 //   GET    /v1/algorithms             -> the 15 algorithms + param counts
@@ -26,21 +28,32 @@
 //                                        (or the flat object itself)
 //   POST   /v1/runs         (CSV)     -> 202 + {"id": ...}; async job
 //          query params: name=, budget=SECONDS, evals=N, selection_only=1,
-//                        ensemble=0, interpretability=0, nominations=K
+//                        ensemble=0, interpretability=0, nominations=K,
+//                        priority=interactive|normal|batch
+//   GET    /v1/runs                   -> job list; filters status=, tenant=,
+//                                        cursor pagination after=/limit=
 //   GET    /v1/runs/{id}              -> queued|running|done|failed|
 //                                        cancelled (+ result when done)
-//   DELETE /v1/runs/{id}              -> cancels a queued job
+//   GET    /v1/runs/{id}/events       -> SSE stream of state/phase/
+//                                        incumbent/terminal events
+//                                        (Last-Event-ID resume)
+//   DELETE /v1/runs/{id}              -> cancels a queued/running job
+//   POST   /v1/batch        (JSON)    -> admits many datasets in one
+//                                        scheduler pass; per-item run ids
+//   GET    /v1/batches/{id}           -> per-item states of a past batch
 //
-// The pre-versioning routes (/health /algorithms /kb /metafeatures /select
-// /run) remain as thin deprecated aliases that set "Deprecation: true";
-// legacy /select still takes the positional whitespace-separated
-// meta-feature body and legacy /run still executes synchronously.
+// Multi-tenancy: the X-Tenant header names the caller's tenant ("default"
+// when absent); admission is fair-share weighted round-robin with
+// per-tenant quotas, and quota exhaustion surfaces as 429 + Retry-After
+// exactly like global overload. The pre-versioning route aliases were
+// removed; unversioned paths get the structured 404 envelope.
 #ifndef SMARTML_API_REST_H_
 #define SMARTML_API_REST_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -68,9 +81,16 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
-  /// Extra response headers (Deprecation, Retry-After, Location, ...).
+  /// Extra response headers (Retry-After, Location, X-Request-Id, ...).
   std::map<std::string, std::string> headers;
   std::string body;
+  /// Streaming body (SSE). When set, `body` is ignored: the server writes
+  /// the header block without Content-Length (Connection: close) and then
+  /// repeatedly calls this puller. Each call may block briefly (<= ~250ms)
+  /// waiting for data, appends zero or more complete frames to `chunk`, and
+  /// returns false once the stream is finished. The connection is dedicated
+  /// to the stream from then on and closes when it ends.
+  std::function<bool(std::string* chunk)> stream;
 };
 
 /// Parses the head+body of an HTTP/1.1 request. `text` must contain the
@@ -83,7 +103,9 @@ std::string SerializeHttpResponse(const HttpResponse& response,
                                   bool keep_alive = false);
 
 /// Builds the uniform v1 error envelope
-/// {"error":{"code":"<slug>","message":"..."}}.
+/// {"error":{"code":"<slug>","message":"...","request_id":"..."}}. The
+/// request id is filled from the in-flight request's scope (omitted when
+/// called outside RestService::Handle).
 HttpResponse ErrorResponse(int http_status, const std::string& code,
                            const std::string& message);
 
@@ -121,10 +143,13 @@ class RestService {
   HttpResponse HandleKb();
   HttpResponse HandleMetaFeatures(const HttpRequest& request);
   HttpResponse HandleSelectV1(const HttpRequest& request);
-  HttpResponse HandleSelectLegacy(const HttpRequest& request);
-  HttpResponse HandleRunSync(const HttpRequest& request);
   HttpResponse HandleSubmitRun(const HttpRequest& request);
+  HttpResponse HandleSubmitBatch(const HttpRequest& request);
+  HttpResponse HandleGetBatch(const std::string& id);
+  HttpResponse HandleListRuns(const HttpRequest& request);
   HttpResponse HandleGetRun(const std::string& id);
+  HttpResponse HandleRunEvents(const HttpRequest& request,
+                               const std::string& id);
   HttpResponse HandleCancelRun(const std::string& id);
 
   SmartML* framework_;

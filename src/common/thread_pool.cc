@@ -7,6 +7,7 @@
 #include "src/common/stopwatch.h"
 #include "src/common/strings.h"
 #include "src/obs/metrics.h"
+#include "src/obs/run_events.h"
 
 namespace smartml {
 
@@ -128,6 +129,8 @@ struct ParallelForState {
   std::function<Status(size_t)> fn;
   const CancelToken* cancel = nullptr;
   ThreadPool* pool = nullptr;
+  RunEventSink* events = nullptr;
+  const std::string* event_tag = nullptr;
   size_t n = 0;
 
   std::atomic<size_t> next{0};
@@ -208,6 +211,8 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn,
   state->fn = fn;
   state->cancel = cancel;
   state->pool = pool;
+  state->events = CurrentRunEventSink();
+  state->event_tag = CurrentRunEventTag();
   state->n = n;
 
   // Helper strands: best effort. A full queue or a missing pool just means
@@ -223,6 +228,7 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn,
         // context through thread-locals; mirror the caller's scopes.
         ScopedCancelScope cancel_scope(state->cancel);
         ScopedPoolScope pool_scope(state->pool);
+        ScopedRunEventScope event_scope(state->events, state->event_tag);
         state->Work();
       });
       if (!submitted) break;

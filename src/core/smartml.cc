@@ -15,6 +15,7 @@
 #include "src/metafeatures/metafeature_cache.h"
 #include "src/ml/registry.h"
 #include "src/obs/metrics.h"
+#include "src/obs/run_events.h"
 #include "src/tuning/smac.h"
 
 namespace smartml {
@@ -201,6 +202,12 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
 
   SmartMlResult result;
   result.dataset_name = dataset.name();
+  if (!options.trace_tag.empty()) {
+    // Correlation marker joining this trace to the HTTP request that
+    // launched it (X-Request-Id).
+    Span request_span(tracer, "request/" + options.trace_tag);
+    request_span.End();
+  }
   Stopwatch phase_watch;
 
   // -------------------------------------------------------------------
@@ -209,6 +216,7 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
   // -------------------------------------------------------------------
   SMARTML_LOG_INFO << "phase: preprocessing (" << dataset.NumRows()
                    << " rows, " << dataset.NumFeatures() << " features)";
+  EmitPhaseEvent("preprocessing");
   Span preprocess_span(tracer, "preprocess");
   SMARTML_ASSIGN_OR_RETURN(
       TrainValidationSplit split,
@@ -280,6 +288,7 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
   // is a degradation, not a run failure: selection falls back to the
   // cold-start roster (the no-meta-learning path).
   // -------------------------------------------------------------------
+  EmitPhaseEvent("selection");
   Span select_span(tracer, "select");
   try {
     if (FaultShouldFire("kb_lookup_throw")) {
@@ -360,6 +369,7 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
   }
 
   uint64_t seed = options.seed * 2654435761ULL + 17;
+  EmitPhaseEvent("tuning");
   Span tune_span(tracer, "tune");
   Stopwatch tune_watch;
   Status first_failure = Status::OK();
@@ -403,6 +413,9 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
         }
         out.attempted = true;
         out.span_offset = tune_watch.ElapsedSeconds();
+        // Label every event this candidate's tuning emits (the incumbent
+        // stream) with the algorithm name, on whichever strand it runs.
+        ScopedRunEventTag event_tag(algorithms[i]);
         const double share =
             static_cast<double>(param_counts[i]) /
             static_cast<double>(std::max<size_t>(param_total, 1));
@@ -497,6 +510,7 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
   // -------------------------------------------------------------------
   // Phase 5: computing output + updating the knowledge base.
   // -------------------------------------------------------------------
+  EmitPhaseEvent("output");
   Span output_span(tracer, "output");
   std::vector<size_t> order(result.per_algorithm.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;

@@ -99,6 +99,10 @@ struct SmartMlOptions {
   int num_threads = 0;
   /// Advanced similarity knobs (ablations).
   NominationOptions nomination;
+  /// Serving-layer correlation id (the request's X-Request-Id). When set,
+  /// the run's trace opens with a zero-length "request/<tag>" marker span so
+  /// traces can be joined back to HTTP access logs.
+  std::string trace_tag;
   uint64_t seed = 42;
 };
 

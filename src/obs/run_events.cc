@@ -1,0 +1,142 @@
+#include "src/obs/run_events.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace smartml {
+namespace {
+
+thread_local RunEventSink* tl_sink = nullptr;
+thread_local const std::string* tl_tag = nullptr;
+
+struct EventMetrics {
+  Counter* published;
+  Counter* dropped;
+
+  static EventMetrics& Get() {
+    static EventMetrics metrics{
+        GlobalMetrics().GetCounter("smartml_run_events_published_total",
+                                   "Run progress events published."),
+        GlobalMetrics().GetCounter(
+            "smartml_run_events_dropped_total",
+            "Run progress events evicted by the bounded per-run buffer.")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+RunEventBuffer::RunEventBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RunEventBuffer::Publish(RunEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    event.id = next_id_++;
+    event.at_seconds = watch_.ElapsedSeconds();
+    events_.push_back(std::move(event));
+    while (events_.size() > capacity_) {
+      events_.pop_front();
+      ++dropped_;
+      EventMetrics::Get().dropped->Increment();
+    }
+  }
+  EventMetrics::Get().published->Increment();
+  cv_.notify_all();
+}
+
+void RunEventBuffer::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RunEventBuffer::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+uint64_t RunEventBuffer::last_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_ - 1;
+}
+
+uint64_t RunEventBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+uint64_t RunEventBuffer::oldest_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty() ? 0 : events_.front().id;
+}
+
+std::vector<RunEvent> RunEventBuffer::After(uint64_t last_seen) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RunEvent> out;
+  for (const RunEvent& event : events_) {
+    if (event.id > last_seen) out.push_back(event);
+  }
+  return out;
+}
+
+bool RunEventBuffer::Wait(uint64_t last_seen, double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                      [this, last_seen] {
+                        return closed_ || next_id_ - 1 > last_seen;
+                      });
+}
+
+ScopedRunEventScope::ScopedRunEventScope(RunEventSink* sink,
+                                         const std::string* tag)
+    : previous_sink_(tl_sink), previous_tag_(tl_tag) {
+  tl_sink = sink;
+  tl_tag = tag;
+}
+
+ScopedRunEventScope::~ScopedRunEventScope() {
+  tl_sink = previous_sink_;
+  tl_tag = previous_tag_;
+}
+
+ScopedRunEventTag::ScopedRunEventTag(std::string tag)
+    : tag_(std::move(tag)), previous_(tl_tag) {
+  tl_tag = &tag_;
+}
+
+ScopedRunEventTag::~ScopedRunEventTag() { tl_tag = previous_; }
+
+RunEventSink* CurrentRunEventSink() { return tl_sink; }
+
+const std::string* CurrentRunEventTag() { return tl_tag; }
+
+void EmitRunEvent(RunEvent event) {
+  RunEventSink* sink = tl_sink;
+  if (sink == nullptr) return;
+  if (event.algorithm.empty() && tl_tag != nullptr) event.algorithm = *tl_tag;
+  sink->Publish(std::move(event));
+}
+
+void EmitPhaseEvent(const std::string& phase) {
+  if (tl_sink == nullptr) return;
+  RunEvent event;
+  event.type = "phase";
+  event.phase = phase;
+  EmitRunEvent(std::move(event));
+}
+
+void EmitIncumbentEvent(double cost) {
+  if (tl_sink == nullptr) return;
+  RunEvent event;
+  event.type = "incumbent";
+  event.value = cost;
+  EmitRunEvent(std::move(event));
+}
+
+}  // namespace smartml

@@ -9,6 +9,7 @@
 #include "src/common/distributions.h"
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
+#include "src/obs/run_events.h"
 
 namespace smartml {
 
@@ -301,12 +302,16 @@ class SmacRun {
   void UpdateIncumbent(size_t id) {
     if (incumbent_ == kNone) {
       incumbent_ = id;
+      // First establishment counts as an improvement for live streams, so
+      // every completed tuning run yields at least one incumbent event.
+      EmitIncumbentEvent(records_[id].MeanCost());
     } else if (id != incumbent_ &&
                records_[id].folds_evaluated >=
                    records_[incumbent_].folds_evaluated &&
                records_[id].MeanCost() < records_[incumbent_].MeanCost()) {
       incumbent_ = id;
       SmacMetrics::Get().incumbent_improvements->Increment();
+      EmitIncumbentEvent(records_[id].MeanCost());
     }
     if (!trajectory_.empty()) {
       trajectory_.back() = records_[incumbent_].MeanCost();

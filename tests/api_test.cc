@@ -1,7 +1,7 @@
 // Tests for the JSON serialization and REST API layers: writer/parser
 // correctness, HTTP request parsing, v1 service routing (async runs, the
-// error envelope, deprecated legacy aliases), and one real loopback-socket
-// round trip.
+// error envelope, request ids, removed pre-versioning aliases), and one
+// real loopback-socket round trip.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
@@ -261,19 +261,32 @@ class RestServiceTest : public testing::Test {
     return service_.Handle(request);
   }
 
+  // Submits one async run, waits for it to finish, and returns its id.
+  std::string RunToCompletion(const std::string& csv,
+                              std::map<std::string, std::string> query) {
+    const HttpResponse response = Call("POST", "/v1/runs", csv, query);
+    EXPECT_EQ(response.status, 202) << response.body;
+    auto parsed = ParseJson(response.body);
+    EXPECT_TRUE(parsed.ok());
+    const std::string id = parsed->Find("id")->string;
+    auto final_snapshot = jobs_.Wait(id, /*timeout_seconds=*/60.0);
+    EXPECT_TRUE(final_snapshot.ok()) << final_snapshot.status().ToString();
+    return id;
+  }
+
   SmartML framework_;
   JobManager jobs_;
   RestService service_;
 };
 
 TEST_F(RestServiceTest, Health) {
-  const HttpResponse response = Call("GET", "/health");
+  const HttpResponse response = Call("GET", "/v1/health");
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos);
 }
 
 TEST_F(RestServiceTest, Algorithms) {
-  const HttpResponse response = Call("GET", "/algorithms");
+  const HttpResponse response = Call("GET", "/v1/algorithms");
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.body.find("\"svm\""), std::string::npos);
   EXPECT_NE(response.body.find("\"deepboost\""), std::string::npos);
@@ -284,62 +297,66 @@ TEST_F(RestServiceTest, UnknownRouteIs404) {
 }
 
 TEST_F(RestServiceTest, WrongMethodIs405) {
-  EXPECT_EQ(Call("POST", "/health").status, 405);
-  EXPECT_EQ(Call("GET", "/run").status, 405);
+  EXPECT_EQ(Call("POST", "/v1/health").status, 405);
+  EXPECT_EQ(Call("GET", "/v1/batch").status, 405);
+  EXPECT_EQ(Call("PUT", "/v1/runs").status, 405);
 }
 
 TEST_F(RestServiceTest, MetaFeaturesFromCsv) {
   const HttpResponse response =
-      Call("POST", "/metafeatures", DatasetCsv());
+      Call("POST", "/v1/metafeatures", DatasetCsv());
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.body.find("\"num_instances\":80"), std::string::npos);
 }
 
 TEST_F(RestServiceTest, MetaFeaturesBadBodyIs400) {
-  EXPECT_EQ(Call("POST", "/metafeatures", "not,csv").status, 400);
+  EXPECT_EQ(Call("POST", "/v1/metafeatures", "not,csv").status, 400);
 }
 
 TEST_F(RestServiceTest, RunEndToEndUpdatesKb) {
-  const HttpResponse response =
-      Call("POST", "/run", DatasetCsv(), {{"name", "api_run"}});
-  ASSERT_EQ(response.status, 200) << response.body;
-  EXPECT_NE(response.body.find("\"best_algorithm\""), std::string::npos);
-  EXPECT_NE(response.body.find("\"dataset\":\"api_run\""), std::string::npos);
-  // KB grew; /kb reflects it.
-  const HttpResponse kb = Call("GET", "/kb");
+  const std::string id =
+      RunToCompletion(DatasetCsv(), {{"name", "api_run"}});
+  const HttpResponse done = Call("GET", "/v1/runs/" + id);
+  ASSERT_EQ(done.status, 200);
+  EXPECT_NE(done.body.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(done.body.find("\"best_algorithm\""), std::string::npos);
+  EXPECT_NE(done.body.find("\"dataset\":\"api_run\""), std::string::npos);
+  // KB grew; /v1/kb reflects it.
+  const HttpResponse kb = Call("GET", "/v1/kb");
   EXPECT_NE(kb.body.find("\"num_records\":1"), std::string::npos);
 }
 
 TEST_F(RestServiceTest, RunQueryOverridesRestored) {
   const double original_budget = framework_.options().time_budget_seconds;
-  const HttpResponse response = Call("POST", "/run", DatasetCsv(),
-                                     {{"budget", "1"}, {"evals", "6"}});
-  EXPECT_EQ(response.status, 200);
+  RunToCompletion(DatasetCsv(),
+                  {{"budget", "1"}, {"evals", "6"}});
+  // Per-request overrides live on the job, never on the shared framework.
   EXPECT_DOUBLE_EQ(framework_.options().time_budget_seconds, original_budget);
 }
 
 TEST_F(RestServiceTest, SelectionOnlyRun) {
-  const HttpResponse response =
-      Call("POST", "/run", DatasetCsv(), {{"selection_only", "1"}});
-  ASSERT_EQ(response.status, 200);
-  EXPECT_NE(response.body.find("\"best_algorithm\":\"\""), std::string::npos);
+  const std::string id = RunToCompletion(DatasetCsv(),
+                                         {{"selection_only", "1"}});
+  const HttpResponse done = Call("GET", "/v1/runs/" + id);
+  ASSERT_EQ(done.status, 200) << done.body;
+  EXPECT_NE(done.body.find("\"best_algorithm\":\"\""), std::string::npos);
 }
 
 TEST_F(RestServiceTest, SelectFromMetaFeatures) {
   // Populate the KB first.
-  ASSERT_EQ(Call("POST", "/run", DatasetCsv()).status, 200);
+  RunToCompletion(DatasetCsv(), {});
   auto dataset = ReadCsvString(DatasetCsv());
   ASSERT_TRUE(dataset.ok());
   auto extracted = ExtractMetaFeatures(*dataset);
   ASSERT_TRUE(extracted.ok());
   const HttpResponse response =
-      Call("POST", "/select", MetaFeaturesToString(*extracted));
-  EXPECT_EQ(response.status, 200);
+      Call("POST", "/v1/select", MetaFeaturesToJson(*extracted));
+  EXPECT_EQ(response.status, 200) << response.body;
   EXPECT_NE(response.body.find("\"algorithm\""), std::string::npos);
 }
 
 TEST_F(RestServiceTest, SelectBadBodyIs400) {
-  EXPECT_EQ(Call("POST", "/select", "1 2 3").status, 400);
+  EXPECT_EQ(Call("POST", "/v1/select", "1 2 3").status, 400);
 }
 
 // ---------------------------------------------------------------------------
@@ -358,27 +375,46 @@ TEST_F(RestServiceTest, ErrorEnvelopeIsUniform) {
       << bad.body;
 }
 
-TEST_F(RestServiceTest, LegacyRoutesCarryDeprecationHeader) {
-  for (const char* path : {"/health", "/algorithms", "/kb"}) {
+TEST_F(RestServiceTest, PreVersioningAliasesAreGone) {
+  // The pre-v1 aliases were removed; unversioned paths get the structured
+  // 404 envelope pointing at the v1 surface.
+  for (const char* path : {"/health", "/algorithms", "/kb", "/run",
+                           "/select", "/metafeatures"}) {
     const HttpResponse response = Call("GET", path);
-    EXPECT_EQ(response.status, 200) << path;
-    ASSERT_TRUE(response.headers.count("Deprecation")) << path;
-    EXPECT_EQ(response.headers.at("Deprecation"), "true");
-    EXPECT_NE(response.headers.at("Link").find("successor-version"),
-              std::string::npos);
+    EXPECT_EQ(response.status, 404) << path;
+    EXPECT_NE(response.body.find("\"error\":{\"code\":\"not_found\""),
+              std::string::npos)
+        << path << " " << response.body;
+    EXPECT_NE(response.body.find("/v1"), std::string::npos) << path;
+    EXPECT_FALSE(response.headers.count("Deprecation")) << path;
   }
-  // The versioned routes are not deprecated.
-  EXPECT_FALSE(Call("GET", "/v1/health").headers.count("Deprecation"));
 }
 
-TEST_F(RestServiceTest, V1RoutesMirrorLegacy) {
+TEST_F(RestServiceTest, V1CoreRoutes) {
   EXPECT_EQ(Call("GET", "/v1/health").status, 200);
   EXPECT_EQ(Call("GET", "/v1/algorithms").status, 200);
   EXPECT_EQ(Call("GET", "/v1/kb").status, 200);
   EXPECT_EQ(Call("POST", "/v1/metafeatures", DatasetCsv()).status, 200);
+  EXPECT_EQ(Call("GET", "/v1/runs").status, 200);  // The list endpoint.
   EXPECT_EQ(Call("POST", "/v1/health").status, 405);
-  EXPECT_EQ(Call("GET", "/v1/runs").status, 405);
   EXPECT_EQ(Call("GET", "/v1/nope").status, 404);
+}
+
+TEST_F(RestServiceTest, EveryResponseCarriesARequestId) {
+  const HttpResponse ok = Call("GET", "/v1/health");
+  ASSERT_TRUE(ok.headers.count("X-Request-Id"));
+  EXPECT_FALSE(ok.headers.at("X-Request-Id").empty());
+  // Client-supplied ids are echoed back, and land in error envelopes.
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/nope";
+  request.headers["x-request-id"] = "client-abc-123";
+  const HttpResponse err = service_.Handle(request);
+  EXPECT_EQ(err.status, 404);
+  EXPECT_EQ(err.headers.at("X-Request-Id"), "client-abc-123");
+  EXPECT_NE(err.body.find("\"request_id\":\"client-abc-123\""),
+            std::string::npos)
+      << err.body;
 }
 
 TEST_F(RestServiceTest, V1HealthReportsJobPoolState) {
@@ -391,7 +427,7 @@ TEST_F(RestServiceTest, V1HealthReportsJobPoolState) {
 }
 
 TEST_F(RestServiceTest, V1SelectAcceptsNamedMetaFeatures) {
-  ASSERT_EQ(Call("POST", "/run", DatasetCsv()).status, 200);
+  RunToCompletion(DatasetCsv(), {});
   auto dataset = ReadCsvString(DatasetCsv());
   ASSERT_TRUE(dataset.ok());
   auto extracted = ExtractMetaFeatures(*dataset);
@@ -526,7 +562,7 @@ TEST(HttpServerTest, LoopbackRoundTrip) {
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
   const std::string request =
-      "GET /health HTTP/1.1\r\nHost: localhost\r\n\r\n";
+      "GET /v1/health HTTP/1.1\r\nHost: localhost\r\n\r\n";
   ASSERT_EQ(::write(fd, request.data(), request.size()),
             static_cast<ssize_t>(request.size()));
   std::string reply;
