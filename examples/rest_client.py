@@ -14,6 +14,7 @@ Usage:
 import argparse
 import json
 import sys
+import time
 import urllib.error
 import urllib.request
 
@@ -31,6 +32,74 @@ def call(port: int, path: str, body: bytes | None = None,
         envelope = json.loads(err.read())["error"]
         sys.exit(f"{method} {path} -> {err.code} "
                  f"[{envelope['code']}] {envelope['message']}")
+
+
+def follow_events(port: int, job_id: str,
+                  max_attempts: int = 8) -> None:
+    """Follows the job's SSE stream with the standard reconnect protocol.
+
+    A dropped connection (server restart, network blip) is retried with
+    exponential backoff, resuming from the last delivered event via the
+    Last-Event-ID header. The server's ``retry:`` directive sets the base
+    delay, and a ``restart`` event marks a run that survived a server
+    restart. Returns once the terminal event arrives (the server closes the
+    stream after it).
+    """
+    url = f"http://127.0.0.1:{port}/v1/runs/{job_id}/events"
+    last_event_id = 0
+    retry_ms = 2000
+    attempt = 0
+    while True:
+        headers = {}
+        if last_event_id:
+            headers["Last-Event-ID"] = str(last_event_id)
+        try:
+            req = urllib.request.Request(url, headers=headers)
+            with urllib.request.urlopen(req, timeout=300) as stream:
+                attempt = 0  # Connected: reset the backoff.
+                terminal = False
+                for raw in stream:
+                    line = raw.decode().rstrip("\n")
+                    if line.startswith("retry: "):
+                        retry_ms = int(line[len("retry: "):])
+                        continue
+                    if line.startswith("id: "):
+                        last_event_id = int(line[len("id: "):])
+                        continue
+                    if not line.startswith("data: "):
+                        continue
+                    event = json.loads(line[len("data: "):])
+                    kind = event.get("type")
+                    if kind == "phase":
+                        print(f"  [{event['at_seconds']:6.2f}s] phase "
+                              f"{event['phase']}")
+                    elif kind == "incumbent":
+                        print(f"  [{event['at_seconds']:6.2f}s] incumbent "
+                              f"{event['algorithm']} cost "
+                              f"{event['value']:.4f}")
+                    elif kind == "restart":
+                        print(f"  [{event['at_seconds']:6.2f}s] restart: "
+                              f"{event['message']}")
+                    elif kind == "terminal":
+                        print(f"  [{event['at_seconds']:6.2f}s] terminal: "
+                              f"{event['message']}")
+                        terminal = True
+                if terminal:
+                    return
+        except urllib.error.HTTPError as err:
+            if err.code == 404:
+                raise  # The job is gone; reconnecting won't help.
+        except (urllib.error.URLError, ConnectionError, TimeoutError):
+            pass
+        # The stream ended without a terminal event (or never connected):
+        # back off exponentially from the server's retry hint and resume.
+        attempt += 1
+        if attempt > max_attempts:
+            sys.exit(f"giving up on {url} after {max_attempts} reconnects")
+        delay = min(30.0, retry_ms / 1000.0 * (2 ** (attempt - 1)))
+        print(f"  stream dropped; reconnecting in {delay:.1f}s "
+              f"(attempt {attempt}, Last-Event-ID {last_event_id})")
+        time.sleep(delay)
 
 
 def main() -> None:
@@ -75,22 +144,7 @@ def main() -> None:
                      csv_body)
     job_id = submitted["id"]
     print(f"submitted job {job_id}, streaming /v1/runs/{job_id}/events ...")
-    events_url = (f"http://127.0.0.1:{args.port}/v1/runs/{job_id}/events")
-    with urllib.request.urlopen(events_url, timeout=300) as stream:
-        for raw in stream:
-            line = raw.decode().rstrip("\n")
-            if not line.startswith("data: "):
-                continue
-            event = json.loads(line[len("data: "):])
-            if event["type"] == "phase":
-                print(f"  [{event['at_seconds']:6.2f}s] phase "
-                      f"{event['phase']}")
-            elif event["type"] == "incumbent":
-                print(f"  [{event['at_seconds']:6.2f}s] incumbent "
-                      f"{event['algorithm']} cost {event['value']:.4f}")
-            elif event["type"] == "terminal":
-                print(f"  [{event['at_seconds']:6.2f}s] terminal: "
-                      f"{event['message']}")
+    follow_events(args.port, job_id)
 
     job = call(args.port, f"/v1/runs/{job_id}")
     if job["state"] != "done":

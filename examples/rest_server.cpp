@@ -6,6 +6,8 @@
 //   rest_server [--port P] [--kb FILE] [--budget SECONDS] [--evals N]
 //               [--workers N] [--job-workers N] [--max-jobs N]
 //               [--tenant-quota N] [--tenant-weight NAME=W ...]
+//               [--tenant-burst NAME=N | --tenant-burst N]
+//               [--journal-dir DIR]
 //
 // v1 endpoints (see docs/API.md and docs/openapi.yaml):
 //   GET    /v1/health /v1/metrics /v1/algorithms /v1/kb
@@ -19,7 +21,13 @@
 //   GET    /v1/batches/{id}
 //
 // Tenancy: send an X-Tenant header to keep tenants' queues fair-shared;
-// --tenant-quota caps each tenant's queued+running jobs (429 beyond it).
+// --tenant-quota caps each tenant's queued+running jobs (429 beyond it), and
+// --tenant-burst grants token-bucket burst credits on top of the quota.
+//
+// Durability: --journal-dir makes accepted jobs survive a crash or restart.
+// Admissions are journaled before they are acknowledged; on startup the
+// journal replays, re-queuing interrupted jobs (their tuners resume from
+// checkpoints under DIR/checkpoints) and keeping finished ones pollable.
 //
 // Try it:
 //   ./rest_server --port 8080 &
@@ -86,6 +94,20 @@ int main(int argc, char** argv) {
       }
       job_options.tenant_weights[spec.substr(0, eq)] =
           std::atoi(spec.c_str() + eq + 1);
+    } else if (arg == "--tenant-burst") {
+      // NAME=N grants one tenant N burst tokens; a bare N sets the default
+      // for every tenant.
+      const std::string spec = next();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        job_options.default_tenant_burst =
+            static_cast<size_t>(std::atoi(spec.c_str()));
+      } else {
+        job_options.tenant_bursts[spec.substr(0, eq)] =
+            static_cast<size_t>(std::atoi(spec.c_str() + eq + 1));
+      }
+    } else if (arg == "--journal-dir") {
+      job_options.journal_dir = next();
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;

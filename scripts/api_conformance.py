@@ -18,6 +18,7 @@ Usage: scripts/api_conformance.py path/to/rest_server
 """
 
 import json
+import os
 import re
 import subprocess
 import sys
@@ -81,6 +82,10 @@ def main():
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
         text=True,
+        # Stretch every fold evaluation so the batch runs are still pending
+        # when the quota check fires; without it the tiny dataset finishes in
+        # milliseconds and the 429 assertion races run completion.
+        env={**os.environ, "SMARTML_FAULT": "slow_train:100ms"},
     )
     try:
         match = None

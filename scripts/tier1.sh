@@ -44,6 +44,7 @@ case "$SANITIZE" in
     "$BUILD_DIR"/tests/multitenant_test
     "$BUILD_DIR"/tests/obs_test
     "$BUILD_DIR"/tests/pool_test
+    "$BUILD_DIR"/tests/recovery_test
     ;;
   *)
     # Live-server smokes: /v1/metrics must serve valid Prometheus exposition
@@ -61,6 +62,9 @@ case "$SANITIZE" in
 esac
 
 # Fault-injection leg (both flavours): deterministic failure handling plus
-# the kill-mid-save KB recovery path driven through SMARTML_FAULT.
+# the kill-mid-save KB recovery path driven through SMARTML_FAULT, and the
+# kill-9-the-server job-journal recovery path (queued jobs re-run, the
+# mid-flight run resumes from its tuner checkpoint).
 "$BUILD_DIR"/tests/fault_tolerance_test
 scripts/kb_recovery_smoke.sh "$BUILD_DIR"
+scripts/crash_recovery_smoke.sh "$BUILD_DIR"

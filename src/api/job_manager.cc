@@ -1,6 +1,8 @@
 #include "src/api/job_manager.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -8,6 +10,7 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/common/thread_pool.h"
+#include "src/data/csv.h"
 
 namespace smartml {
 
@@ -21,6 +24,133 @@ double SecondsBetween(std::chrono::steady_clock::time_point a,
 bool IsTerminal(JobState state) {
   return state == JobState::kDone || state == JobState::kFailed ||
          state == JobState::kCancelled;
+}
+
+/// Composite key scoping idempotency keys per tenant ('\n' cannot appear in
+/// either half — both are header-sanitized by the REST layer).
+std::string IdempotencyMapKey(const std::string& tenant,
+                              const std::string& key) {
+  return tenant + "\n" + key;
+}
+
+JobState ParseJobState(const std::string& name) {
+  if (name == "done") return JobState::kDone;
+  if (name == "cancelled") return JobState::kCancelled;
+  return JobState::kFailed;
+}
+
+double NumberField(const JsonValue& object, const char* key,
+                   double fallback = 0.0) {
+  const JsonValue* v = object.Find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string StringField(const JsonValue& object, const char* key) {
+  const JsonValue* v = object.Find(key);
+  return v != nullptr && v->is_string() ? v->string : std::string();
+}
+
+bool BoolField(const JsonValue& object, const char* key,
+               bool fallback = false) {
+  const JsonValue* v = object.Find(key);
+  return v != nullptr && v->is_bool() ? v->boolean : fallback;
+}
+
+/// Drops the trailing "csv" member from an admit payload (compaction: a
+/// terminal job's dataset is never needed again, and the CSV dominates the
+/// record's size). The marker cannot appear inside the escaped CSV string
+/// (an unescaped '"' never occurs inside a JSON string), so plain string
+/// surgery is safe here.
+void StripCsvFromAdmitPayload(std::string* payload) {
+  const size_t pos = payload->find(",\"csv\":\"");
+  if (pos == std::string::npos || payload->empty() ||
+      payload->back() != '}') {
+    return;
+  }
+  payload->resize(pos);
+  payload->push_back('}');
+}
+
+/// The kAdmit record: everything needed to re-admit the job after a
+/// restart. Only the REST-settable option knobs are journaled; the rest of
+/// SmartMlOptions is taken from the framework defaults at replay time
+/// (exactly how OptionsFromQuery builds them at admission time).
+std::string EncodeAdmitPayload(const std::string& tenant, JobPriority priority,
+                               const std::string& batch_id,
+                               const std::string& dataset_name,
+                               const std::string& idempotency_key,
+                               const SmartMlOptions& options,
+                               const std::string& csv) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("tenant");
+  w.String(tenant);
+  w.Key("priority");
+  w.String(JobPriorityName(priority));
+  w.Key("batch_id");
+  w.String(batch_id);
+  w.Key("dataset_name");
+  w.String(dataset_name);
+  w.Key("idempotency_key");
+  w.String(idempotency_key);
+  w.Key("options");
+  w.BeginObject();
+  w.Key("budget");
+  w.Number(options.time_budget_seconds);
+  w.Key("evals");
+  w.Int(options.max_evaluations);
+  w.Key("deadline");
+  w.Number(options.run_deadline_seconds);
+  w.Key("cv_folds");
+  w.Int(options.cv_folds);
+  w.Key("nominations");
+  w.Int(static_cast<int64_t>(options.max_nominations));
+  w.Key("selection_only");
+  w.Bool(options.selection_only);
+  w.Key("ensemble");
+  w.Bool(options.enable_ensembling);
+  w.Key("interpretability");
+  w.Bool(options.enable_interpretability);
+  w.Key("threads");
+  w.Int(options.num_threads);
+  w.Key("seed");
+  w.Int(static_cast<int64_t>(options.seed));
+  w.Key("update_kb");
+  w.Bool(options.update_kb);
+  w.EndObject();
+  // "csv" must stay the LAST member: compaction strips it from terminal
+  // jobs' records with plain string surgery (StripCsvFromAdmitPayload).
+  w.Key("csv");
+  w.String(csv);
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+SmartMlOptions DecodeAdmitOptions(const JsonValue& payload,
+                                  SmartMlOptions base) {
+  const JsonValue* opts = payload.Find("options");
+  if (opts == nullptr || !opts->is_object()) return base;
+  base.time_budget_seconds =
+      NumberField(*opts, "budget", base.time_budget_seconds);
+  base.max_evaluations = static_cast<int>(
+      NumberField(*opts, "evals", base.max_evaluations));
+  base.run_deadline_seconds =
+      NumberField(*opts, "deadline", base.run_deadline_seconds);
+  base.cv_folds =
+      static_cast<int>(NumberField(*opts, "cv_folds", base.cv_folds));
+  base.max_nominations = static_cast<size_t>(NumberField(
+      *opts, "nominations", static_cast<double>(base.max_nominations)));
+  base.selection_only = BoolField(*opts, "selection_only", base.selection_only);
+  base.enable_ensembling =
+      BoolField(*opts, "ensemble", base.enable_ensembling);
+  base.enable_interpretability =
+      BoolField(*opts, "interpretability", base.enable_interpretability);
+  base.num_threads =
+      static_cast<int>(NumberField(*opts, "threads", base.num_threads));
+  base.seed = static_cast<uint64_t>(
+      NumberField(*opts, "seed", static_cast<double>(base.seed)));
+  base.update_kb = BoolField(*opts, "update_kb", base.update_kb);
+  return base;
 }
 
 }  // namespace
@@ -113,6 +243,29 @@ JobManager::JobManager(SmartML* framework, JobManagerOptions options)
   metrics_.phase_output =
       registry.GetHistogram("smartml_job_phase_seconds", phase_help,
                             PhaseBuckets(), {{"phase", "output"}});
+  metrics_.runs_recovered = registry.GetCounter(
+      "smartml_runs_recovered_total",
+      "Jobs re-admitted from the write-ahead journal after a restart.");
+
+  // Durability: open journal + checkpoint store and replay the journal
+  // BEFORE the first worker starts, so replay needs no locking and
+  // re-queued jobs dispatch in submission order.
+  if (!options_.journal_dir.empty()) {
+    JournalOptions journal_options;
+    journal_options.segment_bytes = options_.journal_segment_bytes;
+    journal_options.metrics = registry_;
+    auto journal = JobJournal::Open(options_.journal_dir, journal_options);
+    if (journal.ok()) {
+      journal_ = std::move(*journal);
+    } else {
+      SMARTML_LOG_WARN << "job journal disabled: "
+                       << journal.status().ToString();
+    }
+    checkpoints_ = std::make_unique<FileCheckpointStore>(
+        options_.journal_dir + "/checkpoints");
+    ReplayJournal();
+    CompactJournal();
+  }
 
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -148,6 +301,22 @@ JobManager::TenantState& JobManager::TenantLocked(const std::string& tenant) {
       "smartml_tenant_shed_total",
       "Admissions rejected with 429 by tenant (quota or global capacity).",
       {{"tenant", tenant}});
+  auto burst = options_.tenant_bursts.find(tenant);
+  const size_t burst_capacity = burst != options_.tenant_bursts.end()
+                                    ? burst->second
+                                    : options_.default_tenant_burst;
+  if (burst_capacity > 0) {
+    // The bucket starts full so a tenant's first burst is available
+    // immediately.
+    state.burst_capacity = static_cast<double>(burst_capacity);
+    state.burst_tokens = state.burst_capacity;
+    state.burst_refilled = std::chrono::steady_clock::now();
+    state.burst_gauge = registry_->GetGauge(
+        "smartml_tenant_burst_tokens",
+        "Remaining token-bucket burst credits per tenant.",
+        {{"tenant", tenant}});
+    state.burst_gauge->Set(static_cast<int64_t>(state.burst_tokens));
+  }
   return state;
 }
 
@@ -170,6 +339,14 @@ StatusOr<std::string> JobManager::AdmitLocked(JobRequest request,
   const std::string tenant =
       request.tenant.empty() ? kDefaultTenant : request.tenant;
   TenantState& state = TenantLocked(tenant);
+  std::string idem_map_key;
+  if (!request.idempotency_key.empty()) {
+    idem_map_key = IdempotencyMapKey(tenant, request.idempotency_key);
+    auto hit = idempotency_.find(idem_map_key);
+    // At-most-once: a retry of an already-admitted request returns the
+    // original id without consuming capacity, quota, or burst tokens.
+    if (hit != idempotency_.end()) return hit->second;
+  }
   if (num_queued_ + num_running_ >= options_.max_pending_jobs) {
     state.shed->Increment();
     return Status::ResourceExhausted(
@@ -178,10 +355,28 @@ StatusOr<std::string> JobManager::AdmitLocked(JobRequest request,
   }
   const size_t quota = TenantQuota(tenant);
   if (quota > 0 && state.pending >= quota) {
-    state.shed->Increment();
-    return Status::ResourceExhausted(
-        StrFormat("tenant '%s' at quota (%zu pending, quota %zu)",
-                  tenant.c_str(), state.pending, quota));
+    // Over quota: the token bucket may still admit a burst. Refill for the
+    // time elapsed since the last refill, capped at capacity, then spend
+    // one token per over-quota admission.
+    if (state.burst_capacity > 0.0) {
+      const auto now = std::chrono::steady_clock::now();
+      state.burst_tokens =
+          std::min(state.burst_capacity,
+                   state.burst_tokens +
+                       SecondsBetween(state.burst_refilled, now) *
+                           options_.burst_refill_per_second);
+      state.burst_refilled = now;
+      state.burst_gauge->Set(static_cast<int64_t>(state.burst_tokens));
+    }
+    if (state.burst_tokens >= 1.0) {
+      state.burst_tokens -= 1.0;
+      state.burst_gauge->Set(static_cast<int64_t>(state.burst_tokens));
+    } else {
+      state.shed->Increment();
+      return Status::ResourceExhausted(
+          StrFormat("tenant '%s' at quota (%zu pending, quota %zu)",
+                    tenant.c_str(), state.pending, quota));
+    }
   }
 
   auto job = std::make_shared<Job>();
@@ -202,12 +397,23 @@ StatusOr<std::string> JobManager::AdmitLocked(JobRequest request,
       std::make_shared<RunEventBuffer>(options_.event_buffer_capacity);
   job->id =
       StrFormat("run-%06llu", static_cast<unsigned long long>(next_id_++));
+  job->idempotency_key = request.idempotency_key;
 
   jobs_[job->id] = job;
   state.queues[static_cast<size_t>(job->priority)].push_back(job);
   ++state.pending;
   ++num_queued_;
   metrics_.queued->Increment();
+  if (!idem_map_key.empty()) idempotency_[idem_map_key] = job->id;
+  // Write-ahead: the admission is journaled (with the dataset CSV, so a
+  // restart can rebuild the job) before the id is acknowledged.
+  if (journal_ != nullptr) {
+    JournalAppend(JobJournalRecordType::kAdmit, job->id,
+                  EncodeAdmitPayload(job->tenant, job->priority, job->batch_id,
+                                     job->dataset_name, job->idempotency_key,
+                                     job->run_options,
+                                     WriteCsvString(job->dataset)));
+  }
   PublishLifecycle(*job, "state");
   return job->id;
 }
@@ -233,7 +439,7 @@ StatusOr<std::string> JobManager::Submit(Dataset dataset,
 }
 
 StatusOr<BatchSubmitResult> JobManager::SubmitBatch(
-    std::vector<JobRequest> requests) {
+    std::vector<JobRequest> requests, const std::string& idempotency_key) {
   if (requests.empty()) {
     return Status::InvalidArgument("batch has no items");
   }
@@ -242,6 +448,31 @@ StatusOr<BatchSubmitResult> JobManager::SubmitBatch(
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       return Status::FailedPrecondition("job manager is shutting down");
+    }
+    std::string idem_map_key;
+    if (!idempotency_key.empty()) {
+      const std::string tenant = requests.front().tenant.empty()
+                                     ? kDefaultTenant
+                                     : requests.front().tenant;
+      idem_map_key = IdempotencyMapKey(tenant, idempotency_key);
+      auto hit = batch_idempotency_.find(idem_map_key);
+      if (hit != batch_idempotency_.end()) {
+        // Retry of an already-admitted batch: rebuild the result from the
+        // retained record instead of admitting duplicates.
+        auto batch = batches_.find(hit->second);
+        if (batch != batches_.end()) {
+          result.batch_id = batch->second.id;
+          for (const BatchSnapshot::Item& item : batch->second.items) {
+            if (item.job_id.empty()) {
+              result.items.push_back(StatusOr<std::string>(
+                  Status::ResourceExhausted(item.error)));
+            } else {
+              result.items.push_back(StatusOr<std::string>(item.job_id));
+            }
+          }
+          return result;
+        }
+      }
     }
     // One scheduler pass for the whole batch: a single lock acquisition
     // admits every item back to back (no interleaved foreign admissions),
@@ -266,6 +497,34 @@ StatusOr<BatchSubmitResult> JobManager::SubmitBatch(
       }
       record.items.push_back(std::move(item));
       result.items.push_back(std::move(admitted));
+    }
+    if (!idem_map_key.empty()) {
+      batch_idempotency_[idem_map_key] = result.batch_id;
+    }
+    // The per-item kAdmit records are already in the journal; the kBatch
+    // record ties them together so GET /v1/batches/{id} and the batch
+    // idempotency key survive a restart.
+    if (journal_ != nullptr) {
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("tenant");
+      w.String(record.tenant);
+      w.Key("idempotency_key");
+      w.String(idempotency_key);
+      w.Key("items");
+      w.BeginArray();
+      for (const BatchSnapshot::Item& item : record.items) {
+        w.BeginObject();
+        w.Key("job_id");
+        w.String(item.job_id);
+        w.Key("error");
+        w.String(item.error);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+      JournalAppend(JobJournalRecordType::kBatch, result.batch_id,
+                    std::move(w).Take());
     }
     batches_[result.batch_id] = std::move(record);
   }
@@ -347,16 +606,22 @@ StatusOr<JobSnapshot> JobManager::Cancel(const std::string& id) {
             SecondsBetween(job.submitted, job.finished));
         PublishLifecycle(job, "terminal");
         job.events->Close();
+        job.error = Status::Cancelled("run cancelled");
+        JournalAppend(JobJournalRecordType::kTerminal, job.id,
+                      TerminalPayloadLocked(job));
         break;
       }
       case JobState::kRunning:
         // Cooperative: flip the token; the experiment thread finalizes the
-        // job as cancelled when it observes it.
+        // job as cancelled when it observes it. The journal records the
+        // request so a crash before that terminal transition still lands
+        // the job "cancelled" after replay.
         job.cancel->Cancel();
         job.cancel_requested = true;
         job.cancel_requested_at = std::chrono::steady_clock::now();
         job.state = JobState::kCancelling;
         metrics_.cancelling->Increment();
+        JournalAppend(JobJournalRecordType::kCancelRequest, job.id, "");
         break;
       case JobState::kCancelling:
         break;  // Idempotent repeat; report the current state.
@@ -426,6 +691,8 @@ JobSnapshot JobManager::SnapshotLocked(const Job& job) const {
   snapshot.best_validation_accuracy = job.best_validation_accuracy;
   snapshot.degraded = job.degraded;
   snapshot.failed_candidates = job.failed_candidates;
+  snapshot.recovered = job.recovered;
+  snapshot.resumed_from_checkpoint = job.resumed_from_checkpoint;
 
   const auto now = std::chrono::steady_clock::now();
   switch (job.state) {
@@ -489,7 +756,10 @@ void JobManager::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       queue_cv_.wait(lock, [&] { return stopping_ || num_queued_ > 0; });
-      if (num_queued_ == 0) return;  // stopping_, nothing left to start.
+      // Shutdown starts nothing new: queued jobs stay queued (and, with a
+      // journal, re-queue on the next start) rather than being drained by a
+      // destructor that could otherwise block for the whole backlog.
+      if (stopping_ || num_queued_ == 0) return;
       job = TakeNextLocked();
       if (job == nullptr) continue;
       job->state = JobState::kRunning;
@@ -503,6 +773,9 @@ void JobManager::WorkerLoop() {
           SecondsBetween(job->submitted, job->started));
       PublishLifecycle(*job, "state");
     }
+    // kDispatch marks the job as possibly mid-flight: replay after a crash
+    // re-queues it and tells SSE followers the run was interrupted.
+    JournalAppend(JobJournalRecordType::kDispatch, job->id, "");
 
     SMARTML_LOG_INFO << "job " << job->id << ": starting experiment on '"
                      << job->dataset_name << "' (tenant " << job->tenant
@@ -511,9 +784,13 @@ void JobManager::WorkerLoop() {
     // safe to execute concurrently (the KB is internally synchronized). The
     // budget carries the job's cancel token so DELETE /v1/runs/{id} can
     // interrupt the run cooperatively, and the event scope routes the
-    // pipeline's phase/incumbent events into the job's SSE buffer.
+    // pipeline's phase/incumbent events into the job's SSE buffer. The
+    // checkpoint sink (when durability is on) lets the tuners persist their
+    // state under "<job id>/..." keys and resume after a restart.
     RunBudget budget;
     budget.token = job->cancel;
+    budget.checkpoint = checkpoints_.get();
+    budget.checkpoint_scope = job->id;
     StatusOr<SmartMlResult> result = [&] {
       ScopedRunEventScope event_scope(job->events.get());
       return framework_->Run(job->dataset, job->run_options, budget);
@@ -537,6 +814,7 @@ void JobManager::WorkerLoop() {
             SecondsBetween(job->cancel_requested_at, job->finished));
       } else if (result.ok()) {
         job->state = JobState::kDone;
+        job->resumed_from_checkpoint = result->resumed_from_checkpoint;
         job->result_json = ResultToJson(*result);
         job->preprocessing_seconds = result->preprocessing_seconds;
         job->selection_seconds = result->selection_seconds;
@@ -565,10 +843,327 @@ void JobManager::WorkerLoop() {
       // The Dataset is no longer needed; release the memory while keeping
       // the job entry pollable.
       job->dataset = Dataset();
+      JournalAppend(JobJournalRecordType::kTerminal, job->id,
+                    TerminalPayloadLocked(*job));
     }
     done_cv_.notify_all();
+    if (checkpoints_ != nullptr) {
+      // The run is terminal; its tuner checkpoints are dead weight.
+      (void)checkpoints_->RemovePrefix(job->id + "/");
+    }
+    if (journal_ != nullptr && options_.journal_compact_every > 0 &&
+        terminals_since_compact_.fetch_add(1) + 1 >=
+            options_.journal_compact_every) {
+      terminals_since_compact_.store(0);
+      CompactJournal();
+    }
     SMARTML_LOG_INFO << "job " << job->id << ": "
                      << JobStateName(job->state);
+  }
+}
+
+void JobManager::JournalAppend(JobJournalRecordType type,
+                               const std::string& key, std::string payload) {
+  if (journal_ == nullptr) return;
+  JournalRecord record;
+  record.type = static_cast<uint8_t>(type);
+  record.key = key;
+  record.payload = std::move(payload);
+  Status status = journal_->Append(record);
+  if (!status.ok()) {
+    // A degraded journal beats a dead server: the job proceeds in memory,
+    // it just won't survive a restart.
+    SMARTML_LOG_WARN << "journal append failed for " << key << ": "
+                     << status.ToString();
+  }
+}
+
+std::string JobManager::TerminalPayloadLocked(const Job& job) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("state");
+  w.String(JobStateName(job.state));
+  w.Key("error_code");
+  w.Int(static_cast<int64_t>(job.error.code()));
+  w.Key("error");
+  w.String(job.error.message());
+  w.Key("best_algorithm");
+  w.String(job.best_algorithm);
+  w.Key("best_validation_accuracy");
+  w.Number(job.best_validation_accuracy);
+  w.Key("preprocessing_seconds");
+  w.Number(job.preprocessing_seconds);
+  w.Key("selection_seconds");
+  w.Number(job.selection_seconds);
+  w.Key("tuning_seconds");
+  w.Number(job.tuning_seconds);
+  w.Key("output_seconds");
+  w.Number(job.output_seconds);
+  w.Key("total_seconds");
+  w.Number(job.total_seconds);
+  w.Key("degraded");
+  w.Bool(job.degraded);
+  w.Key("failed_candidates");
+  w.Int(static_cast<int64_t>(job.failed_candidates));
+  w.Key("resumed_from_checkpoint");
+  w.Bool(job.resumed_from_checkpoint);
+  w.Key("dispatch_sequence");
+  w.Int(static_cast<int64_t>(job.dispatch_sequence));
+  // As an escaped string (not Raw), so replay can lift it straight back out
+  // without re-serializing a parsed tree.
+  w.Key("result_json");
+  w.String(job.result_json);
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+void JobManager::ReplayJournal() {
+  if (journal_ == nullptr) return;
+  // Aggregate the journal per run id: the LAST admit/terminal record wins,
+  // which also makes duplicate records from an interrupted compaction
+  // harmless.
+  struct ReplayedRun {
+    bool admitted = false;
+    bool dispatched = false;
+    bool cancel_requested = false;
+    bool terminal = false;
+    std::string admit_payload;
+    std::string terminal_payload;
+  };
+  std::map<std::string, ReplayedRun> runs;
+  std::vector<std::pair<std::string, std::string>> batch_records;
+  StatusOr<ReplayStats> stats =
+      journal_->Replay([&](const JournalRecord& record) {
+        switch (static_cast<JobJournalRecordType>(record.type)) {
+          case JobJournalRecordType::kAdmit: {
+            ReplayedRun& run = runs[record.key];
+            run.admitted = true;
+            run.admit_payload = record.payload;
+            break;
+          }
+          case JobJournalRecordType::kDispatch:
+            runs[record.key].dispatched = true;
+            break;
+          case JobJournalRecordType::kCancelRequest:
+            runs[record.key].cancel_requested = true;
+            break;
+          case JobJournalRecordType::kTerminal: {
+            ReplayedRun& run = runs[record.key];
+            run.terminal = true;
+            run.terminal_payload = record.payload;
+            break;
+          }
+          case JobJournalRecordType::kBatch:
+            batch_records.emplace_back(record.key, record.payload);
+            break;
+        }
+      });
+  if (!stats.ok()) {
+    SMARTML_LOG_WARN << "journal replay failed: "
+                     << stats.status().ToString();
+    return;
+  }
+  size_t requeued = 0;
+  size_t terminal_jobs = 0;
+  const auto now = std::chrono::steady_clock::now();
+  // Map order is id order is submission order, so re-queued jobs re-enter
+  // their tenant queues exactly as the crashed process would dispatch them.
+  for (auto& [id, run] : runs) {
+    if (!run.admitted) continue;  // Orphan dispatch/cancel records.
+    unsigned long long numeric = 0;
+    if (std::sscanf(id.c_str(), "run-%llu", &numeric) == 1) {
+      next_id_ = std::max(next_id_, static_cast<uint64_t>(numeric) + 1);
+    }
+    StatusOr<JsonValue> admit = ParseJson(run.admit_payload);
+    if (!admit.ok() || !admit->is_object()) {
+      SMARTML_LOG_WARN << "journal: dropping " << id
+                       << " (unreadable admit record)";
+      continue;
+    }
+    auto job = std::make_shared<Job>();
+    job->id = id;
+    job->tenant = StringField(*admit, "tenant");
+    if (job->tenant.empty()) job->tenant = kDefaultTenant;
+    job->priority = ParseJobPriority(StringField(*admit, "priority"));
+    job->batch_id = StringField(*admit, "batch_id");
+    job->dataset_name = StringField(*admit, "dataset_name");
+    job->idempotency_key = StringField(*admit, "idempotency_key");
+    job->run_options = DecodeAdmitOptions(*admit, framework_->options());
+    job->submitted = now;
+    job->events =
+        std::make_shared<RunEventBuffer>(options_.event_buffer_capacity);
+    job->recovered = true;
+    if (!job->idempotency_key.empty()) {
+      idempotency_[IdempotencyMapKey(job->tenant, job->idempotency_key)] = id;
+    }
+    TenantState& tenant = TenantLocked(job->tenant);
+
+    if (run.terminal) {
+      // Finished before the crash: reconstruct the pollable record. The
+      // previous process already counted it into the terminal-state
+      // counters of its lifetime, so no metrics move here.
+      StatusOr<JsonValue> terminal = ParseJson(run.terminal_payload);
+      if (terminal.ok() && terminal->is_object()) {
+        job->state = ParseJobState(StringField(*terminal, "state"));
+        const int code =
+            static_cast<int>(NumberField(*terminal, "error_code"));
+        if (code != 0) {
+          job->error = Status(static_cast<StatusCode>(code),
+                              StringField(*terminal, "error"));
+        }
+        job->best_algorithm = StringField(*terminal, "best_algorithm");
+        job->best_validation_accuracy =
+            NumberField(*terminal, "best_validation_accuracy");
+        job->preprocessing_seconds =
+            NumberField(*terminal, "preprocessing_seconds");
+        job->selection_seconds = NumberField(*terminal, "selection_seconds");
+        job->tuning_seconds = NumberField(*terminal, "tuning_seconds");
+        job->output_seconds = NumberField(*terminal, "output_seconds");
+        job->total_seconds = NumberField(*terminal, "total_seconds");
+        job->degraded = BoolField(*terminal, "degraded");
+        job->failed_candidates =
+            static_cast<size_t>(NumberField(*terminal, "failed_candidates"));
+        job->resumed_from_checkpoint =
+            BoolField(*terminal, "resumed_from_checkpoint");
+        job->dispatch_sequence = static_cast<uint64_t>(
+            NumberField(*terminal, "dispatch_sequence"));
+        job->result_json = StringField(*terminal, "result_json");
+      } else {
+        job->state = JobState::kFailed;
+        job->error =
+            Status::Internal("terminal record unreadable after restart");
+      }
+      job->started = now;
+      job->finished = now;
+      jobs_[id] = job;
+      PublishLifecycle(*job, "terminal");
+      job->events->Close();
+      ++terminal_jobs;
+      continue;
+    }
+
+    if (run.cancel_requested) {
+      // The cancel was requested but the terminal transition never hit the
+      // journal: honor the caller's intent.
+      job->state = JobState::kCancelled;
+      job->error = Status::Cancelled("cancelled before restart");
+      job->started = now;
+      job->finished = now;
+      jobs_[id] = job;
+      PublishLifecycle(*job, "terminal");
+      job->events->Close();
+      JournalAppend(JobJournalRecordType::kTerminal, id,
+                    TerminalPayloadLocked(*job));
+      ++terminal_jobs;
+      continue;
+    }
+
+    // Queued or mid-flight at the crash: re-queue. The dataset rides in the
+    // admit record's CSV member; its tuner checkpoints (if it got far
+    // enough to write any) make the re-run resume instead of restart.
+    const std::string csv = StringField(*admit, "csv");
+    StatusOr<Dataset> dataset =
+        csv.empty() ? StatusOr<Dataset>(
+                          Status::NotFound("admit record has no dataset"))
+                    : ReadCsvString(csv);
+    if (!dataset.ok()) {
+      job->state = JobState::kFailed;
+      job->error = Status::Internal("dataset lost from journal: " +
+                                    dataset.status().ToString());
+      job->started = now;
+      job->finished = now;
+      jobs_[id] = job;
+      PublishLifecycle(*job, "terminal");
+      job->events->Close();
+      JournalAppend(JobJournalRecordType::kTerminal, id,
+                    TerminalPayloadLocked(*job));
+      ++terminal_jobs;
+      continue;
+    }
+    dataset->set_name(job->dataset_name);
+    job->dataset = *std::move(dataset);
+    job->state = JobState::kQueued;
+    jobs_[id] = job;
+    tenant.queues[static_cast<size_t>(job->priority)].push_back(job);
+    ++tenant.pending;
+    ++num_queued_;
+    metrics_.queued->Increment();
+    metrics_.runs_recovered->Increment();
+    PublishLifecycle(*job, "state");
+    RunEvent restart;
+    restart.type = "restart";
+    restart.message =
+        run.dispatched
+            ? "recovered after restart: interrupted mid-run, re-queued "
+              "(tuners resume from checkpoints)"
+            : "recovered after restart: re-queued";
+    job->events->Publish(std::move(restart));
+    ++requeued;
+  }
+
+  for (auto& [batch_id, payload] : batch_records) {
+    unsigned long long numeric = 0;
+    if (std::sscanf(batch_id.c_str(), "batch-%llu", &numeric) == 1) {
+      next_batch_id_ = std::max(next_batch_id_,
+                                static_cast<uint64_t>(numeric) + 1);
+    }
+    StatusOr<JsonValue> parsed = ParseJson(payload);
+    if (!parsed.ok() || !parsed->is_object()) continue;
+    BatchSnapshot record;
+    record.id = batch_id;
+    record.tenant = StringField(*parsed, "tenant");
+    const JsonValue* items = parsed->Find("items");
+    if (items != nullptr && items->is_array()) {
+      for (const JsonValue& item : items->array) {
+        if (!item.is_object()) continue;
+        BatchSnapshot::Item out;
+        out.job_id = StringField(item, "job_id");
+        out.error = StringField(item, "error");
+        record.items.push_back(std::move(out));
+      }
+    }
+    const std::string key = StringField(*parsed, "idempotency_key");
+    if (!key.empty()) {
+      batch_idempotency_[IdempotencyMapKey(
+          record.tenant.empty() ? kDefaultTenant : record.tenant, key)] =
+          batch_id;
+    }
+    batches_[batch_id] = std::move(record);
+  }
+
+  if (stats->records > 0 || stats->torn_records > 0) {
+    SMARTML_LOG_INFO << "journal replay: " << stats->records << " records ("
+                     << stats->torn_records << " torn) across "
+                     << stats->segments << " segments; " << terminal_jobs
+                     << " terminal jobs retained, " << requeued
+                     << " re-queued";
+  }
+}
+
+void JobManager::CompactJournal() {
+  if (journal_ == nullptr) return;
+  std::set<std::string> terminal_ids;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_) {
+      if (IsTerminal(job->state)) terminal_ids.insert(id);
+    }
+  }
+  Status status = journal_->Compact([&](JournalRecord* record) {
+    if (terminal_ids.count(record->key) == 0) return true;
+    const auto type = static_cast<JobJournalRecordType>(record->type);
+    if (type == JobJournalRecordType::kDispatch ||
+        type == JobJournalRecordType::kCancelRequest) {
+      return false;  // Subsumed by the terminal record.
+    }
+    if (type == JobJournalRecordType::kAdmit) {
+      // Terminal jobs never need their dataset again.
+      StripCsvFromAdmitPayload(&record->payload);
+    }
+    return true;
+  });
+  if (!status.ok()) {
+    SMARTML_LOG_WARN << "journal compaction failed: " << status.ToString();
   }
 }
 

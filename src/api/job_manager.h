@@ -42,7 +42,9 @@
 #define SMARTML_API_JOB_MANAGER_H_
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -56,6 +58,8 @@
 #include "src/core/smartml.h"
 #include "src/obs/metrics.h"
 #include "src/obs/run_events.h"
+#include "src/persist/checkpoint.h"
+#include "src/persist/journal.h"
 
 namespace smartml {
 
@@ -103,6 +107,27 @@ struct JobManagerOptions {
   /// Registry receiving the manager's gauges/counters/histograms; null
   /// means the process-global registry. Tests inject their own.
   MetricsRegistry* metrics = nullptr;
+  /// Durability: directory for the write-ahead job journal and the tuner
+  /// checkpoint store (a "checkpoints" subdirectory). Empty disables both —
+  /// accepted jobs then live only in memory, as before. With a journal, a
+  /// restarted manager pointed at the same directory replays it: terminal
+  /// jobs stay pollable, never-started and mid-flight jobs are re-queued
+  /// (the latter resume from their tuner checkpoints), and jobs whose
+  /// cancellation was requested land terminal "cancelled".
+  std::string journal_dir;
+  /// Journal segment rotation threshold (bytes).
+  size_t journal_segment_bytes = 1 << 20;
+  /// Compact the journal after this many terminal transitions (0 = only on
+  /// startup after replay).
+  size_t journal_compact_every = 16;
+  /// Token-bucket burst credits on top of the static per-tenant quota: a
+  /// tenant at quota may still admit while it has burst tokens (capacity N,
+  /// refilled at `burst_refill_per_second`, one token per over-quota
+  /// admission). 0 disables bursting. Overridden per tenant by
+  /// `tenant_bursts`.
+  size_t default_tenant_burst = 0;
+  std::map<std::string, size_t> tenant_bursts;
+  double burst_refill_per_second = 1.0;
 };
 
 /// Copyable point-in-time view of one job (what GET /v1/runs/{id} reports).
@@ -138,6 +163,13 @@ struct JobSnapshot {
   bool degraded = false;
   /// Candidates that failed to tune (done jobs only).
   size_t failed_candidates = 0;
+  /// True when this job survived a server restart via the journal — either
+  /// re-queued (it was queued or mid-flight at the crash) or reconstructed
+  /// as a pollable terminal record.
+  bool recovered = false;
+  /// True when the run's tuners continued from persisted checkpoints
+  /// instead of restarting from zero (done jobs only).
+  bool resumed_from_checkpoint = false;
 };
 
 /// One admission request: a parsed dataset plus its run options and serving
@@ -147,6 +179,11 @@ struct JobRequest {
   SmartMlOptions run_options;
   std::string tenant;  ///< Empty maps to kDefaultTenant.
   JobPriority priority = JobPriority::kNormal;
+  /// Client-supplied at-most-once key (the Idempotency-Key header). A
+  /// repeat submission with the same (tenant, key) returns the original job
+  /// id instead of admitting a duplicate; keys are journaled, so retries
+  /// stay idempotent across server restarts. Empty disables the check.
+  std::string idempotency_key;
 };
 
 /// Outcome of one SubmitBatch() call. `items` aligns with the submitted
@@ -181,6 +218,17 @@ struct JobFilter {
   size_t limit = 0;  ///< 0 = no limit.
 };
 
+/// Record types JobManager writes into its JobJournal. One record per
+/// lifecycle edge, keyed by the run id (kBatch: the batch id); payloads are
+/// JSON (encoded/decoded in job_manager.cc — the journal never parses them).
+enum class JobJournalRecordType : uint8_t {
+  kAdmit = 1,          ///< Admission: metadata + run options + dataset CSV.
+  kDispatch = 2,       ///< The job left the queue (empty payload).
+  kCancelRequest = 3,  ///< Cancel requested on a running job (empty payload).
+  kTerminal = 4,       ///< Terminal transition: state + result fields.
+  kBatch = 5,          ///< Batch admission: per-item outcomes.
+};
+
 class JobManager {
  public:
   /// `framework` must outlive the manager. Worker threads start immediately.
@@ -204,8 +252,12 @@ class JobManager {
   /// Admits every request under one lock acquisition — one scheduler pass
   /// for the whole batch. Per-item admission failures (tenant quota, global
   /// cap) land in the corresponding `items` slot without failing the rest.
-  /// Fails outright only during shutdown or for an empty batch.
-  StatusOr<BatchSubmitResult> SubmitBatch(std::vector<JobRequest> requests);
+  /// Fails outright only during shutdown or for an empty batch. A non-empty
+  /// `idempotency_key` (scoped by the first item's tenant) makes retries
+  /// return the original batch instead of admitting duplicates.
+  StatusOr<BatchSubmitResult> SubmitBatch(std::vector<JobRequest> requests,
+                                          const std::string& idempotency_key =
+                                              "");
 
   /// Point-in-time view of a past batch; NotFound for unknown ids.
   StatusOr<BatchSnapshot> GetBatch(const std::string& id) const;
@@ -232,6 +284,11 @@ class JobManager {
   /// or `timeout_seconds` elapses; returns the final snapshot or
   /// DeadlineExceeded. Test/tooling helper.
   StatusOr<JobSnapshot> Wait(const std::string& id, double timeout_seconds);
+
+  /// The write-ahead journal (null when journal_dir is empty) and the tuner
+  /// checkpoint store backing resumable runs. Exposed for tests and tools.
+  JobJournal* journal() const { return journal_.get(); }
+  CheckpointSink* checkpoints() const { return checkpoints_.get(); }
 
   size_t NumQueued() const;
   size_t NumRunning() const;
@@ -276,6 +333,10 @@ class JobManager {
     /// terminal transition. Shared with SSE readers, which may outlive the
     /// connection that created them.
     std::shared_ptr<RunEventBuffer> events;
+    /// Durability (see JobSnapshot for semantics).
+    bool recovered = false;
+    bool resumed_from_checkpoint = false;
+    std::string idempotency_key;
   };
 
   /// Per-tenant admission + dispatch state. Never removed once created (a
@@ -288,6 +349,12 @@ class JobManager {
     size_t pending = 0;
     std::array<std::deque<std::shared_ptr<Job>>, 3> queues;
     Counter* shed = nullptr;
+    /// Token-bucket burst credits consumed by over-quota admissions.
+    /// Capacity 0 disables bursting for the tenant.
+    double burst_tokens = 0.0;
+    double burst_capacity = 0.0;
+    std::chrono::steady_clock::time_point burst_refilled;
+    Gauge* burst_gauge = nullptr;
 
     size_t QueuedCount() const {
       return queues[0].size() + queues[1].size() + queues[2].size();
@@ -301,6 +368,20 @@ class JobManager {
   StatusOr<std::string> AdmitLocked(JobRequest request,
                                     const std::string& batch_id);
   TenantState& TenantLocked(const std::string& tenant);
+  /// Appends one record to the journal (no-op without one); logs on error
+  /// instead of failing the caller — a degraded journal beats a dead server.
+  void JournalAppend(JobJournalRecordType type, const std::string& key,
+                     std::string payload);
+  /// Encodes the terminal record for `job`; mutex_ must be held.
+  std::string TerminalPayloadLocked(const Job& job) const;
+  /// Rebuilds the queue from the journal; runs in the constructor before
+  /// any worker starts, so no locking is needed.
+  void ReplayJournal();
+  /// Rewrites the journal, dropping dispatch/cancel records of terminal
+  /// jobs and stripping the dataset CSV from their admit records. Takes
+  /// mutex_ briefly to collect the terminal id set; never call while
+  /// holding it.
+  void CompactJournal();
   /// Picks the next job by smooth weighted round-robin across tenants with
   /// queued work, then priority order within the tenant; mutex_ must be
   /// held. Null when nothing is queued.
@@ -329,8 +410,19 @@ class JobManager {
     Histogram* phase_selection = nullptr;
     Histogram* phase_tuning = nullptr;
     Histogram* phase_output = nullptr;
+    Counter* runs_recovered = nullptr;
   };
   Metrics metrics_;
+
+  /// Durability (all null/empty when options_.journal_dir is empty).
+  std::unique_ptr<JobJournal> journal_;
+  std::unique_ptr<FileCheckpointStore> checkpoints_;
+  /// "(tenant)\n(key)" -> admitted run id / batch id. Rebuilt from the
+  /// journal on restart.
+  std::map<std::string, std::string> idempotency_;
+  std::map<std::string, std::string> batch_idempotency_;
+  /// Terminal transitions since the last compaction pass.
+  std::atomic<size_t> terminals_since_compact_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;     // Workers: work available/shutdown.

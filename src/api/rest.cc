@@ -176,6 +176,22 @@ std::string TenantFor(const HttpRequest& request) {
   return tenant.empty() ? kDefaultTenant : tenant;
 }
 
+/// The client's at-most-once key (Idempotency-Key header), sanitized the
+/// same way as tenant ids; empty when the header is absent.
+std::string IdempotencyKeyFor(const HttpRequest& request) {
+  auto it = request.headers.find("idempotency-key");
+  if (it == request.headers.end()) return "";
+  std::string key;
+  for (char c : it->second) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.') {
+      key += c;
+    }
+    if (key.size() >= 64) break;
+  }
+  return key;
+}
+
 void WriteRetryAfter(HttpResponse* response, double seconds) {
   response->headers["Retry-After"] =
       StrFormat("%d", std::max(1, static_cast<int>(std::ceil(seconds))));
@@ -586,6 +602,7 @@ HttpResponse RestService::HandleSubmitRun(const HttpRequest& request) {
     job.run_options.trace_tag = *current_request_id;
   }
   job.tenant = TenantFor(request);
+  job.idempotency_key = IdempotencyKeyFor(request);
   auto priority = request.query.find("priority");
   if (priority != request.query.end()) {
     job.priority = ParseJobPriority(priority->second);
@@ -697,7 +714,8 @@ HttpResponse RestService::HandleSubmitBatch(const HttpRequest& request) {
     requests.push_back(std::move(job));
   }
 
-  auto batch = jobs_->SubmitBatch(std::move(requests));
+  auto batch = jobs_->SubmitBatch(std::move(requests),
+                                  IdempotencyKeyFor(request));
   if (!batch.ok()) {
     return ErrorResponseFromStatus(batch.status());
   }
@@ -965,6 +983,9 @@ HttpResponse RestService::HandleRunEvents(const HttpRequest& request,
     chunk->clear();
     if (!state->gap_checked) {
       state->gap_checked = true;
+      // SSE reconnection hint: clients that lose the connection (say, to a
+      // server restart) should wait ~2s, then reconnect with Last-Event-ID.
+      *chunk += "retry: 2000\n\n";
       const uint64_t oldest = state->buffer->oldest_id();
       // Resuming past the ring's retention (or events already evicted for a
       // fresh reader): tell the client instead of silently skipping.
@@ -1030,6 +1051,16 @@ HttpResponse RestService::HandleGetRun(const std::string& id) {
     w.Key("dispatch_sequence");
     w.Int(static_cast<int64_t>(snapshot->dispatch_sequence));
   }
+  // Durability markers, reported only when set: the job survived a server
+  // restart via the journal / its tuners resumed from checkpoints.
+  if (snapshot->recovered) {
+    w.Key("recovered");
+    w.Bool(true);
+  }
+  if (snapshot->resumed_from_checkpoint) {
+    w.Key("resumed_from_checkpoint");
+    w.Bool(true);
+  }
   w.Key("events");
   w.String("/v1/runs/" + snapshot->id + "/events");
   w.Key("queue_seconds");
@@ -1059,7 +1090,7 @@ HttpResponse RestService::HandleGetRun(const std::string& id) {
     w.Number(snapshot->total_seconds);
     w.EndObject();
     w.Key("result");
-    w.Raw(snapshot->result_json);
+    w.Raw(snapshot->result_json.empty() ? "null" : snapshot->result_json);
   } else if (snapshot->state == JobState::kFailed ||
              (snapshot->state == JobState::kCancelled &&
               !snapshot->error.ok())) {

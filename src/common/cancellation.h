@@ -29,11 +29,14 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
 
 namespace smartml {
+
+class CheckpointSink;  // src/persist/checkpoint.h
 
 /// Shared, thread-safe cancellation flag. Create via std::make_shared and
 /// hand copies of the shared_ptr to both the canceller and the cancellee.
@@ -53,6 +56,14 @@ class CancelToken {
 struct RunBudget {
   Deadline deadline;  ///< Whole-run cap; infinite by default.
   std::shared_ptr<CancelToken> token;  ///< May be null (uncancellable run).
+
+  /// Optional checkpoint store for resumable tuning (null = no durability).
+  /// Threaded by JobManager into SmartML::Run; the tuners write their search
+  /// state under keys prefixed with `checkpoint_scope` (the job id), so a
+  /// recovered run finds its own checkpoints and a finished job's keys can
+  /// be removed by prefix. Non-owning: the sink outlives the run.
+  CheckpointSink* checkpoint = nullptr;
+  std::string checkpoint_scope;
 
   static RunBudget Unbounded() { return RunBudget{}; }
 

@@ -26,6 +26,14 @@
 //   slow_train       ClassifierObjective::EvaluateFold sleeps per fold —
 //                    makes runs reliably slow for cancellation latency and
 //                    per-candidate timeout tests.
+//   journal_write_torn  JobJournal::Append writes half a frame and skips
+//                    the fsync — simulates power loss mid-append; replay
+//                    must salvage the longest valid prefix.
+//   journal_fsync_fail  JobJournal::Append's fsync fails — the record may
+//                    not be durable; JobManager logs and keeps serving.
+//   checkpoint_corrupt  FileCheckpointStore::Get reads a bit-flipped blob —
+//                    the crc trailer must catch it and the tuner must fall
+//                    back to a fresh start instead of resuming from garbage.
 //
 // Probability draws use a fixed-seed RNG per armed spec, so a given spec
 // fires on the same call sequence every run (deterministic tests).

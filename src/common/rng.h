@@ -5,6 +5,7 @@
 #ifndef SMARTML_COMMON_RNG_H_
 #define SMARTML_COMMON_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
@@ -42,6 +43,16 @@ class Rng {
       z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
       word = z ^ (z >> 31);
     }
+  }
+
+  /// Snapshot of the full generator state, for checkpoint/resume. Restoring
+  /// the snapshot with SetState continues the stream bit-identically.
+  std::array<uint64_t, 4> State() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  void SetState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
   }
 
   /// Uniform 64-bit value.

@@ -114,6 +114,13 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
       max_evaluations > 0 ? max_evaluations : 1000000;
   smac_options.seed = seed;
   smac_options.initial_configs = warm_starts;
+  // Durable runs: thread the job's checkpoint store through so the tuner
+  // can snapshot its state and a recovered run resumes where it left off.
+  smac_options.checkpoint = budget.checkpoint;
+  if (budget.checkpoint != nullptr) {
+    smac_options.checkpoint_key =
+        budget.checkpoint_scope + "/smac/" + algorithm;
+  }
   TunedResult tuned;
   {
     Span span(tracer, "tune/smac");
@@ -125,6 +132,7 @@ StatusOr<AlgorithmRunResult> SmartML::TuneAlgorithm(
   run.tuning_cost = tuned.best_cost;
   run.evaluations = tuned.num_evaluations;
   run.trajectory = std::move(tuned.trajectory);
+  run.resumed = tuned.resumed;
 
   // Refit the best configuration on the full training partition and score
   // it on the held-out validation partition.
@@ -474,6 +482,7 @@ StatusOr<SmartMlResult> SmartML::RunTraced(const Dataset& dataset,
     ++attempted;
     tracer->Absorb(tune_span.id(), std::move(out.spans), out.span_offset);
     if (out.ok) {
+      if (out.run.resumed) result.resumed_from_checkpoint = true;
       result.per_algorithm.push_back(std::move(out.run));
       continue;
     }

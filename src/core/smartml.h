@@ -115,6 +115,8 @@ struct AlgorithmRunResult {
   size_t evaluations = 0;
   double seconds = 0.0;
   std::vector<double> trajectory;    ///< Incumbent error per evaluation.
+  /// True when the tuner continued from a checkpoint (crash recovery).
+  bool resumed = false;
 };
 
 /// One nominated algorithm that could not be tuned. The run degrades to the
@@ -149,6 +151,10 @@ struct SmartMlResult {
   /// Candidates that failed to tune (exception, error status, or a
   /// per-candidate budget that expired before a single evaluation).
   std::vector<CandidateFailure> failed_candidates;
+
+  /// True when at least one candidate's tuner resumed from a checkpoint —
+  /// i.e. this result continues a run interrupted by a crash or restart.
+  bool resumed_from_checkpoint = false;
 
   /// Trained winner (on the training partition). Null in selection-only
   /// mode.

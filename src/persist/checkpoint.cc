@@ -1,0 +1,206 @@
+#include "src/persist/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <dirent.h>
+
+#include "src/common/crc32.h"
+#include "src/common/fault_injection.h"
+
+namespace smartml {
+
+namespace {
+
+constexpr char kCrcPrefix[] = "#crc32:";
+
+/// Appends a "#crc32:XXXXXXXX\n" trailer over everything before it.
+std::string WithCrcTrailer(const std::string& body) {
+  char line[24];
+  std::snprintf(line, sizeof(line), "%s%08x\n", kCrcPrefix, Crc32(body));
+  return body + line;
+}
+
+/// Splits and verifies the trailer; returns false on missing/bad crc. The
+/// trailer is fixed-width ("#crc32:" + 8 hex + '\n' = 16 bytes), so it is
+/// sliced from the end — bodies are arbitrary bytes and need not end in a
+/// newline.
+bool StripCrcTrailer(const std::string& text, std::string* body) {
+  const size_t trailer_len = std::strlen(kCrcPrefix) + 9;
+  if (text.size() < trailer_len || text.back() != '\n') return false;
+  const size_t trailer = text.size() - trailer_len;
+  if (text.compare(trailer, std::strlen(kCrcPrefix), kCrcPrefix) != 0) {
+    return false;
+  }
+  const uint32_t expected = static_cast<uint32_t>(
+      std::strtoul(text.c_str() + trailer + std::strlen(kCrcPrefix), nullptr,
+                   16));
+  *body = text.substr(0, trailer);
+  return Crc32(*body) == expected;
+}
+
+Status WriteFileDurably(const std::string& path, const std::string& payload) {
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + tmp_path + "' for writing");
+  }
+  size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n =
+        ::write(fd, payload.data() + written, payload.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("write failed: " + tmp_path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError("fsync failed: " + tmp_path);
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError("close failed: " + tmp_path);
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename failed: " + tmp_path + " -> " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemoryCheckpointStore
+
+Status MemoryCheckpointStore::Put(const std::string& key,
+                                  const std::string& blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blobs_[key] = blob;
+  return Status::OK();
+}
+
+StatusOr<std::string> MemoryCheckpointStore::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Status::NotFound("no checkpoint for '" + key + "'");
+  }
+  return it->second;
+}
+
+Status MemoryCheckpointStore::Remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blobs_.erase(key);
+  return Status::OK();
+}
+
+Status MemoryCheckpointStore::RemovePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.lower_bound(prefix);
+  while (it != blobs_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = blobs_.erase(it);
+  }
+  return Status::OK();
+}
+
+size_t MemoryCheckpointStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blobs_.size();
+}
+
+// ---------------------------------------------------------------------------
+// FileCheckpointStore
+
+FileCheckpointStore::FileCheckpointStore(std::string dir)
+    : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);  // best effort; Put reports real failures
+}
+
+std::string FileCheckpointStore::SanitizeKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-';
+    out.push_back(safe ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out + ".ckpt";
+}
+
+std::string FileCheckpointStore::PathFor(const std::string& key) const {
+  return dir_ + "/" + SanitizeKey(key);
+}
+
+Status FileCheckpointStore::Put(const std::string& key,
+                                const std::string& blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteFileDurably(PathFor(key), WithCrcTrailer(blob));
+}
+
+StatusOr<std::string> FileCheckpointStore::Get(const std::string& key) {
+  const std::string path = PathFor(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no checkpoint for '" + key + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  // checkpoint_corrupt simulates silent bit rot: flip one byte so the crc
+  // trailer must catch it and the caller falls back to a fresh start.
+  if (!text.empty() && FaultShouldFire("checkpoint_corrupt")) {
+    text[text.size() / 2] ^= 0x20;
+  }
+  std::string body;
+  if (!StripCrcTrailer(text, &body)) {
+    return Status::InvalidArgument("checkpoint '" + key +
+                                   "': checksum mismatch (torn or corrupt)");
+  }
+  return body;
+}
+
+Status FileCheckpointStore::Remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)::unlink(PathFor(key).c_str());
+  return Status::OK();
+}
+
+Status FileCheckpointStore::RemovePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string sanitized = SanitizeKey(prefix);
+  // SanitizeKey appends ".ckpt"; the filename prefix is everything before it.
+  const std::string file_prefix =
+      sanitized.substr(0, sanitized.size() - std::strlen(".ckpt"));
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return Status::OK();
+  std::vector<std::string> doomed;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.compare(0, file_prefix.size(), file_prefix) == 0) {
+      doomed.push_back(name);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& name : doomed) {
+    (void)::unlink((dir_ + "/" + name).c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace smartml

@@ -1,0 +1,329 @@
+#include "src/persist/journal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/crc32.h"
+#include "src/common/fault_injection.h"
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+
+namespace smartml {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 body_len + u32 crc32
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+/// Decodes one segment's bytes into records. A torn or crc-bad frame ends
+/// the segment: everything before it is the salvaged prefix, everything
+/// from it on is dropped and counted in `torn`.
+void DecodeSegment(const std::string& bytes,
+                   const std::function<void(const JournalRecord&)>& fn,
+                   size_t* records, size_t* torn) {
+  size_t pos = 0;
+  while (pos + kFrameHeaderBytes <= bytes.size()) {
+    const uint32_t body_len = GetU32(bytes.data() + pos);
+    const uint32_t expected_crc = GetU32(bytes.data() + pos + 4);
+    const size_t body_start = pos + kFrameHeaderBytes;
+    if (body_start + body_len > bytes.size()) break;  // torn tail
+    const std::string_view body(bytes.data() + body_start, body_len);
+    if (Crc32(body) != expected_crc) break;  // corrupt frame
+    // body = u8 type | u32 key_len | key | payload
+    if (body_len < 5) break;
+    const uint32_t key_len = GetU32(body.data() + 1);
+    if (5 + static_cast<size_t>(key_len) > body_len) break;
+    JournalRecord record;
+    record.type = static_cast<uint8_t>(body[0]);
+    record.key.assign(body.data() + 5, key_len);
+    record.payload.assign(body.data() + 5 + key_len,
+                          body_len - 5 - key_len);
+    fn(record);
+    ++*records;
+    pos = body_start + body_len;
+  }
+  if (pos < bytes.size()) ++*torn;
+}
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return Status::IOError("cannot open dir '" + dir + "'");
+  (void)::fsync(dir_fd);
+  ::close(dir_fd);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeJournalFrame(const JournalRecord& record) {
+  std::string body;
+  body.reserve(5 + record.key.size() + record.payload.size());
+  body.push_back(static_cast<char>(record.type));
+  PutU32(&body, static_cast<uint32_t>(record.key.size()));
+  body += record.key;
+  body += record.payload;
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  PutU32(&frame, Crc32(body));
+  frame += body;
+  return frame;
+}
+
+struct JobJournal::Metrics {
+  Counter* appends = nullptr;
+  Counter* bytes_written = nullptr;
+  Counter* rotations = nullptr;
+  Counter* compactions = nullptr;
+  Counter* replayed = nullptr;
+  Counter* torn = nullptr;
+  Gauge* segments = nullptr;
+
+  explicit Metrics(MetricsRegistry* registry) {
+    appends = registry->GetCounter("smartml_journal_appends_total",
+                                   "Journal records appended");
+    bytes_written =
+        registry->GetCounter("smartml_journal_bytes_written_total",
+                             "Bytes written to journal segments");
+    rotations = registry->GetCounter("smartml_journal_rotations_total",
+                                     "Journal segment rotations");
+    compactions = registry->GetCounter("smartml_journal_compactions_total",
+                                       "Journal compaction passes");
+    replayed = registry->GetCounter("smartml_journal_replayed_records_total",
+                                    "Records decoded during journal replay");
+    torn = registry->GetCounter(
+        "smartml_journal_torn_records_total",
+        "Torn/corrupt journal frames dropped by salvage");
+    segments = registry->GetGauge("smartml_journal_segments",
+                                  "Journal segment files on disk");
+  }
+};
+
+JobJournal::JobJournal(std::string dir, const JournalOptions& options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.metrics != nullptr) {
+    metrics_ = std::make_unique<Metrics>(options_.metrics);
+  }
+}
+
+JobJournal::~JobJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_fd_ >= 0) ::close(active_fd_);
+}
+
+std::string JobJournal::SegmentPath(unsigned number) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "journal-%06u.wal", number);
+  return dir_ + "/" + name;
+}
+
+StatusOr<std::unique_ptr<JobJournal>> JobJournal::Open(
+    const std::string& dir, const JournalOptions& options) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create journal dir '" + dir + "'");
+  }
+  std::unique_ptr<JobJournal> journal(new JobJournal(dir, options));
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IOError("cannot open journal dir '" + dir + "'");
+  }
+  while (struct dirent* ent = ::readdir(d)) {
+    unsigned number = 0;
+    char trailing = 0;
+    if (std::sscanf(ent->d_name, "journal-%06u.wal%c", &number, &trailing) ==
+        1) {
+      journal->segments_.push_back(number);
+    }
+  }
+  ::closedir(d);
+  std::sort(journal->segments_.begin(), journal->segments_.end());
+  {
+    std::lock_guard<std::mutex> lock(journal->mu_);
+    if (journal->segments_.empty()) journal->segments_.push_back(1);
+    SMARTML_RETURN_NOT_OK(journal->OpenActiveLocked());
+  }
+  return journal;
+}
+
+Status JobJournal::OpenActiveLocked() {
+  const std::string path = SegmentPath(segments_.back());
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::IOError("cannot open '" + path + "'");
+  struct stat st {};
+  active_bytes_ = ::fstat(fd, &st) == 0 ? static_cast<size_t>(st.st_size) : 0;
+  if (active_fd_ >= 0) ::close(active_fd_);
+  active_fd_ = fd;
+  if (metrics_) metrics_->segments->Set(static_cast<int64_t>(segments_.size()));
+  return Status::OK();
+}
+
+Status JobJournal::Append(const JournalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(record);
+}
+
+Status JobJournal::AppendLocked(const JournalRecord& record) {
+  if (active_fd_ < 0) return Status::FailedPrecondition("journal closed");
+  std::string frame = EncodeJournalFrame(record);
+  // journal_write_torn simulates power loss mid-append: half the frame hits
+  // the disk, no fsync, and the caller proceeds as if the write succeeded.
+  // Replay must salvage everything before this frame.
+  const bool torn = FaultShouldFire("journal_write_torn");
+  const size_t to_write = torn ? frame.size() / 2 : frame.size();
+  size_t written = 0;
+  while (written < to_write) {
+    const ssize_t n =
+        ::write(active_fd_, frame.data() + written, to_write - written);
+    if (n <= 0) return Status::IOError("journal write failed");
+    written += static_cast<size_t>(n);
+  }
+  if (torn) {
+    active_bytes_ += to_write;
+    return Status::OK();  // ack-then-crash: the caller never learns
+  }
+  if (FaultShouldFire("journal_fsync_fail") || ::fsync(active_fd_) != 0) {
+    return Status::IOError("journal fsync failed");
+  }
+  active_bytes_ += frame.size();
+  if (metrics_) {
+    metrics_->appends->Increment();
+    metrics_->bytes_written->Increment(frame.size());
+  }
+  if (active_bytes_ >= options_.segment_bytes) {
+    segments_.push_back(segments_.back() + 1);
+    SMARTML_RETURN_NOT_OK(OpenActiveLocked());
+    if (metrics_) metrics_->rotations->Increment();
+  }
+  return Status::OK();
+}
+
+StatusOr<ReplayStats> JobJournal::Replay(
+    const std::function<void(const JournalRecord&)>& fn) const {
+  std::vector<unsigned> segments;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    segments = segments_;
+  }
+  ReplayStats stats;
+  for (const unsigned number : segments) {
+    auto bytes = ReadFileBytes(SegmentPath(number));
+    if (!bytes.ok()) continue;  // segment vanished (compaction) — skip
+    ++stats.segments;
+    DecodeSegment(*bytes, fn, &stats.records, &stats.torn_records);
+  }
+  if (metrics_) {
+    metrics_->replayed->Increment(stats.records);
+    metrics_->torn->Increment(stats.torn_records);
+  }
+  return stats;
+}
+
+Status JobJournal::Compact(const std::function<bool(JournalRecord*)>& keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_fd_ < 0) return Status::FailedPrecondition("journal closed");
+
+  // Collect survivors from every segment, active included.
+  std::string compacted;
+  size_t dropped = 0;
+  for (const unsigned number : segments_) {
+    auto bytes = ReadFileBytes(SegmentPath(number));
+    if (!bytes.ok()) continue;
+    size_t records = 0, torn = 0;
+    DecodeSegment(
+        *bytes,
+        [&](const JournalRecord& record) {
+          JournalRecord mutated = record;
+          if (keep(&mutated)) {
+            compacted += EncodeJournalFrame(mutated);
+          } else {
+            ++dropped;
+          }
+        },
+        &records, &torn);
+  }
+
+  const unsigned compacted_number = segments_.back() + 1;
+  const unsigned next_active = compacted_number + 1;
+
+  // Durably write the compacted segment before deleting anything. A crash
+  // after the rename but before the deletes leaves duplicates, which
+  // replayers tolerate (records aggregate per key).
+  if (!compacted.empty()) {
+    const std::string path = SegmentPath(compacted_number);
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Status::IOError("cannot open '" + tmp + "'");
+    size_t written = 0;
+    while (written < compacted.size()) {
+      const ssize_t n = ::write(fd, compacted.data() + written,
+                                compacted.size() - written);
+      if (n <= 0) {
+        ::close(fd);
+        return Status::IOError("write failed: " + tmp);
+      }
+      written += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      return Status::IOError("fsync failed: " + tmp);
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      return Status::IOError("rename failed: " + tmp + " -> " + path);
+    }
+    SMARTML_RETURN_NOT_OK(FsyncDir(dir_));
+  }
+
+  ::close(active_fd_);
+  active_fd_ = -1;
+  for (const unsigned number : segments_) {
+    (void)::unlink(SegmentPath(number).c_str());
+  }
+  (void)FsyncDir(dir_);
+
+  segments_.clear();
+  if (!compacted.empty()) segments_.push_back(compacted_number);
+  segments_.push_back(next_active);
+  SMARTML_RETURN_NOT_OK(OpenActiveLocked());
+  if (metrics_) metrics_->compactions->Increment();
+  SMARTML_LOG_INFO << "journal compacted: " << dropped << " records dropped, "
+                   << compacted.size() << " bytes retained";
+  return Status::OK();
+}
+
+size_t JobJournal::NumSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+}  // namespace smartml

@@ -10,6 +10,7 @@
 #define SMARTML_TUNING_GENETIC_H_
 
 #include <memory>
+#include <string>
 
 #include "src/common/cancellation.h"
 #include "src/common/stopwatch.h"
@@ -34,6 +35,12 @@ struct GeneticOptions {
   int elite = 2;  ///< Individuals copied unchanged into the next generation.
   /// Seed configurations injected into the initial population.
   std::vector<ParamConfig> initial_configs;
+  /// Optional checkpoint store (persist/checkpoint.h): the search snapshots
+  /// its RNG stream, budget, population, fitness cache and best-so-far at
+  /// every generation boundary and resumes from an existing snapshot.
+  /// Non-owning; nullptr disables checkpointing.
+  CheckpointSink* checkpoint = nullptr;
+  std::string checkpoint_key;
 };
 
 /// Runs the GA on `objective`, minimizing mean fold cost.

@@ -83,6 +83,9 @@ struct TunedResult {
   size_t num_evaluations = 0;       ///< Fold evaluations consumed.
   /// Incumbent mean cost after each fold evaluation (for convergence plots).
   std::vector<double> trajectory;
+  /// True when the search continued from a CheckpointSink snapshot instead
+  /// of starting fresh (see persist/checkpoint.h).
+  bool resumed = false;
 };
 
 }  // namespace smartml

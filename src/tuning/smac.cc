@@ -1,15 +1,20 @@
 #include "src/tuning/smac.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <map>
 #include <numeric>
+#include <sstream>
 
 #include "src/common/distributions.h"
+#include "src/common/logging.h"
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/run_events.h"
+#include "src/persist/checkpoint.h"
+#include "src/tuning/checkpoint_codec.h"
 
 namespace smartml {
 
@@ -213,24 +218,34 @@ class SmacRun {
         evaluations_left_(options.max_evaluations) {}
 
   StatusOr<TunedResult> Run() {
-    // Seed configs: KB warm starts, then the default.
-    std::vector<ParamConfig> seeds;
-    for (const ParamConfig& c : options_.initial_configs) {
-      seeds.push_back(space_.Repair(c));
-    }
-    seeds.push_back(space_.DefaultConfig());
+    // Resume from a checkpoint when one exists; otherwise run the seed
+    // phase. A restored run continues bit-identically to an uninterrupted
+    // one: the objective is deterministic per (config, fold), and the
+    // snapshot carries the RNG stream, every evaluated config with its fold
+    // costs, the incumbent, and the trajectory with exact doubles.
+    const bool resumed = TryRestoreCheckpoint();
+    if (!resumed) {
+      // Seed configs: KB warm starts, then the default.
+      std::vector<ParamConfig> seeds;
+      for (const ParamConfig& c : options_.initial_configs) {
+        seeds.push_back(space_.Repair(c));
+      }
+      seeds.push_back(space_.DefaultConfig());
 
-    for (const ParamConfig& config : seeds) {
-      if (Exhausted()) break;
-      const size_t id = GetOrAddRecord(config);
-      // Initial configs get one fold; the incumbent race extends them.
-      SMARTML_RETURN_NOT_OK(EvaluateNextFold(id));
-      UpdateIncumbent(id);
+      for (const ParamConfig& config : seeds) {
+        if (Exhausted()) break;
+        const size_t id = GetOrAddRecord(config);
+        // Initial configs get one fold; the incumbent race extends them.
+        SMARTML_RETURN_NOT_OK(EvaluateNextFold(id));
+        UpdateIncumbent(id);
+      }
+      if (incumbent_ == kNone && !records_.empty()) incumbent_ = 0;
     }
-    if (incumbent_ == kNone && !records_.empty()) incumbent_ = 0;
 
-    // Main loop.
+    // Main loop. The snapshot at the loop top means a crash mid-iteration
+    // redoes at most one iteration on resume.
     while (!Exhausted()) {
+      SaveCheckpoint();
       // Deepen the incumbent by one fold when possible (intensification).
       if (incumbent_ != kNone &&
           records_[incumbent_].folds_evaluated < objective_->NumFolds()) {
@@ -255,6 +270,7 @@ class SmacRun {
     result.num_evaluations = static_cast<size_t>(options_.max_evaluations -
                                                  evaluations_left_);
     result.trajectory = std::move(trajectory_);
+    result.resumed = resumed;
     return result;
   }
 
@@ -263,6 +279,130 @@ class SmacRun {
 
   bool Exhausted() const {
     return evaluations_left_ <= 0 || options_.deadline.Expired();
+  }
+
+  bool CheckpointEnabled() const {
+    return options_.checkpoint != nullptr && !options_.checkpoint_key.empty();
+  }
+
+  std::string SerializeState() const {
+    std::ostringstream out;
+    out << "smac-ckpt 1\n";
+    const std::array<uint64_t, 4> state = rng_.State();
+    out << "rng " << state[0] << ' ' << state[1] << ' ' << state[2] << ' '
+        << state[3] << '\n';
+    out << "left " << evaluations_left_ << '\n';
+    out << "incumbent "
+        << (incumbent_ == kNone ? -1 : static_cast<long long>(incumbent_))
+        << '\n';
+    out << "traj " << trajectory_.size();
+    for (const double v : trajectory_) out << ' ' << CkptDouble(v);
+    out << '\n';
+    out << "records " << records_.size() << '\n';
+    for (const ConfigRecord& record : records_) {
+      out << "rec " << record.folds_evaluated;
+      for (size_t f = 0; f < record.folds_evaluated; ++f) {
+        out << ' ' << CkptDouble(record.fold_costs[f]);
+      }
+      out << '\n';
+      CkptAppendConfig(record.config, &out);
+    }
+    out << "end\n";
+    return out.str();
+  }
+
+  void SaveCheckpoint() const {
+    if (!CheckpointEnabled()) return;
+    const Status status =
+        options_.checkpoint->Put(options_.checkpoint_key, SerializeState());
+    if (!status.ok()) {
+      SMARTML_LOG_WARN << "smac: checkpoint write failed ("
+                       << status.ToString() << ") -- continuing un-saved";
+    }
+  }
+
+  /// Restores the run from an existing checkpoint. Any parse failure (or a
+  /// corrupt blob caught by the store's crc) leaves the run untouched and
+  /// returns false — a fresh start is always safe, resuming from a
+  /// half-read state never is, so nothing is committed until the whole blob
+  /// parsed.
+  bool TryRestoreCheckpoint() {
+    if (!CheckpointEnabled()) return false;
+    auto blob = options_.checkpoint->Get(options_.checkpoint_key);
+    if (!blob.ok()) {
+      if (blob.status().code() != StatusCode::kNotFound) {
+        SMARTML_LOG_WARN << "smac: checkpoint unreadable ("
+                         << blob.status().ToString() << ") -- starting fresh";
+      }
+      return false;
+    }
+    std::istringstream in(*blob);
+    std::string tag, token;
+    int version = 0;
+    if (!(in >> tag >> version) || tag != "smac-ckpt" || version != 1) {
+      return false;
+    }
+    std::array<uint64_t, 4> rng_state{};
+    if (!(in >> tag) || tag != "rng") return false;
+    for (uint64_t& word : rng_state) {
+      if (!(in >> word)) return false;
+    }
+    int left = 0;
+    if (!(in >> tag >> left) || tag != "left") return false;
+    long long incumbent = -1;
+    if (!(in >> tag >> incumbent) || tag != "incumbent") return false;
+    size_t n_traj = 0;
+    if (!(in >> tag >> n_traj) || tag != "traj" || n_traj > 100000000) {
+      return false;
+    }
+    std::vector<double> trajectory(n_traj);
+    for (double& v : trajectory) {
+      if (!(in >> token) || !CkptParseDouble(token, &v)) return false;
+    }
+    size_t n_records = 0;
+    if (!(in >> tag >> n_records) || tag != "records" || n_records > 10000000) {
+      return false;
+    }
+    const size_t num_folds = objective_->NumFolds();
+    std::vector<ConfigRecord> records;
+    records.reserve(n_records);
+    for (size_t i = 0; i < n_records; ++i) {
+      size_t folds = 0;
+      if (!(in >> tag >> folds) || tag != "rec" || folds > num_folds) {
+        return false;
+      }
+      ConfigRecord record;
+      record.fold_costs.assign(num_folds,
+                               std::numeric_limits<double>::quiet_NaN());
+      for (size_t f = 0; f < folds; ++f) {
+        double cost = 0.0;
+        if (!(in >> token) || !CkptParseDouble(token, &cost)) return false;
+        record.fold_costs[f] = cost;
+        record.cost_sum += cost;  // Same accumulation order as the live run.
+      }
+      record.folds_evaluated = folds;
+      if (!CkptReadConfig(&in, &record.config)) return false;
+      records.push_back(std::move(record));
+    }
+    if (!(in >> tag) || tag != "end") return false;
+    if (incumbent >= 0 && static_cast<size_t>(incumbent) >= records.size()) {
+      return false;
+    }
+
+    rng_.SetState(rng_state);
+    evaluations_left_ = left;
+    incumbent_ = incumbent < 0 ? kNone : static_cast<size_t>(incumbent);
+    trajectory_ = std::move(trajectory);
+    records_ = std::move(records);
+    index_.clear();
+    for (size_t i = 0; i < records_.size(); ++i) {
+      index_.emplace(records_[i].config.ToString(), i);
+    }
+    SMARTML_LOG_INFO << "smac: resumed from checkpoint ("
+                     << records_.size() << " configs, "
+                     << (options_.max_evaluations - evaluations_left_)
+                     << " evaluations done)";
+    return true;
   }
 
   size_t GetOrAddRecord(const ParamConfig& config) {

@@ -13,6 +13,7 @@
 #define SMARTML_TUNING_SMAC_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/cancellation.h"
@@ -94,6 +95,15 @@ struct SmacOptions {
   /// round-robin random interleaving for worst-case coverage).
   int random_interleave = 2;
   RegressionForest::Options forest;
+  /// Optional checkpoint store (persist/checkpoint.h). When set, the run
+  /// snapshots its full search state (RNG stream, evaluated configs, fold
+  /// costs, incumbent, trajectory) under `checkpoint_key` at the top of
+  /// every iteration, and on start restores from an existing snapshot —
+  /// the continuation is bit-identical to an uninterrupted run because the
+  /// objective is deterministic per (config, fold) and doubles round-trip
+  /// exactly. Non-owning; nullptr disables checkpointing.
+  CheckpointSink* checkpoint = nullptr;
+  std::string checkpoint_key;
 };
 
 /// Runs SMAC on `objective`, minimizing mean fold cost.
