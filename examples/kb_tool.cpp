@@ -10,6 +10,9 @@
 //   kb_tool json   kb.txt                  dump as JSON
 //   kb_tool seed   kb.txt [N]              write a synthetic N-record KB
 //                                          (scripted durability smoke tests)
+//   kb_tool convert IN OUT [text|binary]   re-encode between the legacy text
+//                                          format and the binary snapshot
+//   kb_tool compact KB [EPSILON [MAX]]     merge near-duplicates, cap size
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -70,7 +73,9 @@ int main(int argc, char** argv) {
                  "usage: kb_tool {stats|list|json} KB\n"
                  "       kb_tool merge OUT IN1 [IN2 ...]\n"
                  "       kb_tool query KB METAFEATURES_FILE [K]\n"
-                 "       kb_tool seed OUT [N]\n");
+                 "       kb_tool seed OUT [N]\n"
+                 "       kb_tool convert IN OUT [text|binary]\n"
+                 "       kb_tool compact KB [EPSILON [MAX_RECORDS]]\n");
     return 2;
   }
   const std::string command = argv[1];
@@ -128,6 +133,48 @@ int main(int argc, char** argv) {
   if (!kb.ok()) {
     std::fprintf(stderr, "%s\n", kb.status().ToString().c_str());
     return 1;
+  }
+  if (command == "convert") {
+    if (argc < 4) {
+      std::fprintf(stderr, "convert needs IN and OUT\n");
+      return 2;
+    }
+    // Input format is sniffed by LoadFromFile; only the output format is a
+    // choice. Default binary — the migration direction for existing text KBs.
+    KbFileFormat format = KbFileFormat::kBinary;
+    if (argc > 4) {
+      const std::string requested = argv[4];
+      if (requested == "text") {
+        format = KbFileFormat::kText;
+      } else if (requested != "binary") {
+        std::fprintf(stderr, "unknown format '%s' (want text|binary)\n",
+                     requested.c_str());
+        return 2;
+      }
+    }
+    const Status status = kb->SaveToFile(argv[3], format);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s with %zu records (%s)\n", argv[3], kb->NumRecords(),
+                format == KbFileFormat::kBinary ? "binary snapshot" : "text");
+    return 0;
+  }
+  if (command == "compact") {
+    KbCompactionOptions options;
+    if (argc > 3) options.dedup_epsilon = atof(argv[3]);
+    if (argc > 4) options.max_records = static_cast<size_t>(atoi(argv[4]));
+    const KbCompactionStats stats = kb->Compact(options);
+    const Status status = kb->SaveToFile(argv[2]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("compacted %s: %zu -> %zu records (%zu merged, %zu evicted)\n",
+                argv[2], stats.before, stats.after, stats.merged,
+                stats.evicted);
+    return 0;
   }
   if (command == "stats") return Stats(*kb);
   if (command == "list") return List(*kb);

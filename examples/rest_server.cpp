@@ -8,6 +8,8 @@
 //               [--tenant-quota N] [--tenant-weight NAME=W ...]
 //               [--tenant-burst NAME=N | --tenant-burst N]
 //               [--journal-dir DIR]
+//               [--kb-compact-interval SECONDS] [--kb-max-records N]
+//               [--kb-dedup-epsilon E]
 //
 // v1 endpoints (see docs/API.md and docs/openapi.yaml):
 //   GET    /v1/health /v1/metrics /v1/algorithms /v1/kb
@@ -35,10 +37,15 @@
 //   curl -X POST --data-binary @data.csv 'localhost:8080/v1/runs?budget=10'
 //   curl -N localhost:8080/v1/runs/run-000001/events
 //   curl localhost:8080/v1/runs/run-000001
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 #include "src/api/job_manager.h"
 #include "src/api/rest.h"
@@ -62,6 +69,11 @@ int main(int argc, char** argv) {
   options.cv_folds = 2;
   HttpServerOptions server_options;
   JobManagerOptions job_options;
+  // Background KB compaction (off by default): every interval, merge
+  // near-duplicate records and enforce the size cap while serving continues
+  // (Compact takes the KB's writer lock only for the pass itself).
+  double kb_compact_interval_seconds = 0.0;
+  KbCompactionOptions kb_compact_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -108,6 +120,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--journal-dir") {
       job_options.journal_dir = next();
+    } else if (arg == "--kb-compact-interval") {
+      kb_compact_interval_seconds = std::atof(next());
+    } else if (arg == "--kb-max-records") {
+      kb_compact_options.max_records = static_cast<size_t>(std::atoi(next()));
+    } else if (arg == "--kb-dedup-epsilon") {
+      kb_compact_options.dedup_epsilon = std::atof(next());
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -145,7 +163,45 @@ int main(int argc, char** argv) {
   // buffer until something else fills it.
   std::fflush(stdout);
 
+  // Background compaction: condition_variable (not sleep) so shutdown does
+  // not wait out the remainder of an interval.
+  std::mutex compactor_mutex;
+  std::condition_variable compactor_cv;
+  std::atomic<bool> compactor_stop{false};
+  std::thread compactor;
+  if (kb_compact_interval_seconds > 0.0) {
+    compactor = std::thread([&] {
+      const auto interval = std::chrono::duration_cast<
+          std::chrono::milliseconds>(
+          std::chrono::duration<double>(kb_compact_interval_seconds));
+      std::unique_lock lock(compactor_mutex);
+      while (!compactor_cv.wait_for(lock, interval, [&] {
+        return compactor_stop.load();
+      })) {
+        const KbCompactionStats stats =
+            framework.mutable_kb().Compact(kb_compact_options);
+        if (stats.merged > 0 || stats.evicted > 0) {
+          SMARTML_LOG_INFO << "kb compaction: " << stats.before << " -> "
+                           << stats.after << " records (" << stats.merged
+                           << " merged, " << stats.evicted << " evicted)";
+        }
+      }
+    });
+    std::printf("kb compaction: every %.0fs (epsilon %g, max records %zu)\n",
+                kb_compact_interval_seconds, kb_compact_options.dedup_epsilon,
+                kb_compact_options.max_records);
+    std::fflush(stdout);
+  }
+
   const Status status = server.Serve();
+  if (compactor.joinable()) {
+    {
+      std::lock_guard lock(compactor_mutex);
+      compactor_stop = true;
+    }
+    compactor_cv.notify_all();
+    compactor.join();
+  }
   if (!kb_path.empty()) {
     (void)framework.SaveKnowledgeBase(kb_path);
     std::printf("knowledge base saved to %s (%zu records)\n", kb_path.c_str(),

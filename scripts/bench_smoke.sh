@@ -28,10 +28,10 @@ if ! "$BUILD_DIR"/bench/bench_micro \
     --benchmark_out_format=json
 fi
 
-# Surface the KB-lookup index speedup (cached normalized matrix +
-# partial_sort vs the old re-normalizing full-sort scan). The ratio at 10k
-# records is the acceptance signal for the lookup fast path; fail loudly if
-# the benchmarks went missing from the sweep.
+# Surface the KB-lookup speedups: the cached normalized matrix vs the old
+# re-normalizing scan, and the k-d tree vs the cached linear scan. The tree
+# ratio at 100k records is the acceptance signal for the sublinear lookup
+# (>= 5x); fail loudly if the benchmarks went missing from the sweep.
 python3 - "$OUT" <<'EOF'
 import json
 import sys
@@ -46,12 +46,20 @@ times = {
 }
 missing = [
     name
+    for size in (1000, 10000)
     for name in (
-        "BM_KbLookupCached/1000",
-        "BM_KbLookupCached/10000",
-        "BM_KbLookupLinearScan/1000",
-        "BM_KbLookupLinearScan/10000",
+        "BM_KbLookupCached/%d" % size,
+        "BM_KbLookupLinearScan/%d" % size,
     )
+    if name not in times
+] + [
+    name
+    for size in (1000, 10000, 100000)
+    for name in ("BM_KbLookupKdTree/%d" % size,)
+    if name not in times
+] + [
+    name
+    for name in ("BM_KbLookupCached/100000",)
     if name not in times
 ]
 if missing:
@@ -66,6 +74,26 @@ for n in (1000, 10000):
         "bench_smoke: KB lookup at %5d records: cached %.1fus, "
         "linear scan %.1fus, speedup %.2fx" % (n, cached / 1e3, linear / 1e3, ratio)
     )
+
+for n in (1000, 10000, 100000):
+    cached = times["BM_KbLookupCached/%d" % n]
+    tree = times["BM_KbLookupKdTree/%d" % n]
+    ratio = cached / tree if tree > 0 else float("inf")
+    print(
+        "bench_smoke: KB lookup at %6d records: linear %.1fus, "
+        "k-d tree %.1fus, speedup %.2fx" % (n, cached / 1e3, tree / 1e3, ratio)
+    )
+
+# The tentpole acceptance bar: sublinear lookup must beat the linear scan
+# by >= 5x at 100k records (the measured margin is far larger; 5x absorbs
+# runner noise).
+big_ratio = times["BM_KbLookupCached/100000"] / times["BM_KbLookupKdTree/100000"]
+if big_ratio < 5.0:
+    print(
+        "bench_smoke: FAIL k-d tree speedup at 100k records is %.2fx, "
+        "expected >= 5x" % big_ratio
+    )
+    sys.exit(1)
 EOF
 
 echo "bench_smoke: wrote $OUT"

@@ -60,10 +60,14 @@ job_field() {
     sed -n "s#.*\"$2\":\(\"[^\"]*\"\|[a-z0-9.]*\).*#\1#p" | head -1
 }
 
-# Polls until the job reaches FIELD == VALUE or times out.
+# Polls until the job reaches FIELD == VALUE or times out. The iteration
+# budget (default 300 x 0.2s = 60s) is overridable because sanitizer builds
+# run the recovered tuning loop an order of magnitude slower
+# (scripts/tier1.sh raises it for the TSan/ASan legs).
+WAIT_ITERS="${SMARTML_SMOKE_WAIT_ITERS:-300}"
 wait_for() {
   i=0
-  while [ $i -lt 300 ]; do
+  while [ "$i" -lt "$WAIT_ITERS" ]; do
     [ "$(job_field "$1" "$2")" = "$3" ] && return 0
     sleep 0.2
     i=$((i + 1))
@@ -92,7 +96,7 @@ Q2="$(curl -sf -X POST --data-binary @"$CSV" \
 #    reached a resumable state), then kill the server without ceremony.
 wait_for "$MID" state '"running"'
 i=0
-while [ $i -lt 300 ]; do
+while [ "$i" -lt "$WAIT_ITERS" ]; do
   if ls "$JOURNAL/checkpoints/${MID}"*.ckpt >/dev/null 2>&1; then break; fi
   kill -0 "$SERVER_PID" 2>/dev/null || fail "server died while tuning"
   sleep 0.2

@@ -22,6 +22,14 @@ cd "$(dirname "$0")/.."
 SANITIZE="${SMARTML_SANITIZE:-}"
 BUILD_DIR="build${SANITIZE:+-$(echo "$SANITIZE" | tr ',' '-')}"
 
+# Make every sanitizer report fatal rather than a warning. The suppressions
+# file silences a known GCC shared-runtime artifact (libubsan's vptr probe
+# racing TSan's fd bookkeeping — see scripts/tsan_suppressions.txt); it
+# matches sanitizer-internal frames only, so repo races still fail loudly.
+TSAN_OPTIONS="halt_on_error=1:history_size=7:suppressions=$(pwd)/scripts/tsan_suppressions.txt${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}"
+export TSAN_OPTIONS UBSAN_OPTIONS
+
 # SMARTML_CMAKE_ARGS lets CI inject extra configure flags (e.g. a ccache
 # compiler launcher) without teaching this script about each one.
 # shellcheck disable=SC2086
@@ -30,15 +38,12 @@ cmake -B "$BUILD_DIR" -S . ${SANITIZE:+-DSMARTML_SANITIZE="$SANITIZE"} \
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
 
-# Make every sanitizer report fatal rather than a warning.
-TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
-UBSAN_OPTIONS="halt_on_error=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}"
-export TSAN_OPTIONS UBSAN_OPTIONS
-
 case "$SANITIZE" in
   *thread*)
     # Surface the concurrency suites explicitly under the sanitizer.
+    # kb_index_test includes the lookups-race-appends k-d tree oracle case.
     "$BUILD_DIR"/tests/kb_concurrency_test
+    "$BUILD_DIR"/tests/kb_index_test
     "$BUILD_DIR"/tests/rest_concurrency_test
     "$BUILD_DIR"/tests/events_test
     "$BUILD_DIR"/tests/multitenant_test
@@ -64,7 +69,13 @@ esac
 # Fault-injection leg (both flavours): deterministic failure handling plus
 # the kill-mid-save KB recovery path driven through SMARTML_FAULT, and the
 # kill-9-the-server job-journal recovery path (queued jobs re-run, the
-# mid-flight run resumes from its tuner checkpoint).
+# mid-flight run resumes from its tuner checkpoint). Sanitizer builds run
+# the recovered tuning loop ~15x slower, so give the smoke a bigger poll
+# budget there (iterations of 0.2s).
+if [ -n "$SANITIZE" ]; then
+  SMARTML_SMOKE_WAIT_ITERS="${SMARTML_SMOKE_WAIT_ITERS:-3000}"
+  export SMARTML_SMOKE_WAIT_ITERS
+fi
 "$BUILD_DIR"/tests/fault_tolerance_test
 scripts/kb_recovery_smoke.sh "$BUILD_DIR"
 scripts/crash_recovery_smoke.sh "$BUILD_DIR"

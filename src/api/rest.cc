@@ -474,6 +474,34 @@ HttpResponse RestService::HandleHealth() {
                          "lookups.",
                          LatencyBuckets())
           ->TotalCount()));
+  {
+    // Lookup-index state: whether queries ride the k-d tree and how much of
+    // the KB sits in the linear tail awaiting the next bounded rebuild.
+    const KbIndexStats index = framework_->kb().IndexStats();
+    w.Key("index");
+    w.BeginObject();
+    w.Key("strategy");
+    switch (index.strategy) {
+      case KbLookupStrategy::kAuto:
+        w.String("auto");
+        break;
+      case KbLookupStrategy::kLinearScan:
+        w.String("linear");
+        break;
+      case KbLookupStrategy::kKdTree:
+        w.String("kdtree");
+        break;
+    }
+    w.Key("tree_active");
+    w.Bool(index.tree_active);
+    w.Key("indexed_records");
+    w.Int(static_cast<int64_t>(index.indexed_records));
+    w.Key("tail_records");
+    w.Int(static_cast<int64_t>(index.tail_records));
+    w.Key("tree_depth");
+    w.Int(static_cast<int64_t>(index.tree_depth));
+    w.EndObject();
+  }
   w.EndObject();
   w.EndObject();
   HttpResponse response;

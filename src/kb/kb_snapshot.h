@@ -1,0 +1,61 @@
+// The knowledge base's versioned binary snapshot format.
+//
+// Replaces the line-oriented text file as the on-disk default: cold start
+// on a large KB becomes a near-zero-copy binary parse (mmap the file,
+// memcpy fixed-width meta-feature rows) instead of millions of printf-round-
+// trip float conversions. The layout rides on the generic snapshot framing
+// in src/persist/snapshot_io.h:
+//
+//   header    magic "SMKBSNAP", version 1, flags (little-endian bit),
+//             total record count, section count, header crc32
+//   sections  kind 1 = record block (<= 512 records), crc32 per section
+//
+// Each record serializes as: name, 25 x f64 meta-features, optional
+// landmark vector, then (algorithm, accuracy, config-string) results.
+// Damage containment is per section: a torn tail salvages the surviving
+// prefix of whole records, a bit-flipped section is rejected by its crc and
+// dropped in salvage mode (never trusted), and every other block survives.
+// The text format stays readable for migration (`kb_tool convert`).
+#ifndef SMARTML_KB_KB_SNAPSHOT_H_
+#define SMARTML_KB_KB_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kb/knowledge_base.h"
+
+namespace smartml {
+
+inline constexpr std::string_view kKbSnapshotMagic = "SMKBSNAP";
+inline constexpr uint32_t kKbSnapshotVersion = 1;
+/// Records per crc-framed section: the unit of damage containment.
+inline constexpr size_t kKbSnapshotRecordsPerSection = 512;
+
+/// True when `data` carries the binary snapshot magic (vs the text format).
+bool LooksLikeKbSnapshot(std::string_view data);
+
+/// Serializes records into a complete snapshot file image.
+std::string EncodeKbSnapshot(const std::vector<KbRecord>& records);
+
+struct KbSnapshotDecodeResult {
+  std::vector<KbRecord> records;
+  /// Records lost to damaged sections (salvage mode only).
+  size_t dropped_records = 0;
+  /// Sections that were truncated or failed their crc.
+  size_t damaged_sections = 0;
+};
+
+/// Decodes a snapshot image. Strict mode fails on any damage: a bad header
+/// crc, a truncated or checksum-failing section, a malformed record, or a
+/// record count that disagrees with the header. Lenient mode salvages
+/// instead: intact sections load fully, a truncated final section yields
+/// its surviving whole-record prefix, and checksum-failing sections are
+/// dropped outright (bit-rotten bytes are never trusted).
+StatusOr<KbSnapshotDecodeResult> DecodeKbSnapshot(std::string_view data,
+                                                  bool lenient);
+
+}  // namespace smartml
+
+#endif  // SMARTML_KB_KB_SNAPSHOT_H_

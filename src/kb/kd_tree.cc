@@ -1,0 +1,187 @@
+#include "src/kb/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartml {
+
+namespace {
+// The axis-gap pruning bound is exact in real arithmetic (a candidate's full
+// Euclidean distance is at least its gap along any one axis), but the scan's
+// sum-of-squares accumulation can round a hair below the single-axis square.
+// Shaving one part in 10^12 off the bound keeps pruning provably
+// conservative at a negligible cost in visited nodes.
+constexpr double kPruneGuard = 1.0 - 1e-12;
+
+// The shared total order: nearer first, ties in insertion order.
+inline bool BetterThan(double distance_a, size_t index_a, double distance_b,
+                       size_t index_b) {
+  return distance_a < distance_b ||
+         (distance_a == distance_b && index_a < index_b);
+}
+}  // namespace
+
+void TopKCollector::Offer(double distance, size_t index) {
+  if (k_ == 0) return;
+  const auto heap_less = [](const std::pair<double, size_t>& a,
+                            const std::pair<double, size_t>& b) {
+    // Max-heap on (distance, index): the worst neighbour sits at the front.
+    return BetterThan(a.first, a.second, b.first, b.second);
+  };
+  if (heap_.size() < k_) {
+    heap_.emplace_back(distance, index);
+    std::push_heap(heap_.begin(), heap_.end(), heap_less);
+    return;
+  }
+  const auto& worst = heap_.front();
+  if (!BetterThan(distance, index, worst.first, worst.second)) return;
+  std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+  heap_.back() = {distance, index};
+  std::push_heap(heap_.begin(), heap_.end(), heap_less);
+}
+
+std::vector<std::pair<size_t, double>> TopKCollector::TakeSorted() {
+  std::vector<std::pair<size_t, double>> out;
+  out.reserve(heap_.size());
+  for (const auto& [distance, index] : heap_) out.emplace_back(index, distance);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return BetterThan(a.second, a.first, b.second, b.first);
+  });
+  heap_.clear();
+  return out;
+}
+
+void KdTree::Build(const std::vector<MetaFeatureVector>& points,
+                   size_t leaf_size) {
+  Clear();
+  if (points.empty()) return;
+  order_.resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    order_[i] = static_cast<uint32_t>(i);
+  }
+  nodes_.reserve(2 * points.size() / std::max<size_t>(leaf_size, 1) + 1);
+  BuildNode(points, 0, points.size(), 1, std::max<size_t>(leaf_size, 1));
+}
+
+void KdTree::Clear() {
+  nodes_.clear();
+  order_.clear();
+  depth_ = 0;
+}
+
+int32_t KdTree::BuildNode(const std::vector<MetaFeatureVector>& points,
+                          size_t lo, size_t hi, size_t depth,
+                          size_t leaf_size) {
+  depth_ = std::max(depth_, depth);
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (hi - lo <= leaf_size) {
+    nodes_[id].begin = static_cast<uint32_t>(lo);
+    nodes_[id].end = static_cast<uint32_t>(hi);
+    return id;
+  }
+  // Split on the widest dimension of this node's bounding box: spread-based
+  // selection adapts to correlated meta-features (low intrinsic dimension)
+  // far better than cycling depth % 25.
+  MetaFeatureVector min_v = points[order_[lo]];
+  MetaFeatureVector max_v = min_v;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const MetaFeatureVector& p = points[order_[i]];
+    for (size_t d = 0; d < kNumMetaFeatures; ++d) {
+      min_v[d] = std::min(min_v[d], p[d]);
+      max_v[d] = std::max(max_v[d], p[d]);
+    }
+  }
+  uint32_t dim = 0;
+  double spread = -1.0;
+  for (size_t d = 0; d < kNumMetaFeatures; ++d) {
+    const double s = max_v[d] - min_v[d];
+    if (s > spread) {
+      spread = s;
+      dim = static_cast<uint32_t>(d);
+    }
+  }
+  if (!(spread > 0.0)) {
+    // All points identical (or non-finite spread): no plane separates them.
+    nodes_[id].begin = static_cast<uint32_t>(lo);
+    nodes_[id].end = static_cast<uint32_t>(hi);
+    return id;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(order_.begin() + lo, order_.begin() + mid,
+                   order_.begin() + hi,
+                   [&points, dim](uint32_t a, uint32_t b) {
+                     const double ca = points[a][dim];
+                     const double cb = points[b][dim];
+                     return ca < cb || (ca == cb && a < b);
+                   });
+  nodes_[id].split_dim = dim;
+  nodes_[id].split_value = points[order_[mid]][dim];
+  const int32_t left = BuildNode(points, lo, mid, depth + 1, leaf_size);
+  const int32_t right = BuildNode(points, mid, hi, depth + 1, leaf_size);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+void KdTree::Search(const std::vector<MetaFeatureVector>& points,
+                    const MetaFeatureVector& query,
+                    TopKCollector* collector) const {
+  if (nodes_.empty()) return;
+  SearchNode(points, query, 0, collector);
+}
+
+void KdTree::SearchRadius(const std::vector<MetaFeatureVector>& points,
+                          const MetaFeatureVector& query, double radius,
+                          std::vector<size_t>* out) const {
+  if (nodes_.empty() || radius < 0.0) return;
+  SearchRadiusNode(points, query, radius, 0, out);
+}
+
+void KdTree::SearchRadiusNode(const std::vector<MetaFeatureVector>& points,
+                              const MetaFeatureVector& query, double radius,
+                              int32_t node, std::vector<size_t>* out) const {
+  const Node& n = nodes_[node];
+  if (n.IsLeaf()) {
+    for (uint32_t i = n.begin; i < n.end; ++i) {
+      const uint32_t index = order_[i];
+      if (MetaFeatureDistance(query, points[index]) <= radius) {
+        out->push_back(index);
+      }
+    }
+    return;
+  }
+  const double diff = query[n.split_dim] - n.split_value;
+  const int32_t near = diff < 0.0 ? n.left : n.right;
+  const int32_t far = diff < 0.0 ? n.right : n.left;
+  SearchRadiusNode(points, query, radius, near, out);
+  if (std::abs(diff) * kPruneGuard <= radius) {
+    SearchRadiusNode(points, query, radius, far, out);
+  }
+}
+
+void KdTree::SearchNode(const std::vector<MetaFeatureVector>& points,
+                        const MetaFeatureVector& query, int32_t node,
+                        TopKCollector* collector) const {
+  const Node& n = nodes_[node];
+  if (n.IsLeaf()) {
+    for (uint32_t i = n.begin; i < n.end; ++i) {
+      const uint32_t index = order_[i];
+      collector->Offer(MetaFeatureDistance(query, points[index]), index);
+    }
+    return;
+  }
+  // Points left of the plane have coordinate <= split_value, points right
+  // have coordinate >= split_value, so |query[dim] - split_value| lower-
+  // bounds every distance in the far child.
+  const double diff = query[n.split_dim] - n.split_value;
+  const int32_t near = diff < 0.0 ? n.left : n.right;
+  const int32_t far = diff < 0.0 ? n.right : n.left;
+  SearchNode(points, query, near, collector);
+  if (!collector->Full() ||
+      std::abs(diff) * kPruneGuard <= collector->WorstDistance()) {
+    SearchNode(points, query, far, collector);
+  }
+}
+
+}  // namespace smartml

@@ -1,0 +1,112 @@
+// A k-d tree over the 25-dim z-normalized meta-feature space.
+//
+// The knowledge base's hot primitive is "k nearest records for this query"
+// (paper §2); at production KB sizes the O(N·d) scan per lookup dominates
+// serving latency. This tree makes the lookup sublinear while returning
+// *byte-identical* results to the linear scan: every candidate it touches is
+// scored with the same MetaFeatureDistance over the same cached normalized
+// vectors, pruning only discards subtrees whose axis-gap lower bound is
+// strictly worse than the current k-th best, and the final ordering uses the
+// same (distance, insertion index) total order as the linear tie-break. The
+// linear scan therefore stays available as a correctness oracle in tests and
+// as an A/B baseline in bench_micro.
+//
+// The tree does not own point storage. It is built over a prefix of the
+// KB's cached normalized matrix and records only a permutation of indices
+// plus split planes; searches read coordinates from the caller-supplied
+// vector, which must contain the build-time prefix unchanged (the KB
+// guarantees this by freezing the normalizer between bounded rebuilds).
+#ifndef SMARTML_KB_KD_TREE_H_
+#define SMARTML_KB_KD_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/metafeatures/metafeatures.h"
+
+namespace smartml {
+
+/// Bounded best-k accumulator with the KB's deterministic total order:
+/// smaller distance wins, equal distances resolve in insertion (index)
+/// order. Used by both the tree search and the tail scan over records
+/// appended since the last rebuild, so merging the two is just more Offer
+/// calls.
+class TopKCollector {
+ public:
+  explicit TopKCollector(size_t k) : k_(k) {}
+
+  /// Considers (distance, index); keeps it when it beats the current worst.
+  void Offer(double distance, size_t index);
+
+  bool Full() const { return heap_.size() >= k_; }
+  /// Largest (worst) kept distance; only meaningful when Full().
+  double WorstDistance() const { return heap_.front().first; }
+
+  /// The kept neighbours sorted ascending by (distance, index) — the same
+  /// sequence the linear scan's partial_sort produces. Destroys the heap.
+  std::vector<std::pair<size_t, double>> TakeSorted();
+
+ private:
+  size_t k_;
+  // Max-heap on (distance, index): the front is the worst kept neighbour.
+  std::vector<std::pair<double, size_t>> heap_;
+};
+
+class KdTree {
+ public:
+  /// Builds over points[0..n), bucketing `leaf_size` points per leaf.
+  /// Deterministic: split dimension is the widest spread in the node, the
+  /// median is chosen under the (coordinate, index) total order.
+  void Build(const std::vector<MetaFeatureVector>& points,
+             size_t leaf_size = 16);
+
+  void Clear();
+
+  /// Offers every candidate that can still make top-k into `collector`.
+  /// `points` must hold the build-time prefix unchanged (extra trailing
+  /// entries are ignored). Exact: any point not offered is provably worse
+  /// than everything kept.
+  void Search(const std::vector<MetaFeatureVector>& points,
+              const MetaFeatureVector& query, TopKCollector* collector) const;
+
+  /// Appends (in traversal order) every point index whose distance to
+  /// `query` is <= radius. Compaction's near-duplicate probe.
+  void SearchRadius(const std::vector<MetaFeatureVector>& points,
+                    const MetaFeatureVector& query, double radius,
+                    std::vector<size_t>* out) const;
+
+  bool empty() const { return order_.empty(); }
+  size_t size() const { return order_.size(); }
+  size_t depth() const { return depth_; }
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Leaf: children absent, [begin, end) indexes into order_.
+    // Internal: split plane, left child is nodes_[left], right nodes_[right].
+    uint32_t split_dim = 0;
+    double split_value = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    bool IsLeaf() const { return left < 0; }
+  };
+
+  int32_t BuildNode(const std::vector<MetaFeatureVector>& points, size_t lo,
+                    size_t hi, size_t depth, size_t leaf_size);
+  void SearchNode(const std::vector<MetaFeatureVector>& points,
+                  const MetaFeatureVector& query, int32_t node,
+                  TopKCollector* collector) const;
+  void SearchRadiusNode(const std::vector<MetaFeatureVector>& points,
+                        const MetaFeatureVector& query, double radius,
+                        int32_t node, std::vector<size_t>* out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> order_;  ///< Permutation of point indices.
+  size_t depth_ = 0;
+};
+
+}  // namespace smartml
+
+#endif  // SMARTML_KB_KD_TREE_H_

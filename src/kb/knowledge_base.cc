@@ -1,28 +1,33 @@
 #include "src/kb/knowledge_base.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "src/common/crc32.h"
 #include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/kb/kb_snapshot.h"
 #include "src/obs/metrics.h"
+#include "src/persist/snapshot_io.h"
 
 namespace smartml {
 
 namespace {
 constexpr char kHeader[] = "smartml-kb v1";
 constexpr char kCrcPrefix[] = "crc32 ";
+
+/// Below this size kAuto stays on the linear scan: tree build/traversal
+/// overhead only pays off once the scan is long enough.
+constexpr size_t kKdTreeMinRecords = 256;
+/// Appends tolerated in the linear tail before a full rebuild (the bound
+/// also scales with the built prefix, see RebuildIndexLocked).
+constexpr size_t kTailRebuildFloor = 64;
 
 // Resolved once against the global registry; every member is a stable
 // pointer whose updates are pure atomics (safe under the KB's shared lock).
@@ -34,6 +39,21 @@ struct KbMetrics {
   Counter* updates = nullptr;
   Counter* recoveries = nullptr;
   Counter* index_rebuilds = nullptr;
+  Gauge* index_depth = nullptr;
+  Gauge* index_records = nullptr;
+  Gauge* index_tail = nullptr;
+  Counter* lookups_kdtree = nullptr;
+  Counter* lookups_linear = nullptr;
+  Histogram* snapshot_load_seconds = nullptr;
+  Gauge* snapshot_bytes = nullptr;
+  Counter* snapshot_saves_binary = nullptr;
+  Counter* snapshot_saves_text = nullptr;
+  Counter* snapshot_loads_binary = nullptr;
+  Counter* snapshot_loads_text = nullptr;
+  Counter* snapshot_sections_salvaged = nullptr;
+  Counter* compactions = nullptr;
+  Counter* records_deduped = nullptr;
+  Counter* records_evicted = nullptr;
 
   static const KbMetrics& Get() {
     static const KbMetrics metrics = [] {
@@ -61,12 +81,76 @@ struct KbMetrics {
           "Knowledge-base loads that required salvage or .bak fallback.");
       m.index_rebuilds = registry.GetCounter(
           "smartml_kb_index_rebuilds_total",
-          "Rebuilds of the cached normalized meta-feature matrix.");
+          "Full rebuilds of the normalized matrix and k-d tree.");
+      m.index_depth = registry.GetGauge(
+          "smartml_kb_index_depth",
+          "Depth of the built k-d tree (0 = linear scan).");
+      m.index_records = registry.GetGauge(
+          "smartml_kb_index_records",
+          "Records covered by the built k-d tree.");
+      m.index_tail = registry.GetGauge(
+          "smartml_kb_index_tail_records",
+          "Appended records in the linear tail since the last rebuild.");
+      m.lookups_kdtree = registry.GetCounter(
+          "smartml_kb_lookup_path_total",
+          "Nearest-neighbour lookups by execution path.",
+          {{"path", "kdtree"}});
+      m.lookups_linear = registry.GetCounter(
+          "smartml_kb_lookup_path_total",
+          "Nearest-neighbour lookups by execution path.",
+          {{"path", "linear"}});
+      m.snapshot_load_seconds = registry.GetHistogram(
+          "smartml_kb_snapshot_load_seconds",
+          "Latency of knowledge-base loads from disk.", LatencyBuckets());
+      m.snapshot_bytes = registry.GetGauge(
+          "smartml_kb_snapshot_bytes",
+          "Size of the last knowledge-base file saved or loaded.");
+      m.snapshot_saves_binary = registry.GetCounter(
+          "smartml_kb_snapshot_saves_total",
+          "Knowledge-base saves by on-disk format.", {{"format", "binary"}});
+      m.snapshot_saves_text = registry.GetCounter(
+          "smartml_kb_snapshot_saves_total",
+          "Knowledge-base saves by on-disk format.", {{"format", "text"}});
+      m.snapshot_loads_binary = registry.GetCounter(
+          "smartml_kb_snapshot_loads_total",
+          "Knowledge-base loads by on-disk format.", {{"format", "binary"}});
+      m.snapshot_loads_text = registry.GetCounter(
+          "smartml_kb_snapshot_loads_total",
+          "Knowledge-base loads by on-disk format.", {{"format", "text"}});
+      m.snapshot_sections_salvaged = registry.GetCounter(
+          "smartml_kb_snapshot_sections_salvaged_total",
+          "Damaged snapshot sections dropped or prefix-parsed by salvage.");
+      m.compactions = registry.GetCounter(
+          "smartml_kb_compactions_total",
+          "Knowledge-base compaction passes.");
+      m.records_deduped = registry.GetCounter(
+          "smartml_kb_records_deduped_total",
+          "Near-identical records merged away by compaction.");
+      m.records_evicted = registry.GetCounter(
+          "smartml_kb_records_evicted_total",
+          "Records evicted by the quality-weighted size cap.");
       return m;
     }();
     return metrics;
   }
 };
+
+/// Folds `from`'s per-algorithm results into `into` (higher accuracy wins;
+/// unseen algorithms append) — the paper's incremental update, shared by
+/// AddRecord merges, bulk loads, and compaction dedup.
+void MergeResultsInto(KbRecord* into, const KbRecord& from) {
+  for (const auto& incoming : from.results) {
+    bool merged = false;
+    for (auto& r : into->results) {
+      if (r.algorithm == incoming.algorithm) {
+        if (incoming.accuracy > r.accuracy) r = incoming;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) into->results.push_back(incoming);
+  }
+}
 }  // namespace
 
 KnowledgeBase::KnowledgeBase(const KnowledgeBase& other) {
@@ -74,6 +158,9 @@ KnowledgeBase::KnowledgeBase(const KnowledgeBase& other) {
   records_ = other.records_;
   normalizer_ = other.normalizer_;
   normalized_ = other.normalized_;
+  strategy_ = other.strategy_;
+  tree_ = other.tree_;
+  tree_records_ = other.tree_records_;
 }
 
 KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
@@ -81,16 +168,25 @@ KnowledgeBase& KnowledgeBase::operator=(const KnowledgeBase& other) {
   std::vector<KbRecord> records;
   MetaFeatureNormalizer normalizer;
   std::vector<MetaFeatureVector> normalized;
+  KbLookupStrategy strategy;
+  KdTree tree;
+  size_t tree_records;
   {
     std::shared_lock lock(other.mutex_);
     records = other.records_;
     normalizer = other.normalizer_;
     normalized = other.normalized_;
+    strategy = other.strategy_;
+    tree = other.tree_;
+    tree_records = other.tree_records_;
   }
   std::unique_lock lock(mutex_);
   records_ = std::move(records);
   normalizer_ = std::move(normalizer);
   normalized_ = std::move(normalized);
+  strategy_ = strategy;
+  tree_ = std::move(tree);
+  tree_records_ = tree_records;
   return *this;
 }
 
@@ -99,12 +195,17 @@ KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
   records_ = std::move(other.records_);
   normalizer_ = std::move(other.normalizer_);
   normalized_ = std::move(other.normalized_);
+  strategy_ = other.strategy_;
+  tree_ = std::move(other.tree_);
+  tree_records_ = other.tree_records_;
   // The moved-from KB stays usable: empty records with a matching unfitted
   // normalizer and empty index, not a normalizer fitted over records it no
   // longer holds.
   other.records_.clear();
   other.normalizer_ = MetaFeatureNormalizer();
   other.normalized_.clear();
+  other.tree_.Clear();
+  other.tree_records_ = 0;
 }
 
 KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
@@ -112,19 +213,30 @@ KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
   std::vector<KbRecord> records;
   MetaFeatureNormalizer normalizer;
   std::vector<MetaFeatureVector> normalized;
+  KbLookupStrategy strategy;
+  KdTree tree;
+  size_t tree_records;
   {
     std::unique_lock lock(other.mutex_);
     records = std::move(other.records_);
     normalizer = std::move(other.normalizer_);
     normalized = std::move(other.normalized_);
+    strategy = other.strategy_;
+    tree = std::move(other.tree_);
+    tree_records = other.tree_records_;
     other.records_.clear();
     other.normalizer_ = MetaFeatureNormalizer();
     other.normalized_.clear();
+    other.tree_.Clear();
+    other.tree_records_ = 0;
   }
   std::unique_lock lock(mutex_);
   records_ = std::move(records);
   normalizer_ = std::move(normalizer);
   normalized_ = std::move(normalized);
+  strategy_ = strategy;
+  tree_ = std::move(tree);
+  tree_records_ = tree_records;
   return *this;
 }
 
@@ -139,22 +251,14 @@ void KnowledgeBase::AddRecord(const KbRecord& record) {
       existing.has_landmarks = true;
       existing.landmarks = record.landmarks;
     }
-    for (const auto& incoming : record.results) {
-      bool merged = false;
-      for (auto& r : existing.results) {
-        if (r.algorithm == incoming.algorithm) {
-          if (incoming.accuracy > r.accuracy) r = incoming;
-          merged = true;
-          break;
-        }
-      }
-      if (!merged) existing.results.push_back(incoming);
-    }
-    RebuildIndex();
+    MergeResultsInto(&existing, record);
+    // The record may have moved in meta-feature space: the tree's split
+    // planes can no longer be trusted, so this is always a full rebuild.
+    RebuildIndexLocked(/*appended_one=*/false);
     return;
   }
   records_.push_back(record);
-  RebuildIndex();
+  RebuildIndexLocked(/*appended_one=*/true);
 }
 
 size_t KnowledgeBase::NumRecords() const {
@@ -176,17 +280,79 @@ std::optional<KbRecord> KnowledgeBase::Find(
   return std::nullopt;
 }
 
-void KnowledgeBase::RebuildIndex() {
+bool KnowledgeBase::WantTreeLocked() const {
+  switch (strategy_) {
+    case KbLookupStrategy::kLinearScan:
+      return false;
+    case KbLookupStrategy::kKdTree:
+      return !records_.empty();
+    case KbLookupStrategy::kAuto:
+      return records_.size() >= kKdTreeMinRecords;
+  }
+  return false;
+}
+
+void KnowledgeBase::RebuildIndexLocked(bool appended_one) {
+  const KbMetrics& metrics = KbMetrics::Get();
+  const size_t n = records_.size();
+  if (appended_one && WantTreeLocked() && normalizer_.fitted() &&
+      tree_records_ > 0 && normalized_.size() == n - 1 &&
+      n - tree_records_ <=
+          std::max(kTailRebuildFloor, tree_records_ / 8)) {
+    // Bounded append: freeze the normalizer, put the new record in the
+    // linear tail. Large KBs absorb inserts in O(d) instead of paying the
+    // O(N·d + N log N) refit+rebuild on every write; the z-statistics of a
+    // big KB drift far too slowly for the frozen normalizer to matter, and
+    // every query still sees the record via the tail scan.
+    normalized_.push_back(normalizer_.Apply(records_.back().meta_features));
+    metrics.index_tail->Set(static_cast<int64_t>(n - tree_records_));
+    return;
+  }
   std::vector<MetaFeatureVector> vectors;
-  vectors.reserve(records_.size());
+  vectors.reserve(n);
   for (const auto& r : records_) vectors.push_back(r.meta_features);
   normalizer_.Fit(vectors);
   normalized_.clear();
-  normalized_.reserve(records_.size());
+  normalized_.reserve(n);
   for (const auto& r : records_) {
     normalized_.push_back(normalizer_.Apply(r.meta_features));
   }
-  KbMetrics::Get().index_rebuilds->Increment();
+  if (WantTreeLocked()) {
+    tree_.Build(normalized_);
+    tree_records_ = n;
+  } else {
+    tree_.Clear();
+    tree_records_ = 0;
+  }
+  metrics.index_rebuilds->Increment();
+  metrics.index_depth->Set(static_cast<int64_t>(tree_.depth()));
+  metrics.index_records->Set(static_cast<int64_t>(tree_records_));
+  metrics.index_tail->Set(static_cast<int64_t>(n - tree_records_));
+}
+
+void KnowledgeBase::SetLookupStrategy(KbLookupStrategy strategy) {
+  std::unique_lock lock(mutex_);
+  if (strategy_ == strategy) return;
+  strategy_ = strategy;
+  RebuildIndexLocked(/*appended_one=*/false);
+}
+
+KbLookupStrategy KnowledgeBase::lookup_strategy() const {
+  std::shared_lock lock(mutex_);
+  return strategy_;
+}
+
+KbIndexStats KnowledgeBase::IndexStats() const {
+  std::shared_lock lock(mutex_);
+  KbIndexStats stats;
+  stats.strategy = strategy_;
+  stats.records = records_.size();
+  stats.indexed_records = tree_records_;
+  stats.tail_records = records_.size() - tree_records_;
+  stats.tree_active = tree_records_ > 0;
+  stats.tree_depth = tree_.depth();
+  stats.tree_nodes = tree_.node_count();
+  return stats;
 }
 
 std::vector<KbNeighbor> KnowledgeBase::NearestRecords(
@@ -218,13 +384,30 @@ std::vector<std::pair<size_t, double>> KnowledgeBase::NearestIndicesLocked(
     return out;
   }
   // One normalization for the query; every record distance reads the cached
-  // normalized matrix built by RebuildIndex().
+  // normalized matrix built by RebuildIndexLocked().
   const MetaFeatureVector query = normalizer_.Apply(mf);
+  // The landmark term is not part of the indexed space, so combined-distance
+  // queries always take the scan.
+  const bool combined = landmarks != nullptr && landmark_weight > 0.0;
+  if (!combined && tree_records_ > 0 && WantTreeLocked()) {
+    // Sublinear path: linear tail first (appends since the last rebuild),
+    // then the tree, pruning against the running k-th best. Both feed the
+    // same (distance, index) total order as the scan, so the result is
+    // byte-identical to the linear oracle.
+    TopKCollector collector(k);
+    for (size_t i = tree_records_; i < normalized_.size(); ++i) {
+      collector.Offer(MetaFeatureDistance(query, normalized_[i]), i);
+    }
+    tree_.Search(normalized_, query, &collector);
+    out = collector.TakeSorted();
+    metrics.lookups_kdtree->Increment();
+    metrics.lookup_neighbors->Observe(static_cast<double>(out.size()));
+    return out;
+  }
   out.reserve(records_.size());
   for (size_t i = 0; i < records_.size(); ++i) {
     double distance = MetaFeatureDistance(query, normalized_[i]);
-    if (landmarks != nullptr && landmark_weight > 0.0 &&
-        records_[i].has_landmarks) {
+    if (combined && records_[i].has_landmarks) {
       distance += landmark_weight *
                   LandmarkDistance(*landmarks, records_[i].landmarks);
     }
@@ -239,8 +422,127 @@ std::vector<std::pair<size_t, double>> KnowledgeBase::NearestIndicesLocked(
                              (a.second == b.second && a.first < b.first);
                     });
   out.resize(top);
+  metrics.lookups_linear->Increment();
   metrics.lookup_neighbors->Observe(static_cast<double>(out.size()));
   return out;
+}
+
+KbCompactionStats KnowledgeBase::Compact(const KbCompactionOptions& options) {
+  const KbMetrics& metrics = KbMetrics::Get();
+  std::unique_lock lock(mutex_);
+  KbCompactionStats stats;
+  stats.before = records_.size();
+  bool mutated = false;
+  if (options.dedup_epsilon > 0.0 && records_.size() >= 2) {
+    // Cover everything with the tree first so the duplicate probe is a
+    // radius search instead of an O(N^2) all-pairs pass.
+    if (WantTreeLocked() && tree_records_ != records_.size()) {
+      RebuildIndexLocked(/*appended_one=*/false);
+    }
+    const size_t n = records_.size();
+    const bool use_tree = tree_records_ == n && n > 0;
+    std::vector<bool> absorbed(n, false);
+    std::vector<size_t> hits;
+    for (size_t i = 0; i < n; ++i) {
+      if (absorbed[i]) continue;
+      hits.clear();
+      if (use_tree) {
+        tree_.SearchRadius(normalized_, normalized_[i], options.dedup_epsilon,
+                           &hits);
+      } else {
+        for (size_t j = i + 1; j < n; ++j) {
+          if (MetaFeatureDistance(normalized_[i], normalized_[j]) <=
+              options.dedup_epsilon) {
+            hits.push_back(j);
+          }
+        }
+      }
+      std::sort(hits.begin(), hits.end());
+      for (size_t j : hits) {
+        if (j <= i || absorbed[j]) continue;
+        // The earliest observation survives; the newcomer's results fold in.
+        MergeResultsInto(&records_[i], records_[j]);
+        if (records_[j].has_landmarks && !records_[i].has_landmarks) {
+          records_[i].has_landmarks = true;
+          records_[i].landmarks = records_[j].landmarks;
+        }
+        absorbed[j] = true;
+        ++stats.merged;
+      }
+    }
+    if (stats.merged > 0) {
+      std::vector<KbRecord> kept;
+      kept.reserve(n - stats.merged);
+      for (size_t i = 0; i < n; ++i) {
+        if (!absorbed[i]) kept.push_back(std::move(records_[i]));
+      }
+      records_ = std::move(kept);
+      mutated = true;
+    }
+  }
+  if (options.max_records > 0 && records_.size() > options.max_records) {
+    // Quality-weighted eviction: a record's quality is its best stored
+    // accuracy (a dataset where something worked well is worth keeping as
+    // warm-start evidence). Lowest quality goes first; ties evict the older
+    // record so fresher observations win.
+    std::vector<std::pair<double, size_t>> quality;
+    quality.reserve(records_.size());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      double best = 0.0;
+      for (const auto& result : records_[i].results) {
+        best = std::max(best, result.accuracy);
+      }
+      quality.emplace_back(best, i);
+    }
+    std::sort(quality.begin(), quality.end(),
+              [](const auto& a, const auto& b) {
+                return a.first < b.first ||
+                       (a.first == b.first && a.second < b.second);
+              });
+    const size_t to_evict = records_.size() - options.max_records;
+    std::vector<bool> evict(records_.size(), false);
+    for (size_t i = 0; i < to_evict; ++i) evict[quality[i].second] = true;
+    std::vector<KbRecord> kept;
+    kept.reserve(options.max_records);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      if (!evict[i]) kept.push_back(std::move(records_[i]));
+    }
+    records_ = std::move(kept);
+    stats.evicted = to_evict;
+    mutated = true;
+  }
+  stats.after = records_.size();
+  if (mutated) RebuildIndexLocked(/*appended_one=*/false);
+  metrics.compactions->Increment();
+  metrics.records_deduped->Increment(stats.merged);
+  metrics.records_evicted->Increment(stats.evicted);
+  return stats;
+}
+
+void KnowledgeBase::BulkLoad(std::vector<KbRecord>&& records) {
+  std::unique_lock lock(mutex_);
+  records_.clear();
+  records_.reserve(records.size());
+  // Hash-merge duplicates (the text parser's AddRecord loop is O(N^2) in
+  // names; a million-record cold start cannot afford that).
+  std::unordered_map<std::string, size_t> by_name;
+  by_name.reserve(records.size());
+  for (auto& record : records) {
+    auto [it, inserted] = by_name.try_emplace(record.dataset_name,
+                                              records_.size());
+    if (inserted) {
+      records_.push_back(std::move(record));
+      continue;
+    }
+    KbRecord& existing = records_[it->second];
+    existing.meta_features = record.meta_features;
+    if (record.has_landmarks) {
+      existing.has_landmarks = true;
+      existing.landmarks = record.landmarks;
+    }
+    MergeResultsInto(&existing, record);
+  }
+  RebuildIndexLocked(/*appended_one=*/false);
 }
 
 std::vector<Nomination> KnowledgeBase::Nominate(
@@ -501,19 +803,17 @@ StatusOr<KnowledgeBase> ParseKbBody(std::string_view body, bool lenient,
   return kb;
 }
 
-/// Reads a whole file; IOError when it cannot be opened.
-StatusOr<std::string> ReadFileText(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
 }  // namespace
 
-StatusOr<KnowledgeBase> KnowledgeBase::Deserialize(const std::string& text) {
-  const CrcSplit split = SplitTrailingCrc(text);
+StatusOr<KnowledgeBase> KnowledgeBase::Deserialize(const std::string& bytes) {
+  if (LooksLikeKbSnapshot(bytes)) {
+    auto decoded = DecodeKbSnapshot(bytes, /*lenient=*/false);
+    if (!decoded.ok()) return decoded.status();
+    KnowledgeBase kb;
+    kb.BulkLoad(std::move(decoded->records));
+    return kb;
+  }
+  const CrcSplit split = SplitTrailingCrc(bytes);
   if (split.has_crc && !split.crc_ok) {
     return Status::InvalidArgument("KB: checksum mismatch (torn or corrupt)");
   }
@@ -521,127 +821,103 @@ StatusOr<KnowledgeBase> KnowledgeBase::Deserialize(const std::string& text) {
 }
 
 StatusOr<KnowledgeBase> KnowledgeBase::DeserializeSalvage(
-    const std::string& text, size_t* skipped_lines) {
-  // The checksum is ignored here by design: salvage runs exactly when the
-  // file is known-torn, and the crc line (possibly itself truncated) is
+    const std::string& bytes, size_t* skipped) {
+  if (LooksLikeKbSnapshot(bytes)) {
+    auto decoded = DecodeKbSnapshot(bytes, /*lenient=*/true);
+    if (!decoded.ok()) return decoded.status();
+    if (skipped != nullptr) *skipped = decoded->dropped_records;
+    if (decoded->damaged_sections > 0) {
+      KbMetrics::Get().snapshot_sections_salvaged->Increment(
+          decoded->damaged_sections);
+    }
+    KnowledgeBase kb;
+    kb.BulkLoad(std::move(decoded->records));
+    return kb;
+  }
+  // The text checksum is ignored here by design: salvage runs exactly when
+  // the file is known-torn, and the crc line (possibly itself truncated) is
   // just another unrecognized line that stops the lenient parser.
-  return ParseKbBody(text, /*lenient=*/true, skipped_lines);
+  return ParseKbBody(bytes, /*lenient=*/true, skipped);
 }
 
-Status KnowledgeBase::SaveToFile(const std::string& path) const {
-  const std::string payload = Serialize();
-  const std::string tmp_path = path + ".tmp";
-  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::IOError("cannot open '" + tmp_path + "' for writing");
+Status KnowledgeBase::SaveToFile(const std::string& path,
+                                 KbFileFormat format) const {
+  const std::string payload = format == KbFileFormat::kBinary
+                                  ? EncodeKbSnapshot(SnapshotRecords())
+                                  : Serialize();
+  const Status status =
+      AtomicWriteFile(path, payload, "kb_save_crash", "kb_rename_fail");
+  if (status.ok()) {
+    const KbMetrics& metrics = KbMetrics::Get();
+    metrics.snapshot_bytes->Set(static_cast<int64_t>(payload.size()));
+    (format == KbFileFormat::kBinary ? metrics.snapshot_saves_binary
+                                     : metrics.snapshot_saves_text)
+        ->Increment();
   }
-  // kb_save_crash simulates kill -9 mid-write: leave a torn temp file and
-  // bail before the fsync/rename, so `path` itself is never touched.
-  const bool crash = FaultShouldFire("kb_save_crash");
-  const size_t to_write = crash ? payload.size() / 2 : payload.size();
-  size_t written = 0;
-  while (written < to_write) {
-    const ssize_t n =
-        ::write(fd, payload.data() + written, to_write - written);
-    if (n <= 0) {
-      ::close(fd);
-      return Status::IOError("write failed: " + tmp_path);
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (crash) {
-    ::close(fd);
-    return Status::IOError(
-        "fault injection: simulated crash during KB save (torn temp left at '" +
-        tmp_path + "')");
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::IOError("fsync failed: " + tmp_path);
-  }
-  if (::close(fd) != 0) {
-    return Status::IOError("close failed: " + tmp_path);
-  }
-  // Keep the previous good file as .bak, then move the new one into place.
-  // rename() is atomic, so a crash between these steps leaves either the
-  // .bak (old state) or `path` (old or new state) loadable — never a torn
-  // main file.
-  const std::string bak_path = path + ".bak";
-  struct stat st {};
-  bool moved_to_bak = false;
-  if (::stat(path.c_str(), &st) == 0) {
-    moved_to_bak = ::rename(path.c_str(), bak_path.c_str()) == 0;
-  }
-  // kb_rename_fail simulates the final rename failing (e.g. EIO on a dying
-  // disk) after the old file already moved to .bak.
-  if (FaultShouldFire("kb_rename_fail") ||
-      ::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    // Put the last-good file back so readers of `path` never see it vanish
-    // because of a failed save.
-    if (moved_to_bak) (void)::rename(bak_path.c_str(), path.c_str());
-    return Status::IOError("rename failed: " + tmp_path + " -> " + path);
-  }
-  // Persist the directory entry (best effort; not all filesystems need it).
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    (void)::fsync(dir_fd);
-    ::close(dir_fd);
-  }
-  return Status::OK();
+  return status;
 }
 
 StatusOr<KnowledgeBase> KnowledgeBase::LoadFromFile(const std::string& path) {
-  // Loads one file's text: strict first, then salvage. Sets *salvaged_out
+  const KbMetrics& metrics = KbMetrics::Get();
+  ScopedTimer timer(metrics.snapshot_load_seconds);
+  // Loads one file's bytes: strict first, then salvage. Sets *salvaged_out
   // when the result came from the lenient path (the caller counts one
   // recovery per load, no matter how many fallbacks it took).
-  auto load_text = [](const std::string& text, const std::string& origin,
-                      bool* salvaged_out) -> StatusOr<KnowledgeBase> {
-    auto strict = Deserialize(text);
+  auto load_bytes = [](const std::string& bytes, const std::string& origin,
+                       bool* salvaged_out) -> StatusOr<KnowledgeBase> {
+    auto strict = Deserialize(bytes);
     if (strict.ok()) return strict;
     size_t skipped = 0;
-    auto salvaged = DeserializeSalvage(text, &skipped);
+    auto salvaged = DeserializeSalvage(bytes, &skipped);
     if (salvaged.ok() && salvaged->NumRecords() > 0) {
       SMARTML_LOG_WARN << "KB '" << origin << "': " << strict.status().ToString()
                        << " -- salvaged " << salvaged->NumRecords()
-                       << " records, dropped " << skipped << " torn lines";
+                       << " records, dropped " << skipped
+                       << " torn lines/records";
       *salvaged_out = true;
       return salvaged;
     }
     return strict.status();
   };
-  auto recovered = []() { KbMetrics::Get().recoveries->Increment(); };
+  auto recovered = [&metrics]() { metrics.recoveries->Increment(); };
+  auto loaded_ok = [&metrics](const std::string& bytes) {
+    metrics.snapshot_bytes->Set(static_cast<int64_t>(bytes.size()));
+    (LooksLikeKbSnapshot(bytes) ? metrics.snapshot_loads_binary
+                                : metrics.snapshot_loads_text)
+        ->Increment();
+  };
 
   Status main_error = Status::OK();
-  auto text = ReadFileText(path);
-  if (text.ok()) {
-    std::string body = std::move(*text);
+  auto bytes = ReadFileBytes(path);
+  if (bytes.ok()) {
+    std::string body = std::move(*bytes);
     // kb_load_corrupt simulates silent on-disk corruption: flip one byte in
     // the middle of the body so the checksum (or parser) must catch it.
     if (!body.empty() && FaultShouldFire("kb_load_corrupt")) {
       body[body.size() / 2] ^= 0x20;
     }
     bool salvaged = false;
-    auto loaded = load_text(body, path, &salvaged);
+    auto loaded = load_bytes(body, path, &salvaged);
     if (loaded.ok()) {
       if (salvaged) recovered();
+      loaded_ok(body);
       return loaded;
     }
     main_error = loaded.status();
   } else {
-    main_error = text.status();
+    main_error = bytes.status();
   }
   // Main file missing or beyond salvage (e.g. crash between the two
   // renames): fall back to the .bak copy of the last-good state.
-  auto bak = ReadFileText(path + ".bak");
+  auto bak = ReadFileBytes(path + ".bak");
   if (bak.ok()) {
     bool salvaged = false;
-    auto from_bak = load_text(*bak, path + ".bak", &salvaged);
+    auto from_bak = load_bytes(*bak, path + ".bak", &salvaged);
     if (from_bak.ok()) {
       SMARTML_LOG_WARN << "KB '" << path
                        << "' unloadable; recovered last-good state from .bak";
       recovered();
+      loaded_ok(*bak);
       return from_bak;
     }
   }

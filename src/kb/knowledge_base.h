@@ -17,10 +17,19 @@
 // even while writers reallocate the storage.
 //
 // Lookup fast path: the z-normalized meta-feature matrix is cached inside
-// the KB and rebuilt only when a write invalidates it (AddRecord,
-// copy/move-assignment, deserialization), so a nearest-neighbour query is a
-// single pass of plain distance computations plus a partial sort on k —
-// no per-record re-normalization and no full sort of the candidate list.
+// the KB and rebuilt only when a write invalidates it, and above a size
+// threshold lookups go through a k-d tree over that matrix instead of the
+// O(N·d) scan. The tree returns byte-identical neighbour lists (order, ties,
+// distances) to the linear scan — the scan stays available as a correctness
+// oracle and A/B baseline via SetLookupStrategy. Index maintenance is
+// bounded: appends between full rebuilds freeze the normalizer and land in
+// a small linear-scanned tail that is merged into every query, so AddRecord
+// stays cheap at large N while results remain exact.
+//
+// Persistence: the on-disk default is a versioned binary snapshot (magic +
+// header, crc per section, mmap-friendly load — see src/kb/kb_snapshot.h)
+// written with the tmp+fsync+rename discipline; the legacy text format is
+// still read transparently and can be written for interchange.
 #ifndef SMARTML_KB_KNOWLEDGE_BASE_H_
 #define SMARTML_KB_KNOWLEDGE_BASE_H_
 
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/kb/kd_tree.h"
 #include "src/metafeatures/landmarking.h"
 #include "src/metafeatures/metafeatures.h"
 #include "src/tuning/param_space.h"
@@ -86,6 +96,54 @@ struct NominationOptions {
   double landmark_weight = 0.0;
 };
 
+/// How NearestRecords resolves a query.
+enum class KbLookupStrategy {
+  /// k-d tree once the KB crosses the size threshold, linear scan below it
+  /// (tree overhead isn't worth it on tiny KBs). The default.
+  kAuto,
+  /// Always the O(N·d) scan — the correctness oracle and A/B baseline.
+  kLinearScan,
+  /// Always the tree (any size > 0) — used by equivalence tests and the
+  /// kd-tree benchmark leg.
+  kKdTree,
+};
+
+/// On-disk representation for SaveToFile.
+enum class KbFileFormat {
+  kBinary,  ///< Versioned snapshot (magic, crc per section). The default.
+  kText,    ///< Legacy line-oriented format, kept for interchange.
+};
+
+/// Point-in-time description of the lookup index (surfaced in /v1/health).
+struct KbIndexStats {
+  KbLookupStrategy strategy = KbLookupStrategy::kAuto;
+  bool tree_active = false;   ///< Whether queries currently use the tree.
+  size_t records = 0;         ///< Total records.
+  size_t indexed_records = 0; ///< Records covered by the built tree.
+  size_t tail_records = 0;    ///< Appends since the last bounded rebuild.
+  size_t tree_depth = 0;
+  size_t tree_nodes = 0;
+};
+
+/// Knobs for Compact(): near-duplicate merging + size-capped eviction.
+struct KbCompactionOptions {
+  /// Records within this distance in the z-normalized meta-feature space
+  /// are considered the same dataset observed twice and merged
+  /// (best-per-algorithm wins, landmarks kept when either side has them).
+  double dedup_epsilon = 1e-9;
+  /// When > 0 and the KB still exceeds this after dedup, the lowest-quality
+  /// records (best stored accuracy, ties evict the older record) are
+  /// dropped until the cap holds.
+  size_t max_records = 0;
+};
+
+struct KbCompactionStats {
+  size_t before = 0;
+  size_t merged = 0;   ///< Near-duplicates folded into a surviving record.
+  size_t evicted = 0;  ///< Records dropped by the quality-weighted cap.
+  size_t after = 0;
+};
+
 class KnowledgeBase {
  public:
   KnowledgeBase() = default;
@@ -124,38 +182,61 @@ class KnowledgeBase {
                                    const NominationOptions& options) const;
 
   /// The k nearest records (copies) and their distances (normalized space).
-  /// Ties in distance resolve in insertion order, deterministically.
+  /// Ties in distance resolve in insertion order, deterministically — the
+  /// guarantee holds identically on the linear and the k-d tree path.
   std::vector<KbNeighbor> NearestRecords(const MetaFeatureVector& mf,
                                          size_t k) const;
 
   /// Nearest records under the combined (meta-feature + landmark) distance.
+  /// Always served by the linear scan: the landmark term is not part of the
+  /// indexed space.
   std::vector<KbNeighbor> NearestRecords(const MetaFeatureVector& mf,
                                          const LandmarkVector* landmarks,
                                          double landmark_weight,
                                          size_t k) const;
 
+  /// Switches the lookup strategy (rebuilding the index to match) — the
+  /// oracle tests and bench_micro A/B the tree against the scan with this.
+  void SetLookupStrategy(KbLookupStrategy strategy);
+  KbLookupStrategy lookup_strategy() const;
+
+  /// Consistent view of the index state.
+  KbIndexStats IndexStats() const;
+
+  /// Merges near-identical records and enforces the size cap (see
+  /// KbCompactionOptions). Deterministic: the earliest record of a
+  /// near-duplicate cluster survives; eviction drops lowest quality first.
+  /// Takes the lock exclusively; safe to run from a background thread.
+  KbCompactionStats Compact(const KbCompactionOptions& options);
+
   /// Text serialization (versioned, line oriented) with a trailing
   /// "crc32 <8 hex digits>" integrity line covering everything before it.
+  /// This is the interchange format; SaveToFile writes the binary snapshot.
   std::string Serialize() const;
 
-  /// Strict parse. A trailing crc32 line, when present, must match; files
-  /// written before checksumming (no crc32 line) still load.
-  static StatusOr<KnowledgeBase> Deserialize(const std::string& text);
+  /// Strict parse of either format: binary snapshots are detected by their
+  /// magic, anything else takes the text path (a trailing crc32 line, when
+  /// present, must match; files written before checksumming still load).
+  static StatusOr<KnowledgeBase> Deserialize(const std::string& bytes);
 
-  /// Lenient parse for crash recovery: keeps every complete record up to
-  /// the first torn/corrupt line and reports how many input lines were
-  /// dropped via `*skipped_lines` (may be null). Fails only when even the
-  /// header is unusable.
-  static StatusOr<KnowledgeBase> DeserializeSalvage(const std::string& text,
-                                                    size_t* skipped_lines);
+  /// Lenient parse for crash recovery, format-sniffing like Deserialize.
+  /// Keeps every complete record up to the damage and reports how many
+  /// units were dropped via `*skipped` (may be null): torn text lines on
+  /// the text path, lost records on the binary path. Fails only when even
+  /// the header is unusable.
+  static StatusOr<KnowledgeBase> DeserializeSalvage(const std::string& bytes,
+                                                    size_t* skipped);
 
   /// Crash-safe save: write `path`.tmp, fsync, keep the previous file as
   /// `path`.bak, atomically rename into place. A crash at any point leaves
   /// either the old file or the new file loadable (never a torn `path`).
-  Status SaveToFile(const std::string& path) const;
+  /// Writes the binary snapshot by default; pass kText for interchange.
+  Status SaveToFile(const std::string& path,
+                    KbFileFormat format = KbFileFormat::kBinary) const;
 
-  /// Load with recovery: verifies the checksum; on a torn/corrupt file it
-  /// salvages the intact prefix with a warning, and falls back to
+  /// Load with recovery: verifies checksums (per section for binary
+  /// snapshots, the trailing crc line for text); on a torn/corrupt file it
+  /// salvages the intact records with a warning, and falls back to
   /// `path`.bak when the main file is missing or beyond salvage. Each
   /// recovery increments the `smartml_kb_recoveries_total` counter.
   static StatusOr<KnowledgeBase> LoadFromFile(const std::string& path);
@@ -171,19 +252,37 @@ class KnowledgeBase {
       const NominationOptions& options) const;
   std::string SerializeLocked() const;
 
-  /// Refits the normalizer and recomputes the cached normalized matrix.
-  /// Called with mutex_ held exclusively after every mutation.
-  void RebuildIndex();
+  /// Whether queries should use the tree under the current strategy/size.
+  bool WantTreeLocked() const;
 
-  /// Guards records_, normalizer_ and normalized_: shared for lookups,
-  /// exclusive for AddRecord (the REST layer serves /v1/select from many
-  /// worker threads while completed runs commit their results).
+  /// Brings normalizer_, normalized_ and the k-d tree in sync with
+  /// records_. Called with mutex_ held exclusively after every mutation.
+  /// `appended_one` marks the cheap case (exactly one record pushed at the
+  /// back): if the tail since the last full rebuild is still within its
+  /// bound, the new record is normalized with the frozen normalizer and
+  /// joins the linear tail instead of triggering an O(N log N) rebuild.
+  void RebuildIndexLocked(bool appended_one);
+
+  /// Replaces all records in one step (fast cold-start path for snapshot
+  /// loads: hash-merge duplicates, single index rebuild).
+  void BulkLoad(std::vector<KbRecord>&& records);
+
+  /// Guards records_, normalizer_, normalized_ and the tree: shared for
+  /// lookups, exclusive for AddRecord (the REST layer serves /v1/select
+  /// from many worker threads while completed runs commit their results).
   mutable std::shared_mutex mutex_;
   std::vector<KbRecord> records_;
   MetaFeatureNormalizer normalizer_;
   /// Cached z-normalized meta-features, index-aligned with records_ —
-  /// rebuilt by RebuildIndex() so lookups never re-normalize per record.
+  /// rebuilt by RebuildIndexLocked() so lookups never re-normalize per
+  /// record. Entries [0, tree_records_) are frozen between full rebuilds
+  /// (the tree's split planes reference them); the rest is the tail.
   std::vector<MetaFeatureVector> normalized_;
+  KbLookupStrategy strategy_ = KbLookupStrategy::kAuto;
+  KdTree tree_;
+  /// How many leading records the built tree covers; records_ beyond this
+  /// are the linear-scanned tail.
+  size_t tree_records_ = 0;
 };
 
 }  // namespace smartml

@@ -322,6 +322,21 @@ TEST_F(FaultTolerance, SaveLoadRoundTripWithChecksum) {
   const std::string path = TempPath("kb_roundtrip");
   KnowledgeBase kb = MakeKb(3);
   ASSERT_TRUE(kb.SaveToFile(path).ok());
+  // The default on-disk format is the versioned binary snapshot (magic +
+  // per-section crc32); the checksum is what LoadFromFile verifies below.
+  const std::string bytes = ReadAll(path);
+  EXPECT_EQ(bytes.rfind("SMKBSNAP", 0), 0u);
+
+  auto loaded = KnowledgeBase::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumRecords(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTolerance, TextSaveStillRoundTripsWithCrcLine) {
+  const std::string path = TempPath("kb_roundtrip_text");
+  KnowledgeBase kb = MakeKb(3);
+  ASSERT_TRUE(kb.SaveToFile(path, KbFileFormat::kText).ok());
   const std::string text = ReadAll(path);
   EXPECT_NE(text.find("\ncrc32 "), std::string::npos);
 
