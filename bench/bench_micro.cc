@@ -10,10 +10,12 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/core/smartml.h"
 #include "src/data/synthetic.h"
 #include "src/kb/knowledge_base.h"
 #include "src/metafeatures/metafeatures.h"
+#include "src/ml/decision_tree.h"
 #include "src/ml/registry.h"
 #include "src/preprocess/preprocess.h"
 #include "src/tuning/objective.h"
@@ -188,6 +190,103 @@ void BM_KbLookupLinearScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_KbLookupLinearScan)->Arg(1000)->Arg(10000);
+
+// Shared training table for the tree-growth benchmarks, built once per row
+// count (50k rows x 50 features is too expensive to regenerate while
+// google-benchmark calibrates). The binned view is prepared here, outside
+// the timed region, exactly as the forest/boosting call sites do: the view
+// is built once per dataset and shared by every tree.
+struct TreeBenchData {
+  Matrix x{0, 0};
+  TreeSchema schema;
+  std::vector<int> y;
+  std::shared_ptr<const BinnedColumns> binned;
+};
+
+const TreeBenchData& TreeBench(int64_t rows) {
+  static std::map<int64_t, TreeBenchData>* cache =
+      new std::map<int64_t, TreeBenchData>();
+  auto it = cache->find(rows);
+  if (it != cache->end()) return it->second;
+  const Dataset d = BenchDataset(static_cast<size_t>(rows), 50);
+  TreeBenchData& data = (*cache)[rows];
+  data.x = d.ToRawMatrix();
+  data.schema = TreeSchema::FromDataset(d);
+  data.y = d.labels();
+  data.binned = d.Binned();
+  return data;
+}
+
+TreeOptions TreeBenchOptions() {
+  // Production-ensemble-like settings (cf. the quantile-binning oracle
+  // test): deep enough to stress per-node work, with realistic leaf gates.
+  TreeOptions options;
+  options.criterion = TreeCriterion::kGini;
+  options.max_depth = 14;
+  options.min_split = 40;
+  options.min_leaf = 20;
+  return options;
+}
+
+// Exact split search: re-sorts (value, row) pairs per feature per node.
+// The correctness oracle and the A/B baseline for histogram growth.
+void BM_TreeGrowExact(benchmark::State& state) {
+  const TreeBenchData& data = TreeBench(state.range(0));
+  TreeOptions options = TreeBenchOptions();
+  options.split_mode = TreeSplitMode::kExact;
+  for (auto _ : state) {
+    DecisionTree tree;
+    benchmark::DoNotOptimize(
+        tree.Fit(data.x, data.schema, data.y, 3, {}, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeGrowExact)
+    ->Arg(5000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+// Histogram growth over the shared binned view (per-bin class histograms,
+// parent-minus-sibling reuse). The ratio over BM_TreeGrowExact at 50k rows
+// is the tentpole acceptance signal, gated by scripts/bench_gate.py (>= 3x).
+void BM_TreeGrowHistogram(benchmark::State& state) {
+  const TreeBenchData& data = TreeBench(state.range(0));
+  TreeOptions options = TreeBenchOptions();
+  options.split_mode = TreeSplitMode::kHistogram;
+  for (auto _ : state) {
+    DecisionTree tree;
+    benchmark::DoNotOptimize(
+        tree.Fit(data.x, data.schema, data.y, 3, {}, options, data.binned));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeGrowHistogram)
+    ->Arg(5000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+// The unrolled squared-distance kernel scanned over a KB-sized block of
+// 25-dim meta-feature vectors — the inner loop of every neighbour lookup.
+void BM_MetaFeatureDistanceScan(benchmark::State& state) {
+  Rng rng(29);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> block(n * kNumMetaFeatures);
+  for (double& v : block) v = rng.Uniform(-2.0, 2.0);
+  std::vector<double> query(kNumMetaFeatures);
+  for (double& v : query) v = rng.Uniform(-2.0, 2.0);
+  for (auto _ : state) {
+    double best = 1e300;
+    for (size_t i = 0; i < n; ++i) {
+      const double d2 = SquaredDistance(query.data(),
+                                        block.data() + i * kNumMetaFeatures,
+                                        kNumMetaFeatures);
+      if (d2 < best) best = d2;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetaFeatureDistanceScan)->Arg(10000);
 
 void BM_KbSerialize(benchmark::State& state) {
   KnowledgeBase kb;

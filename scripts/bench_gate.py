@@ -33,6 +33,11 @@ import sys
 MAX_SLOWDOWN = 4.0
 # The tentpole acceptance floor: k-d tree vs linear scan at 100k records.
 MIN_KD_SPEEDUP = 5.0
+# Histogram tree growth vs exact split search at 50k rows x 50 features.
+# Like the k-d tree gate this is a within-run ratio, so machine speed
+# cancels out. At 5k rows the histogram path only has to break even (the
+# per-node bin sweep has fixed costs that small data does not amortize).
+MIN_HIST_SPEEDUP = 3.0
 
 # Benchmarks under the absolute slowdown gate.
 GATED = [
@@ -42,6 +47,9 @@ GATED = [
     "BM_KbLookupKdTree/1000",
     "BM_KbLookupKdTree/10000",
     "BM_KbLookupKdTree/100000",
+    "BM_TreeGrowHistogram/5000",
+    "BM_TreeGrowHistogram/50000",
+    "BM_MetaFeatureDistanceScan/10000",
 ]
 
 
@@ -108,6 +116,29 @@ def main(argv):
             failures.append(
                 "k-d tree speedup at %d records is %.2fx (floor %.1fx)"
                 % (size, speedup, floor))
+
+    # Histogram tree-growth ratio gates (same within-run structure as the
+    # k-d tree gates above).
+    for size, floor in ((5000, 1.0), (50000, MIN_HIST_SPEEDUP)):
+        exact = current.get("BM_TreeGrowExact/%d" % size)
+        hist = current.get("BM_TreeGrowHistogram/%d" % size)
+        if exact is None or hist is None:
+            failures.append(
+                "missing tree-growth benchmarks at %d rows in %s"
+                % (size, current_path))
+            continue
+        speedup = exact / hist if hist > 0 else float("inf")
+        ok = speedup >= floor
+        rows.append({
+            "check": "hist_speedup/%d" % size,
+            "speedup": round(speedup, 2),
+            "floor": floor,
+            "ok": ok,
+        })
+        if not ok:
+            failures.append(
+                "histogram tree-growth speedup at %d rows is %.2fx "
+                "(floor %.1fx)" % (size, speedup, floor))
 
     # Absolute gates against the committed baseline.
     for name in GATED:

@@ -41,8 +41,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 case "$SANITIZE" in
   *thread*)
     # Surface the concurrency suites explicitly under the sanitizer.
-    # kb_index_test includes the lookups-race-appends k-d tree oracle case.
+    # kb_index_test includes the lookups-race-appends k-d tree oracle case;
+    # tree_histogram_test races the lazy Dataset::Binned() cache against
+    # parallel forest workers sharing one binned view.
     "$BUILD_DIR"/tests/kb_concurrency_test
+    "$BUILD_DIR"/tests/tree_histogram_test
     "$BUILD_DIR"/tests/kb_index_test
     "$BUILD_DIR"/tests/rest_concurrency_test
     "$BUILD_DIR"/tests/events_test

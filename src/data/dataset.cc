@@ -1,6 +1,7 @@
 #include "src/data/dataset.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "src/common/strings.h"
@@ -25,6 +26,7 @@ void Dataset::AddNumericFeature(std::string name, std::vector<double> values) {
   col.type = FeatureType::kNumeric;
   col.values = std::move(values);
   features_.push_back(std::move(col));
+  InvalidateBinned();
 }
 
 void Dataset::AddCategoricalFeature(std::string name, std::vector<double> codes,
@@ -35,6 +37,7 @@ void Dataset::AddCategoricalFeature(std::string name, std::vector<double> codes,
   col.values = std::move(codes);
   col.categories = std::move(categories);
   features_.push_back(std::move(col));
+  InvalidateBinned();
 }
 
 void Dataset::SetLabels(std::vector<int> labels,
@@ -58,9 +61,15 @@ void Dataset::SetLabelsFromStrings(const std::vector<std::string>& raw) {
   }
 }
 
-void Dataset::RemoveFeature(size_t index) {
-  assert(index < features_.size());
+Status Dataset::RemoveFeature(size_t index) {
+  if (index >= features_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("RemoveFeature index %zu out of range (have %zu features)",
+                  index, features_.size()));
+  }
   features_.erase(features_.begin() + static_cast<ptrdiff_t>(index));
+  InvalidateBinned();
+  return Status::OK();
 }
 
 Status Dataset::Validate() const {
@@ -157,7 +166,16 @@ Matrix Dataset::ToNumericMatrix() const {
         const double v = f.values[r];
         if (!IsMissing(v)) {
           const auto code = static_cast<size_t>(v);
-          if (code < k) x(r, col + code) = 1.0;
+          if (code >= f.num_categories() || static_cast<double>(code) != v) {
+            // A code outside the dictionary means the schema is corrupt
+            // (Validate() rejects it); encoding it as an all-zero "missing"
+            // indicator would silently train on garbage.
+            throw std::runtime_error(StrFormat(
+                "ToNumericMatrix: column '%s' row %zu has category code %g "
+                "outside its %zu-entry dictionary",
+                f.name.c_str(), r, v, f.num_categories()));
+          }
+          x(r, col + code) = 1.0;
         }
       }
       col += k;
@@ -190,6 +208,26 @@ Matrix Dataset::ToRawMatrix() const {
     for (size_t r = 0; r < n; ++r) x(r, c) = vals[r];
   }
   return x;
+}
+
+std::shared_ptr<const BinnedColumns> Dataset::Binned() const {
+  std::lock_guard<std::mutex> lock(*binned_mutex_);
+  if (!binned_cache_) {
+    // Row count comes from the columns themselves so the view is usable on
+    // feature-only tables too (labels play no part in binning).
+    const size_t n = features_.empty() ? 0 : features_[0].values.size();
+    BinnedColumns::Builder builder(n);
+    for (const auto& f : features_) {
+      if (f.is_categorical()) {
+        builder.AddCategoricalColumn(f.values.data(), 1, f.num_categories());
+      } else {
+        builder.AddNumericColumn(f.values.data(), 1);
+      }
+    }
+    binned_cache_ = std::make_shared<const BinnedColumns>(
+        std::move(builder).Build());
+  }
+  return binned_cache_;
 }
 
 }  // namespace smartml

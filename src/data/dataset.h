@@ -9,10 +9,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/data/binned_columns.h"
 #include "src/linalg/matrix.h"
 
 namespace smartml {
@@ -49,7 +52,10 @@ class Dataset {
 
   const std::vector<FeatureColumn>& features() const { return features_; }
   const FeatureColumn& feature(size_t i) const { return features_[i]; }
-  FeatureColumn& mutable_feature(size_t i) { return features_[i]; }
+  FeatureColumn& mutable_feature(size_t i) {
+    InvalidateBinned();  // Caller may rewrite values through the reference.
+    return features_[i];
+  }
 
   const std::vector<int>& labels() const { return labels_; }
   int label(size_t row) const { return labels_[row]; }
@@ -70,8 +76,9 @@ class Dataset {
   /// first-appearance order.
   void SetLabelsFromStrings(const std::vector<std::string>& raw);
 
-  /// Drops the feature at `index`.
-  void RemoveFeature(size_t index);
+  /// Drops the feature at `index`. Rejects out-of-range indices (same error
+  /// style as Validate()) instead of erasing past the end.
+  Status RemoveFeature(size_t index);
 
   /// Structural consistency check (equal column lengths, label codes within
   /// range, category codes within dictionaries).
@@ -104,11 +111,29 @@ class Dataset {
   /// on categories natively.
   Matrix ToRawMatrix() const;
 
+  /// Columnar binned view for histogram tree growth: per-feature quantile
+  /// bin edges plus per-row bin codes, built lazily on first call and cached
+  /// until the next mutation. The returned view is immutable and shared, so
+  /// parallel forest workers and repeated boosting rounds all read the same
+  /// buffers; callers may also outlive this Dataset. Thread-safe against
+  /// concurrent Binned() calls (mutations still require external exclusion,
+  /// as with any other accessor).
+  std::shared_ptr<const BinnedColumns> Binned() const;
+
  private:
+  void InvalidateBinned() {
+    std::lock_guard<std::mutex> lock(*binned_mutex_);
+    binned_cache_.reset();
+  }
+
   std::string name_;
   std::vector<FeatureColumn> features_;
   std::vector<int> labels_;
   std::vector<std::string> class_names_;
+  // Shared (not owned per-copy) so copies stay copyable; each copy carries
+  // its own cache pointer snapshot, invalidated on its own mutations.
+  std::shared_ptr<std::mutex> binned_mutex_ = std::make_shared<std::mutex>();
+  mutable std::shared_ptr<const BinnedColumns> binned_cache_;
 };
 
 /// True when `v` encodes a missing cell.

@@ -384,7 +384,9 @@ std::vector<std::pair<size_t, double>> KnowledgeBase::NearestIndicesLocked(
     return out;
   }
   // One normalization for the query; every record distance reads the cached
-  // normalized matrix built by RebuildIndexLocked().
+  // normalized matrix built by RebuildIndexLocked(). The distance itself is
+  // the unrolled SquaredDistance kernel (src/common/simd.h), shared by the
+  // scan, the k-d tree, and Compact's dedup so all paths agree bit-for-bit.
   const MetaFeatureVector query = normalizer_.Apply(mf);
   // The landmark term is not part of the indexed space, so combined-distance
   // queries always take the scan.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/common/strings.h"
 #include "src/data/metrics.h"
 #include "src/data/split.h"
@@ -133,12 +134,7 @@ StatusOr<LandmarkVector> LandmarksFromString(const std::string& text) {
 }
 
 double LandmarkDistance(const LandmarkVector& a, const LandmarkVector& b) {
-  double acc = 0.0;
-  for (size_t i = 0; i < kNumLandmarkers; ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(SquaredDistance(a.data(), b.data(), kNumLandmarkers));
 }
 
 }  // namespace smartml

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/common/simd.h"
 #include "src/common/strings.h"
 
 namespace smartml {
@@ -193,12 +194,9 @@ StatusOr<MetaFeatureVector> MetaFeaturesFromString(const std::string& text) {
 
 double MetaFeatureDistance(const MetaFeatureVector& a,
                            const MetaFeatureVector& b) {
-  double acc = 0.0;
-  for (size_t i = 0; i < kNumMetaFeatures; ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  // Unrolled kernel: every caller (linear KB scan, k-d tree, dedup) shares
+  // this one summation order, so tree-vs-scan stays byte-identical.
+  return std::sqrt(SquaredDistance(a.data(), b.data(), kNumMetaFeatures));
 }
 
 void MetaFeatureNormalizer::Fit(const std::vector<MetaFeatureVector>& vectors) {

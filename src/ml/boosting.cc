@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "src/common/cancellation.h"
 #include "src/common/rng.h"
@@ -48,6 +49,14 @@ Status RunSamme(const Matrix& x, const TreeSchema& schema,
   const double k = std::max(2, num_classes);
   const double log_km1 = std::log(k - 1.0);
 
+  // Bin once, reuse across every round: only the sample weights change
+  // between rounds, never the feature values.
+  std::shared_ptr<const BinnedColumns> binned;
+  if (tree_options.split_mode == TreeSplitMode::kHistogram) {
+    binned = std::make_shared<const BinnedColumns>(BinnedColumns::FromMatrix(
+        x, schema.categorical, schema.cardinalities));
+  }
+
   for (int round = 0; round < rounds; ++round) {
     if (CancellationRequested()) {
       return Status::Cancelled("boosting: fit cancelled");
@@ -56,7 +65,7 @@ Status RunSamme(const Matrix& x, const TreeSchema& schema,
     options.seed = rng.NextU64();
     DecisionTree tree;
     SMARTML_RETURN_NOT_OK(
-        tree.Fit(x, schema, y, num_classes, weights, options));
+        tree.Fit(x, schema, y, num_classes, weights, options, binned));
     // Weighted training error of this round. Row predictions are
     // independent and run in parallel; the error accumulation stays
     // sequential so floating-point sums are identical at any thread count.
@@ -203,6 +212,7 @@ Status C50Classifier::Fit(const Dataset& train, const ParamConfig& config) {
   // Rules mode in C5.0 generalizes the tree into simpler overlapping rules;
   // we approximate its effect with shallower, more regular trees.
   options.max_depth = rules ? 8 : 30;
+  options.split_mode = TreeSplitMode::kHistogram;
 
   active_features_.assign(num_features_, true);
   if (winnow && num_features_ > 2) {
@@ -283,6 +293,7 @@ Status DeepBoostClassifier::Fit(const Dataset& train,
   options.max_depth = depth;
   options.min_leaf = 1;
   options.min_split = 2;
+  options.split_mode = TreeSplitMode::kHistogram;
 
   BoostResult result;
   SMARTML_RETURN_NOT_OK(RunSamme(train.ToRawMatrix(),

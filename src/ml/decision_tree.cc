@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 #include "src/common/distributions.h"
+#include "src/common/simd.h"
 #include "src/common/strings.h"
 
 namespace smartml {
@@ -46,6 +48,7 @@ struct SplitCandidate {
   bool multiway = false;
   double threshold = 0.0;
   int category = -1;
+  int bin = -1;  // Histogram mode: numeric rows go left iff code <= bin.
   double score = -std::numeric_limits<double>::infinity();
   double gain = 0.0;  // Weighted impurity decrease (always entropy/gini gain).
 };
@@ -87,10 +90,67 @@ std::string TreeCondition::ToString(const Dataset& schema_source) const {
   return "?";
 }
 
+// Per-tree layout of the flat histogram buffers: feature f's class-weight
+// sums occupy wsum[off_w[f] .. off_w[f] + (num_bins + 1) * K) and its row
+// counts cnt[off_n[f] .. off_n[f] + num_bins + 1), where slot num_bins is
+// the missing bin. One layout serves every node of a tree, so subtraction
+// and accumulation are plain flat-array loops.
+struct DecisionTree::HistLayout {
+  std::vector<size_t> off_w;
+  std::vector<size_t> off_n;
+  size_t total_w = 0;
+  size_t total_n = 0;
+
+  static HistLayout For(const BinnedColumns& binned, size_t num_classes) {
+    HistLayout layout;
+    layout.off_w.reserve(binned.num_features());
+    layout.off_n.reserve(binned.num_features());
+    for (size_t f = 0; f < binned.num_features(); ++f) {
+      const size_t slots = binned.column(f).num_bins + size_t{1};
+      layout.off_w.push_back(layout.total_w);
+      layout.off_n.push_back(layout.total_n);
+      layout.total_w += slots * num_classes;
+      layout.total_n += slots;
+    }
+    return layout;
+  }
+};
+
+// One node's bin histograms over all features. `valid` marks a hist handed
+// down by the parent (via the parent-minus-sibling trick) as ready to use.
+struct DecisionTree::NodeHist {
+  std::vector<double> wsum;
+  std::vector<uint32_t> cnt;
+  bool valid = false;
+
+  void AccumulateAll(const BinnedColumns& binned, const HistLayout& layout,
+                     const std::vector<size_t>& rows, const std::vector<int>& y,
+                     const std::vector<double>& w, size_t num_classes) {
+    wsum.assign(layout.total_w, 0.0);
+    cnt.assign(layout.total_n, 0);
+    for (size_t f = 0; f < binned.num_features(); ++f) {
+      const BinnedColumn& col = binned.column(f);
+      AccumulateBinHistogram(col.codes.data(), rows.data(), rows.size(),
+                             y.data(), w.data(), num_classes, col.num_bins,
+                             wsum.data() + layout.off_w[f],
+                             cnt.data() + layout.off_n[f]);
+    }
+    valid = true;
+  }
+
+  /// this -= other, elementwise. Turns a parent histogram into the larger
+  /// sibling's histogram once the smaller sibling has been accumulated.
+  void SubtractInPlace(const NodeHist& other) {
+    for (size_t i = 0; i < wsum.size(); ++i) wsum[i] -= other.wsum[i];
+    for (size_t i = 0; i < cnt.size(); ++i) cnt[i] -= other.cnt[i];
+  }
+};
+
 Status DecisionTree::Fit(const Matrix& x, const TreeSchema& schema,
                          const std::vector<int>& y, int num_classes,
                          const std::vector<double>& weights,
-                         const TreeOptions& options) {
+                         const TreeOptions& options,
+                         std::shared_ptr<const BinnedColumns> binned) {
   if (x.rows() == 0 || x.rows() != y.size()) {
     return Status::InvalidArgument("DecisionTree: bad training shape");
   }
@@ -122,7 +182,28 @@ Status DecisionTree::Fit(const Matrix& x, const TreeSchema& schema,
     return Status::InvalidArgument("DecisionTree: all weights are zero");
   }
   Rng rng(options.seed);
-  BuildNode(x, y, w, rows, 0, &rng);
+
+  bool histogram = options.split_mode == TreeSplitMode::kHistogram;
+  if (histogram) {
+    if (!binned) {
+      binned = std::make_shared<const BinnedColumns>(BinnedColumns::FromMatrix(
+          x, schema.categorical, schema.cardinalities));
+    } else if (binned->num_rows() != x.rows() ||
+               binned->num_features() != x.cols()) {
+      return Status::InvalidArgument(
+          "DecisionTree: binned view does not match the training matrix");
+    }
+    // Categorical columns wider than the bin range would alias the missing
+    // bin; exact mode handles them correctly, so fall back.
+    if (!binned->histogram_safe()) histogram = false;
+  }
+
+  if (histogram) {
+    const HistLayout layout = HistLayout::For(*binned, size_t(num_classes_));
+    BuildNodeHist(*binned, layout, y, w, rows, 0, &rng, nullptr);
+  } else {
+    BuildNode(x, y, w, rows, 0, &rng);
+  }
   if (options_.confidence_factor > 0) Prune(0);
   return Status::OK();
 }
@@ -215,7 +296,12 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
         const size_t r = present[i].second;
         left_counts[static_cast<size_t>(y[r])] += w[r];
         left_weight += w[r];
-        if (present[i].first >= present[i + 1].first - 1e-300) continue;
+        // Only boundaries between distinct values are candidates. Exact
+        // equality is the right test: any two representable doubles that
+        // differ admit a threshold strictly between or equal to the lower
+        // one (see SplitMidpoint), so there is no "too close" case to
+        // guard against.
+        if (present[i].first == present[i + 1].first) continue;
         const size_t left_n = i + 1;
         const size_t right_n = present.size() - left_n;
         if (left_n < options_.min_leaf || right_n < options_.min_leaf) {
@@ -249,7 +335,8 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
           best.feature = static_cast<int>(f);
           best.categorical = false;
           best.multiway = false;
-          best.threshold = 0.5 * (present[i].first + present[i + 1].first);
+          best.threshold =
+              SplitMidpoint(present[i].first, present[i + 1].first);
           best.score = score;
           best.gain = gain * parent_weight;
         }
@@ -442,6 +529,375 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<int>& y,
       leaf_node.majority = nodes_[static_cast<size_t>(index)].majority;
     } else {
       child = BuildNode(x, y, w, parts[c], depth + 1, rng);
+    }
+    children.push_back(child);
+    const double cw = nodes_[static_cast<size_t>(child)].weight;
+    if (cw > heaviest_weight) {
+      heaviest_weight = cw;
+      majority_child = static_cast<int>(c);
+    }
+  }
+  Node& node = nodes_[static_cast<size_t>(index)];
+  node.children = std::move(children);
+  node.majority_child = majority_child;
+  return index;
+}
+
+// Histogram-mode growth. Mirrors BuildNode's structure (stopping rules,
+// gates, missing-value routing) but searches bin boundaries of the shared
+// binned view instead of re-sorting rows: each candidate's class counts come
+// from a prefix scan over per-bin histograms, so a node costs
+// O(rows + bins * classes) per feature instead of O(rows log rows). With
+// lossless binning and integral weights the candidate set and row partition
+// are identical to exact mode; thresholds come from the global bin edges, so
+// held-out rows falling between two training values may route differently
+// (both routings are consistent with the training data).
+int DecisionTree::BuildNodeHist(const BinnedColumns& binned,
+                                const HistLayout& layout,
+                                const std::vector<int>& y,
+                                const std::vector<double>& w,
+                                const std::vector<size_t>& rows, int depth,
+                                Rng* rng, NodeHist* inherited) {
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.depth = depth;
+    node.class_counts.assign(static_cast<size_t>(num_classes_), 0.0);
+    for (size_t r : rows) {
+      node.class_counts[static_cast<size_t>(y[r])] += w[r];
+      node.weight += w[r];
+    }
+    node.majority = ArgMaxCount(node.class_counts);
+  }
+
+  auto is_pure = [&]() {
+    const Node& node = nodes_[static_cast<size_t>(index)];
+    return node.class_counts[static_cast<size_t>(node.majority)] >=
+           node.weight - 1e-12;
+  };
+
+  if (depth >= options_.max_depth || rows.size() < options_.min_split ||
+      is_pure()) {
+    return index;
+  }
+
+  const double parent_weight = nodes_[static_cast<size_t>(index)].weight;
+  const double parent_impurity =
+      Impurity(options_.criterion == TreeCriterion::kGainRatio
+                   ? TreeCriterion::kEntropy
+                   : options_.criterion,
+               nodes_[static_cast<size_t>(index)].class_counts, parent_weight);
+  if (parent_impurity <= 1e-12) return index;
+
+  const size_t d = binned.num_features();
+  const size_t num_k = static_cast<size_t>(num_classes_);
+  std::vector<size_t> features(d);
+  std::iota(features.begin(), features.end(), size_t{0});
+  if (options_.mtry > 0 && static_cast<size_t>(options_.mtry) < d) {
+    rng->Shuffle(&features);
+    features.resize(static_cast<size_t>(options_.mtry));
+  }
+
+  // Full-feature nodes keep one histogram spanning all features so a binary
+  // split can hand the larger child `parent - smaller sibling` instead of
+  // rescanning its rows; mtry nodes sample different features at every node,
+  // so they accumulate just the sampled columns into scratch and retain
+  // nothing.
+  const bool full_features = features.size() == d;
+  NodeHist own;
+  if (full_features) {
+    if (inherited && inherited->valid) {
+      own = std::move(*inherited);
+      inherited->valid = false;
+    } else {
+      own.AccumulateAll(binned, layout, rows, y, w, num_k);
+    }
+  }
+  std::vector<double> scratch_w;
+  std::vector<uint32_t> scratch_n;
+
+  SplitCandidate best;
+  std::vector<double> left_counts(num_k);
+  std::vector<double> right_counts(num_k);
+  std::vector<double> total_counts(num_k);
+
+  const TreeCriterion impurity_criterion =
+      options_.criterion == TreeCriterion::kGainRatio ? TreeCriterion::kEntropy
+                                                      : options_.criterion;
+
+  for (size_t f : features) {
+    const BinnedColumn& col = binned.column(f);
+    const size_t nb = col.num_bins;
+    if (nb == 0) continue;
+    const double* wsum;
+    const uint32_t* cnt;
+    if (full_features) {
+      wsum = own.wsum.data() + layout.off_w[f];
+      cnt = own.cnt.data() + layout.off_n[f];
+    } else {
+      scratch_w.assign((nb + 1) * num_k, 0.0);
+      scratch_n.assign(nb + 1, 0);
+      AccumulateBinHistogram(col.codes.data(), rows.data(), rows.size(),
+                             y.data(), w.data(), num_k, nb, scratch_w.data(),
+                             scratch_n.data());
+      wsum = scratch_w.data();
+      cnt = scratch_n.data();
+    }
+
+    // Present/missing totals straight from the bin slots (slot nb holds the
+    // missing rows).
+    size_t present_n = 0;
+    std::fill(total_counts.begin(), total_counts.end(), 0.0);
+    for (size_t b = 0; b < nb; ++b) {
+      present_n += cnt[b];
+      for (size_t k = 0; k < num_k; ++k) {
+        total_counts[k] += wsum[b * num_k + k];
+      }
+    }
+    if (present_n < 2 * options_.min_leaf) continue;
+    double present_weight = 0.0;
+    for (size_t k = 0; k < num_k; ++k) present_weight += total_counts[k];
+    if (present_weight <= 0) continue;
+    double missing_weight = 0.0;
+    for (size_t k = 0; k < num_k; ++k) missing_weight += wsum[nb * num_k + k];
+    const double known_fraction =
+        present_weight / (present_weight + missing_weight);
+    const double total_impurity =
+        Impurity(impurity_criterion, total_counts, present_weight);
+
+    if (!col.categorical) {
+      std::fill(left_counts.begin(), left_counts.end(), 0.0);
+      double left_weight = 0.0;
+      size_t left_n = 0;
+      for (size_t b = 0; b + 1 < nb; ++b) {
+        for (size_t k = 0; k < num_k; ++k) {
+          const double c = wsum[b * num_k + k];
+          left_counts[k] += c;
+          left_weight += c;
+        }
+        left_n += cnt[b];
+        // An empty bin leaves the partition identical to the previous
+        // boundary's, so only the first boundary of each run is a candidate.
+        if (cnt[b] == 0) continue;
+        const size_t right_n = present_n - left_n;
+        if (left_n < options_.min_leaf || right_n < options_.min_leaf) {
+          continue;
+        }
+        const double right_weight = present_weight - left_weight;
+        for (size_t k = 0; k < num_k; ++k) {
+          right_counts[k] = total_counts[k] - left_counts[k];
+        }
+        const double child_impurity =
+            (left_weight *
+                 Impurity(impurity_criterion, left_counts, left_weight) +
+             right_weight *
+                 Impurity(impurity_criterion, right_counts, right_weight)) /
+            present_weight;
+        double gain = (total_impurity - child_impurity) * known_fraction;
+        if (gain <= 0) continue;
+        double score = gain;
+        if (options_.criterion == TreeCriterion::kGainRatio) {
+          const double pl = left_weight / present_weight;
+          const double pr = right_weight / present_weight;
+          const double split_info = -(pl * std::log2(pl) + pr * std::log2(pr));
+          if (split_info < 1e-9) continue;
+          score = gain / split_info;
+        }
+        if (score > best.score) {
+          best.valid = true;
+          best.feature = static_cast<int>(f);
+          best.categorical = false;
+          best.multiway = false;
+          best.threshold = col.thresholds[b];
+          best.bin = static_cast<int>(b);
+          best.score = score;
+          best.gain = gain * parent_weight;
+        }
+      }
+    } else if (options_.multiway_categorical && nb >= 2) {
+      // One child per category (bin code == category code).
+      size_t populated = 0;
+      double child_impurity = 0.0;
+      double split_info = 0.0;
+      bool leaf_ok = true;
+      for (size_t c = 0; c < nb; ++c) {
+        if (cnt[c] == 0) continue;
+        ++populated;
+        if (cnt[c] < options_.min_leaf) leaf_ok = false;
+        double cw = 0.0;
+        for (size_t k = 0; k < num_k; ++k) {
+          left_counts[k] = wsum[c * num_k + k];
+          cw += left_counts[k];
+        }
+        child_impurity +=
+            cw * Impurity(impurity_criterion, left_counts, cw);
+        const double p = cw / present_weight;
+        if (p > 0) split_info -= p * std::log2(p);
+      }
+      child_impurity /= present_weight;
+      if (populated >= 2 && leaf_ok) {
+        double gain = (total_impurity - child_impurity) * known_fraction;
+        if (gain > 0) {
+          double score = gain;
+          if (options_.criterion == TreeCriterion::kGainRatio) {
+            if (split_info >= 1e-9) {
+              score = gain / split_info;
+            } else {
+              score = -std::numeric_limits<double>::infinity();
+            }
+          }
+          if (score > best.score) {
+            best.valid = true;
+            best.feature = static_cast<int>(f);
+            best.categorical = true;
+            best.multiway = true;
+            best.score = score;
+            best.gain = gain * parent_weight;
+          }
+        }
+      }
+    } else {
+      // Binary one-vs-rest categorical splits.
+      for (size_t c = 0; c < nb; ++c) {
+        const size_t left_n = cnt[c];
+        const size_t right_n = present_n - left_n;
+        if (left_n < options_.min_leaf || right_n < options_.min_leaf) {
+          continue;
+        }
+        double left_weight = 0.0;
+        for (size_t k = 0; k < num_k; ++k) {
+          left_counts[k] = wsum[c * num_k + k];
+          left_weight += left_counts[k];
+          right_counts[k] = total_counts[k] - left_counts[k];
+        }
+        const double right_weight = present_weight - left_weight;
+        const double child_impurity =
+            (left_weight *
+                 Impurity(impurity_criterion, left_counts, left_weight) +
+             right_weight *
+                 Impurity(impurity_criterion, right_counts, right_weight)) /
+            present_weight;
+        double gain = (total_impurity - child_impurity) * known_fraction;
+        if (gain <= 0) continue;
+        double score = gain;
+        if (options_.criterion == TreeCriterion::kGainRatio) {
+          const double pl = left_weight / present_weight;
+          const double pr = right_weight / present_weight;
+          const double split_info = -(pl * std::log2(pl) + pr * std::log2(pr));
+          if (split_info < 1e-9) continue;
+          score = gain / split_info;
+        }
+        if (score > best.score) {
+          best.valid = true;
+          best.feature = static_cast<int>(f);
+          best.categorical = true;
+          best.multiway = false;
+          best.category = static_cast<int>(c);
+          best.score = score;
+          best.gain = gain * parent_weight;
+        }
+      }
+    }
+  }
+
+  if (!best.valid) return index;
+  if (best.gain <
+      options_.min_impurity_decrease * parent_weight * parent_impurity +
+          1e-15) {
+    return index;
+  }
+
+  // Partition rows by bin code (codes and raw values induce the same
+  // partition: every value in bins <= b is <= thresholds[b] by
+  // construction). Codes at or past num_bins are the missing bin.
+  const auto f = static_cast<size_t>(best.feature);
+  const BinnedColumn& split_col = binned.column(f);
+  const uint8_t* codes = split_col.codes.data();
+  std::vector<std::vector<size_t>> parts;
+  if (best.multiway) {
+    const size_t k_cats = std::max<size_t>(schema_.cardinalities[f], 1);
+    parts.assign(k_cats, {});
+    std::vector<size_t> missing;
+    for (size_t r : rows) {
+      const size_t code = codes[r];
+      if (code >= split_col.num_bins) {
+        missing.push_back(r);
+      } else {
+        parts[code].push_back(r);
+      }
+    }
+    size_t heaviest = 0;
+    for (size_t c = 1; c < parts.size(); ++c) {
+      if (parts[c].size() > parts[heaviest].size()) heaviest = c;
+    }
+    for (size_t r : missing) parts[heaviest].push_back(r);
+  } else {
+    parts.assign(2, {});
+    std::vector<size_t> missing;
+    for (size_t r : rows) {
+      const size_t code = codes[r];
+      if (code >= split_col.num_bins) {
+        missing.push_back(r);
+        continue;
+      }
+      const bool left = best.categorical
+                            ? static_cast<int>(code) == best.category
+                            : static_cast<int>(code) <= best.bin;
+      parts[left ? 0 : 1].push_back(r);
+    }
+    const size_t heavier = parts[0].size() >= parts[1].size() ? 0 : 1;
+    for (size_t r : missing) parts[heavier].push_back(r);
+  }
+
+  size_t populated = 0;
+  for (const auto& p : parts) {
+    if (!p.empty()) ++populated;
+  }
+  if (populated < 2) return index;
+
+  {
+    Node& node = nodes_[static_cast<size_t>(index)];
+    node.leaf = false;
+    node.feature = best.feature;
+    node.categorical_split = best.categorical;
+    node.threshold = best.threshold;
+    node.category = best.category;
+    node.split_gain = best.gain;
+  }
+
+  // Parent-minus-sibling: scan only the smaller child, derive the larger
+  // one by subtracting in place. Multiway children (and mtry nodes, which
+  // have no full parent hist) recompute from their rows.
+  NodeHist child_hist[2];
+  bool have_child_hist = false;
+  if (full_features && !best.multiway) {
+    const size_t small = parts[0].size() <= parts[1].size() ? 0 : 1;
+    child_hist[small].AccumulateAll(binned, layout, parts[small], y, w, num_k);
+    own.SubtractInPlace(child_hist[small]);
+    child_hist[1 - small] = std::move(own);
+    child_hist[1 - small].valid = true;
+    have_child_hist = true;
+  }
+  own = NodeHist{};
+
+  std::vector<int> children;
+  children.reserve(parts.size());
+  int majority_child = 0;
+  double heaviest_weight = -1.0;
+  for (size_t c = 0; c < parts.size(); ++c) {
+    int child;
+    if (parts[c].empty()) {
+      child = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+      Node& leaf_node = nodes_.back();
+      leaf_node.depth = depth + 1;
+      leaf_node.class_counts = nodes_[static_cast<size_t>(index)].class_counts;
+      leaf_node.weight = 0.0;
+      leaf_node.majority = nodes_[static_cast<size_t>(index)].majority;
+    } else {
+      child = BuildNodeHist(binned, layout, y, w, parts[c], depth + 1, rng,
+                            have_child_hist ? &child_hist[c] : nullptr);
     }
     children.push_back(child);
     const double cw = nodes_[static_cast<size_t>(child)].weight;

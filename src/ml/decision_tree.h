@@ -9,11 +9,13 @@
 #define SMARTML_ML_DECISION_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/data/binned_columns.h"
 #include "src/data/dataset.h"
 #include "src/linalg/matrix.h"
 
@@ -21,6 +23,17 @@ namespace smartml {
 
 /// Split-quality criterion.
 enum class TreeCriterion { kGini, kEntropy, kGainRatio };
+
+/// How split candidates are searched.
+///
+/// kExact re-sorts (value, row) pairs per feature per node and walks every
+/// boundary between distinct values — the correctness oracle. kHistogram
+/// accumulates per-bin class histograms over a BinnedColumns view and walks
+/// bin boundaries instead; when the binning is lossless (every distinct
+/// value gets its own bin) and weights are integral, it partitions training
+/// rows identically to exact mode, and it falls back to exact mode when the
+/// view is not histogram-safe (categorical cardinality > 255).
+enum class TreeSplitMode { kExact, kHistogram };
 
 struct TreeOptions {
   TreeCriterion criterion = TreeCriterion::kGini;
@@ -37,6 +50,10 @@ struct TreeOptions {
   /// Multiway splits on categorical features (C4.5 style); false gives
   /// binary one-category-vs-rest splits (CART style).
   bool multiway_categorical = false;
+  /// Split search strategy. Defaults to exact so meta-feature landmarkers
+  /// and KB-facing learners keep bit-stable behavior; the production tree
+  /// ensembles opt into kHistogram.
+  TreeSplitMode split_mode = TreeSplitMode::kExact;
   uint64_t seed = 1;
 };
 
@@ -62,10 +79,14 @@ struct TreeCondition {
 class DecisionTree {
  public:
   /// Trains the tree. `weights` may be empty (all ones). `x` is the
-  /// ToRawMatrix() encoding of the training data.
+  /// ToRawMatrix() encoding of the training data. In histogram mode,
+  /// `binned` may supply a pre-built binned view of the SAME rows (e.g.
+  /// Dataset::Binned(), shared across a whole forest); when null, the view
+  /// is built from `x` on the fly. Exact mode ignores `binned`.
   Status Fit(const Matrix& x, const TreeSchema& schema,
              const std::vector<int>& y, int num_classes,
-             const std::vector<double>& weights, const TreeOptions& options);
+             const std::vector<double>& weights, const TreeOptions& options,
+             std::shared_ptr<const BinnedColumns> binned = nullptr);
 
   /// Class-probability estimate for one raw-encoded row (Laplace-smoothed
   /// leaf frequencies).
@@ -112,10 +133,19 @@ class DecisionTree {
     double split_gain = 0.0;     // Weighted impurity decrease of the split.
   };
 
+  // Histogram-growth scratch (defined in the .cc): per-node bin histograms
+  // laid out per HistLayout, reused via the parent-minus-sibling trick.
+  struct HistLayout;
+  struct NodeHist;
+
   static int ArgMaxCount(const std::vector<double>& counts);
   int BuildNode(const Matrix& x, const std::vector<int>& y,
                 const std::vector<double>& w,
                 const std::vector<size_t>& rows, int depth, Rng* rng);
+  int BuildNodeHist(const BinnedColumns& binned, const HistLayout& layout,
+                    const std::vector<int>& y, const std::vector<double>& w,
+                    const std::vector<size_t>& rows, int depth, Rng* rng,
+                    NodeHist* inherited);
   void Prune(int node_index);
   double SubtreeError(int node_index) const;
   double LeafErrorUpperBound(const Node& node) const;

@@ -103,6 +103,12 @@ Status RandomForestClassifier::Fit(const Dataset& train,
   options.min_split = std::max<size_t>(2, 2 * nodesize);
   options.max_depth = 40;
   options.mtry = mtry;
+  options.split_mode = TreeSplitMode::kHistogram;
+
+  // One binned view of the training table, built once and shared read-only
+  // by every tree worker (bootstraps are per-row weights, so all trees see
+  // the same rows).
+  const std::shared_ptr<const BinnedColumns> binned = train.Binned();
 
   const uint64_t base_seed =
       static_cast<uint64_t>(config.GetInt("seed", 11));
@@ -123,7 +129,7 @@ Status RandomForestClassifier::Fit(const Dataset& train,
         TreeOptions tree_options = options;
         tree_options.seed = rng.NextU64();
         return trees_[t].Fit(x, schema, train.labels(), num_classes_, weights,
-                             tree_options);
+                             tree_options, binned);
       },
       CurrentCancelToken()));
   return Status::OK();
@@ -186,6 +192,9 @@ Status BaggingClassifier::Fit(const Dataset& train, const ParamConfig& config) {
       std::clamp<int64_t>(config.GetInt("maxdepth", 30), 1, 60));
   options.min_impurity_decrease =
       std::clamp(config.GetDouble("cp", 0.01), 0.0, 1.0);
+  options.split_mode = TreeSplitMode::kHistogram;
+
+  const std::shared_ptr<const BinnedColumns> binned = train.Binned();
 
   const uint64_t base_seed =
       static_cast<uint64_t>(config.GetInt("seed", 13));
@@ -204,7 +213,7 @@ Status BaggingClassifier::Fit(const Dataset& train, const ParamConfig& config) {
         TreeOptions tree_options = options;
         tree_options.seed = rng.NextU64();
         return trees_[t].Fit(x, schema, train.labels(), num_classes_, weights,
-                             tree_options);
+                             tree_options, binned);
       },
       CurrentCancelToken()));
   return Status::OK();

@@ -50,11 +50,12 @@ Status J48Classifier::Fit(const Dataset& train, const ParamConfig& config) {
   options.confidence_factor =
       unpruned ? 0.0 : std::clamp(config.GetDouble("C", 0.25), 0.001, 0.5);
   options.seed = static_cast<uint64_t>(config.GetInt("seed", 3));
+  options.split_mode = TreeSplitMode::kHistogram;
 
   num_features_ = train.NumFeatures();
   return tree_.Fit(train.ToRawMatrix(), TreeSchema::FromDataset(train),
                    train.labels(), static_cast<int>(train.NumClasses()), {},
-                   options);
+                   options, train.Binned());
 }
 
 StatusOr<std::vector<std::vector<double>>> J48Classifier::PredictProba(
@@ -89,11 +90,12 @@ Status RpartClassifier::Fit(const Dataset& train, const ParamConfig& config) {
       static_cast<int>(std::clamp<int64_t>(config.GetInt("maxdepth", 30), 1,
                                            60));
   options.seed = static_cast<uint64_t>(config.GetInt("seed", 3));
+  options.split_mode = TreeSplitMode::kHistogram;
 
   num_features_ = train.NumFeatures();
   return tree_.Fit(train.ToRawMatrix(), TreeSchema::FromDataset(train),
                    train.labels(), static_cast<int>(train.NumClasses()), {},
-                   options);
+                   options, train.Binned());
 }
 
 StatusOr<std::vector<std::vector<double>>> RpartClassifier::PredictProba(
@@ -152,6 +154,7 @@ Status PartClassifier::Fit(const Dataset& train, const ParamConfig& config) {
   options.confidence_factor =
       pruned ? std::clamp(config.GetDouble("C", 0.25), 0.001, 0.5) : 0.0;
   options.seed = static_cast<uint64_t>(config.GetInt("seed", 3));
+  options.split_mode = TreeSplitMode::kHistogram;
 
   const TreeSchema schema = TreeSchema::FromDataset(train);
   std::vector<size_t> remaining(train.NumRows());
@@ -159,12 +162,17 @@ Status PartClassifier::Fit(const Dataset& train, const ParamConfig& config) {
 
   const size_t max_rules = 64;
   const Matrix full_x = train.ToRawMatrix();
+  // Rule extraction no longer copies the uncovered rows into a fresh
+  // Dataset each iteration: covered rows are masked out with zero weight
+  // (Fit drops them before growth), so every tree trains against the same
+  // matrix and the same shared binned view.
+  const std::shared_ptr<const BinnedColumns> binned = train.Binned();
   while (!remaining.empty() && rules_.size() < max_rules) {
-    const Dataset subset = train.Subset(remaining);
+    std::vector<double> weights(train.NumRows(), 0.0);
+    for (size_t r : remaining) weights[r] = 1.0;
     DecisionTree tree;
-    SMARTML_RETURN_NOT_OK(tree.Fit(subset.ToRawMatrix(), schema,
-                                   subset.labels(), num_classes_, {},
-                                   options));
+    SMARTML_RETURN_NOT_OK(tree.Fit(full_x, schema, train.labels(),
+                                   num_classes_, weights, options, binned));
     auto leaves = tree.ExtractLeafRules();
     if (leaves.empty()) break;
     // Highest-coverage leaf becomes the next rule.

@@ -11,6 +11,7 @@
 #include "src/common/distributions.h"
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/data/binned_columns.h"
 #include "src/obs/metrics.h"
 #include "src/obs/run_events.h"
 #include "src/persist/checkpoint.h"
@@ -72,7 +73,10 @@ int RegressionForest::BuildNode(Tree* tree, const Matrix& x,
       left_sq += yv * yv;
       right_sum -= yv;
       right_sq -= yv * yv;
-      if (vals[i].first >= vals[i + 1].first - 1e-300) continue;
+      // Only boundaries between distinct values are candidates (exact
+      // equality; SplitMidpoint below guarantees a threshold exists for any
+      // two distinct doubles).
+      if (vals[i].first == vals[i + 1].first) continue;
       const size_t nl = i + 1, nr = n - nl;
       if (nl < options_.min_leaf || nr < options_.min_leaf) continue;
       const double sse_l = left_sq - left_sum * left_sum /
@@ -83,7 +87,9 @@ int RegressionForest::BuildNode(Tree* tree, const Matrix& x,
       if (gain > best_gain) {
         best_gain = gain;
         best_feature = static_cast<int>(f);
-        best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+        // Clamped so the threshold never rounds up onto the right child's
+        // value (which would misroute those rows at predict time).
+        best_threshold = SplitMidpoint(vals[i].first, vals[i + 1].first);
       }
     }
   }

@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <vector>
 
 #include "src/data/dataset.h"
 
@@ -144,9 +146,105 @@ TEST(DatasetTest, ToRawMatrixKeepsCodesAndNaN) {
 
 TEST(DatasetTest, RemoveFeature) {
   Dataset d = MakeSmallDataset();
-  d.RemoveFeature(0);
+  EXPECT_TRUE(d.RemoveFeature(0).ok());
   EXPECT_EQ(d.NumFeatures(), 1u);
   EXPECT_EQ(d.feature(0).name, "color");
+}
+
+// Regression: an out-of-range index used to hit a bare assert that NDEBUG
+// compiled out, erasing past the end of the column vector in release
+// builds. It is now a reported error.
+TEST(DatasetTest, RemoveFeatureRejectsOutOfRange) {
+  Dataset d = MakeSmallDataset();
+  EXPECT_FALSE(d.RemoveFeature(2).ok());
+  EXPECT_FALSE(d.RemoveFeature(999).ok());
+  EXPECT_EQ(d.NumFeatures(), 2u);  // Nothing was erased.
+}
+
+// Regression: a categorical code outside the dictionary (or a non-integral
+// one) used to be silently one-hot encoded as all zeros — i.e. treated as
+// missing. Corrupt codes now fail loudly.
+TEST(DatasetTest, ToNumericMatrixThrowsOnCorruptCategoricalCode) {
+  Dataset d = MakeSmallDataset();
+  d.mutable_feature(1).values[0] = 7.0;  // Dictionary has 3 entries.
+  EXPECT_THROW(d.ToNumericMatrix(), std::runtime_error);
+
+  Dataset d2 = MakeSmallDataset();
+  d2.mutable_feature(1).values[2] = 1.5;  // Non-integral code.
+  EXPECT_THROW(d2.ToNumericMatrix(), std::runtime_error);
+}
+
+TEST(DatasetTest, BinnedLosslessSmallColumn) {
+  Dataset d;
+  d.AddNumericFeature("x", {3.0, 1.0, 2.0, 2.0, kNaN});
+  d.AddCategoricalFeature("c", {0, 1, 0, 2, kNaN}, {"a", "b", "c"});
+  d.SetLabels({0, 0, 0, 0, 0}, {"y"});
+  const auto binned = d.Binned();
+  ASSERT_EQ(binned->num_features(), 2u);
+  EXPECT_EQ(binned->num_rows(), 5u);
+  EXPECT_TRUE(binned->histogram_safe());
+
+  const BinnedColumn& x = binned->column(0);
+  EXPECT_FALSE(x.categorical);
+  EXPECT_TRUE(x.lossless);
+  ASSERT_EQ(x.num_bins, 3u);
+  // Codes follow sorted value order; missing gets the sentinel.
+  const std::vector<uint8_t> want = {2, 0, 1, 1, BinnedColumns::kMissingBin};
+  EXPECT_EQ(x.codes, want);
+  ASSERT_EQ(x.thresholds.size(), 2u);
+  EXPECT_DOUBLE_EQ(x.thresholds[0], 1.5);
+  EXPECT_DOUBLE_EQ(x.thresholds[1], 2.5);
+
+  const BinnedColumn& c = binned->column(1);
+  EXPECT_TRUE(c.categorical);
+  EXPECT_EQ(c.num_bins, 3u);
+  EXPECT_EQ(c.cardinality, 3u);
+  const std::vector<uint8_t> want_c = {0, 1, 0, 2, BinnedColumns::kMissingBin};
+  EXPECT_EQ(c.codes, want_c);
+}
+
+TEST(DatasetTest, BinnedQuantileColumnRespectsThresholdOrder) {
+  Dataset d;
+  std::vector<double> values(1000);
+  // 1000 distinct values force true quantile binning (> 255 distinct).
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>((i * 7919) % 1000);
+  }
+  d.AddNumericFeature("x", values);
+  d.SetLabels(std::vector<int>(1000, 0), {"y"});
+  const auto binned = d.Binned();
+  const BinnedColumn& col = binned->column(0);
+  EXPECT_FALSE(col.lossless);
+  EXPECT_GT(col.num_bins, 1u);
+  EXPECT_LE(col.num_bins, BinnedColumns::kMaxBins);
+  ASSERT_EQ(col.thresholds.size(), static_cast<size_t>(col.num_bins) - 1);
+  for (size_t b = 1; b < col.thresholds.size(); ++b) {
+    EXPECT_LT(col.thresholds[b - 1], col.thresholds[b]);
+  }
+  // The binning contract: value <= thresholds[b] exactly when code <= b.
+  for (size_t r = 0; r < values.size(); ++r) {
+    for (size_t b = 0; b < col.thresholds.size(); ++b) {
+      EXPECT_EQ(values[r] <= col.thresholds[b], col.codes[r] <= b)
+          << "row " << r << " bin " << b;
+    }
+  }
+}
+
+TEST(DatasetTest, BinnedViewIsCachedAndInvalidatedByMutation) {
+  Dataset d = MakeSmallDataset();
+  const auto first = d.Binned();
+  EXPECT_EQ(first.get(), d.Binned().get());  // Cached.
+
+  d.AddNumericFeature("x2", {5.0, 6.0, 7.0, 8.0});
+  const auto second = d.Binned();
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(second->num_features(), 3u);
+  // The old view stays valid for holders that captured it (shared, immutable).
+  EXPECT_EQ(first->num_features(), 2u);
+
+  d.mutable_feature(0).values[0] = 99.0;  // Mutation drops the cache too.
+  const auto third = d.Binned();
+  EXPECT_NE(second.get(), third.get());
 }
 
 }  // namespace

@@ -294,5 +294,79 @@ TEST(TreeTest, RejectsBadInput) {
   EXPECT_FALSE(tree.Fit(x, bad, {0, 1, 0}, 2, {}, {}).ok());  // schema.
 }
 
+// Regression: with two adjacent representable doubles the naive midpoint
+// 0.5 * (lo + hi) rounds (ties-to-even) up to hi itself, so `v <= t` held
+// for BOTH values, every row routed left, and the node degenerated into a
+// leaf that got half the training rows wrong. SplitMidpoint clamps the
+// threshold below hi so the classes separate.
+TEST(TreeTest, AdjacentDoubleValuesStillSplit) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double lo = 1.0 + eps;        // Odd mantissa.
+  const double hi = 1.0 + 2.0 * eps;  // The next double up; even mantissa.
+  ASSERT_EQ(std::nextafter(lo, 2.0), hi);
+  ASSERT_GE(0.5 * (lo + hi), hi);  // The naive midpoint IS the bug.
+  const double t = SplitMidpoint(lo, hi);
+  EXPECT_GE(t, lo);
+  EXPECT_LT(t, hi);
+
+  Matrix x(4, 1);
+  x(0, 0) = lo;
+  x(1, 0) = lo;
+  x(2, 0) = hi;
+  x(3, 0) = hi;
+  const std::vector<int> y = {0, 0, 1, 1};
+  for (TreeSplitMode mode :
+       {TreeSplitMode::kExact, TreeSplitMode::kHistogram}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    TreeOptions options;
+    options.split_mode = mode;
+    DecisionTree tree;
+    ASSERT_TRUE(tree.Fit(x, schema_all_numeric(), y, 2, {}, options).ok());
+    EXPECT_EQ(tree.NumLeaves(), 2u);
+    for (size_t r = 0; r < 4; ++r) {
+      EXPECT_EQ(tree.PredictRow(x.RowPtr(r)), y[r]) << "row " << r;
+    }
+  }
+}
+
+// SplitMidpoint must always land strictly below the upper value and at or
+// above the lower one, across magnitudes and signs.
+TEST(TreeTest, SplitMidpointStaysInHalfOpenInterval) {
+  Rng rng(71);
+  for (int i = 0; i < 2000; ++i) {
+    const int scale = static_cast<int>(rng.UniformInt(-300, 300));
+    double lo = rng.Uniform(-1.0, 1.0) * std::pow(10.0, scale);
+    // Mix adjacent pairs (the hard case) with well-separated ones.
+    double hi = (i % 2 == 0) ? std::nextafter(lo, 1e308)
+                             : lo + std::fabs(lo) * rng.Uniform(0.0, 2.0) +
+                                   rng.Uniform(0.0, 1.0);
+    if (!(lo < hi)) continue;
+    const double t = SplitMidpoint(lo, hi);
+    ASSERT_GE(t, lo) << "lo=" << lo << " hi=" << hi;
+    ASSERT_LT(t, hi) << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+// Regression: near-identical (but distinct) adjacent values used to be
+// skipped by an epsilon-based tie guard, silently discarding legal split
+// boundaries. Distinct doubles are now always split candidates.
+TEST(TreeTest, TinyValueGapsAreStillSplitCandidates) {
+  // Values differ by ~1e-305 — far below any fixed epsilon.
+  const double a = 1e-305;
+  const double b = 2e-305;
+  Matrix x(4, 1);
+  x(0, 0) = a;
+  x(1, 0) = a;
+  x(2, 0) = b;
+  x(3, 0) = b;
+  const std::vector<int> y = {0, 0, 1, 1};
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, schema_all_numeric(), y, 2, {}, {}).ok());
+  EXPECT_EQ(tree.NumLeaves(), 2u);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(tree.PredictRow(x.RowPtr(r)), y[r]) << "row " << r;
+  }
+}
+
 }  // namespace
 }  // namespace smartml
